@@ -1,0 +1,36 @@
+//! Criterion wrapper for the Table 2 experiments: end-to-end application
+//! pipelines (small inputs).
+
+use autarky_bench::table2::{run_freetype, run_hunspell, run_libjpeg, Table2Params};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn tiny_params() -> Table2Params {
+    Table2Params {
+        image_side: 256,
+        dictionaries: 3,
+        words_per_dictionary: 400,
+        text_words: 100,
+        glyph_ops: 100,
+        epc_pages: 4096,
+        spell_budget_pages: 32,
+    }
+}
+
+fn bench_apps(c: &mut Criterion) {
+    let params = tiny_params();
+    let mut group = c.benchmark_group("table2_apps");
+    group.sample_size(10);
+    group.bench_function("libjpeg_pipeline", |b| {
+        b.iter(|| std::hint::black_box(run_libjpeg(&params)));
+    });
+    group.bench_function("hunspell_server", |b| {
+        b.iter(|| std::hint::black_box(run_hunspell(&params)));
+    });
+    group.bench_function("freetype_render", |b| {
+        b.iter(|| std::hint::black_box(run_freetype(&params)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_apps);
+criterion_main!(benches);

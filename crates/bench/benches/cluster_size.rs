@@ -1,0 +1,37 @@
+//! Criterion wrapper for the Figure 6 experiment: uthash throughput
+//! under cluster sizes and the ORAM paging schemes (small inputs).
+
+use autarky_bench::fig6::{run_cached_oram, run_clusters, run_uncached_oram, Fig6Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn tiny_params() -> Fig6Params {
+    Fig6Params {
+        items: 1200,
+        item_size: 256,
+        max_chain: 10,
+        budget_pages: 56,
+        reads: 150,
+        uncached_reads: 5,
+    }
+}
+
+fn bench_cluster_size(c: &mut Criterion) {
+    let params = tiny_params();
+    let mut group = c.benchmark_group("fig6_cluster_size");
+    group.sample_size(10);
+    for pages in [1usize, 10, 50] {
+        group.bench_with_input(BenchmarkId::new("clusters", pages), &pages, |b, &pages| {
+            b.iter(|| std::hint::black_box(run_clusters(&params, &[pages])));
+        });
+    }
+    group.bench_function("cached_oram", |b| {
+        b.iter(|| std::hint::black_box(run_cached_oram(&params)));
+    });
+    group.bench_function("uncached_oram", |b| {
+        b.iter(|| std::hint::black_box(run_uncached_oram(&params)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_cluster_size);
+criterion_main!(benches);

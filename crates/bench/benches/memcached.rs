@@ -1,0 +1,30 @@
+//! Criterion wrapper for the Figure 8 experiment: Memcached GET
+//! throughput per paging policy (uniform distribution, small store).
+
+use autarky::workloads::ycsb::Distribution;
+use autarky_bench::fig8::{measure, Config, Fig8Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_memcached(c: &mut Criterion) {
+    let params = Fig8Params {
+        items: 500,
+        value_size: 1024,
+        budget_pages: 80,
+        requests: 150,
+    };
+    let mut group = c.benchmark_group("fig8_memcached");
+    group.sample_size(10);
+    for config in Config::all() {
+        group.bench_with_input(
+            BenchmarkId::new("uniform", config.label()),
+            &config,
+            |b, &config| {
+                b.iter(|| std::hint::black_box(measure(&params, config, Distribution::Uniform)));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_memcached);
+criterion_main!(benches);

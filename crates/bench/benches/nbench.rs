@@ -1,0 +1,44 @@
+//! Criterion wrapper for the nbench overhead experiment (§7,
+//! architecture-changes overhead): each kernel under the legacy and
+//! self-paging configurations.
+
+use autarky::workloads::nbench::all_kernels;
+use autarky::workloads::EncHeap;
+use autarky::{Profile, SystemBuilder};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn run_kernel(name: &str, protected: bool) -> u64 {
+    let kernel = all_kernels()
+        .into_iter()
+        .find(|k| k.name == name)
+        .expect("known kernel");
+    let profile = if protected {
+        Profile::PinAll
+    } else {
+        Profile::Unprotected
+    };
+    let (mut world, mut heap) = SystemBuilder::new("nbench-bench", profile)
+        .epc_pages(16_384)
+        .heap_pages(8_192)
+        .build()
+        .expect("system");
+    let mut heap: EncHeap = std::mem::replace(&mut heap, EncHeap::direct());
+    (kernel.run)(&mut world, &mut heap, 1).expect("kernel")
+}
+
+fn bench_nbench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nbench_overhead");
+    group.sample_size(10);
+    for name in ["numeric sort", "bitfield", "idea"] {
+        group.bench_with_input(BenchmarkId::new("legacy", name), &name, |b, name| {
+            b.iter(|| std::hint::black_box(run_kernel(name, false)));
+        });
+        group.bench_with_input(BenchmarkId::new("autarky", name), &name, |b, name| {
+            b.iter(|| std::hint::black_box(run_kernel(name, true)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_nbench);
+criterion_main!(benches);

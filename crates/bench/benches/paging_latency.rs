@@ -1,0 +1,28 @@
+//! Criterion wrapper for the Figure 5 experiment: per-page fault and
+//! eviction latency under each paging mechanism.
+//!
+//! The interesting output is the *simulated-cycle* breakdown printed by
+//! `cargo run --bin fig5`; this bench additionally tracks host-side cost
+//! of the simulation so regressions in the simulator itself show up.
+
+use autarky::rt::PagingMechanism;
+use autarky_bench::fig5::{measure, measure_elided_fault};
+use criterion::{criterion_group, criterion_main, Criterion};
+
+fn bench_paging_latency(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig5_paging_latency");
+    group.sample_size(10);
+    group.bench_function("sgx1_fault_evict_round", |b| {
+        b.iter(|| std::hint::black_box(measure(PagingMechanism::Sgx1, 2)));
+    });
+    group.bench_function("sgx2_fault_evict_round", |b| {
+        b.iter(|| std::hint::black_box(measure(PagingMechanism::Sgx2, 2)));
+    });
+    group.bench_function("sgx1_elided_fault", |b| {
+        b.iter(|| std::hint::black_box(measure_elided_fault(PagingMechanism::Sgx1, 2)));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_paging_latency);
+criterion_main!(benches);

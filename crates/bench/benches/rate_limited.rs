@@ -1,0 +1,26 @@
+//! Criterion wrapper for the Figure 7 experiment: rate-limited paging on
+//! a representative subset of the Phoenix/PARSEC applications.
+
+use autarky::workloads::apps::fig7_apps;
+use autarky_bench::fig7::{measure_app, Fig7Params};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+fn bench_rate_limited(c: &mut Criterion) {
+    let params = Fig7Params {
+        epc_budget_pages: 80,
+        footprint_pages: 104,
+    };
+    let apps = fig7_apps();
+    let mut group = c.benchmark_group("fig7_rate_limited");
+    group.sample_size(10);
+    for name in ["linreg", "canneal", "bscholes"] {
+        let app = apps.iter().find(|a| a.name == name).expect("known app");
+        group.bench_with_input(BenchmarkId::new("app", name), &app, |b, app| {
+            b.iter(|| std::hint::black_box(measure_app(app, &params, false)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_rate_limited);
+criterion_main!(benches);

@@ -1,0 +1,33 @@
+//! Ablation study of Autarky's design choices: driver-call batching,
+//! exitless host calls, and the FIFO-for-clock eviction trade.
+
+use autarky_bench::ablation::{batching, exitless_vs_syscall, fifo_vs_clock};
+use autarky_bench::util::{parse_scale, print_table};
+
+fn main() {
+    let scale = parse_scale() as u64;
+    println!("Ablation: Autarky design choices\n");
+
+    println!("1. Batched driver calls (per-page fetch+evict cycles):");
+    let rows: Vec<Vec<String>> = batching(&[1, 2, 4, 8, 16, 32, 64], 20 * scale)
+        .into_iter()
+        .map(|(batch, cycles)| vec![batch.to_string(), cycles.to_string()])
+        .collect();
+    print_table(&["batch size", "cycles/page"], &rows);
+
+    println!("\n2. Exitless host calls vs ring-switch syscalls:");
+    let (exitless, syscall) = exitless_vs_syscall(50 * scale);
+    println!("  exitless : {exitless} cycles");
+    println!(
+        "  syscall  : {syscall} cycles ({:+.1}%)",
+        (syscall as f64 / exitless as f64 - 1.0) * 100.0
+    );
+
+    println!("\n3. FIFO (A/D bits blocked, §5.1.4) vs clock eviction, 80/20 skew:");
+    let (clock, fifo) = fifo_vs_clock(5_000 * scale);
+    println!("  clock (baseline OS) : {clock} faults");
+    println!(
+        "  FIFO (Autarky)      : {fifo} faults ({:.2}x — the price of closing the A/D channel)",
+        fifo as f64 / clock.max(1) as f64
+    );
+}

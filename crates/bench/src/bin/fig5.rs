@@ -1,0 +1,59 @@
+//! Regenerate Figure 5: paging latency breakdown using SGXv1/v2
+//! instructions (cycles per page, eviction batched by 16).
+
+use autarky::rt::PagingMechanism;
+use autarky_bench::fig5::{measure, measure_elided_fault, measure_unprotected_fault, Breakdown};
+use autarky_bench::util::{parse_scale, print_table};
+
+fn row(b: &Breakdown) -> Vec<String> {
+    vec![
+        b.op.to_string(),
+        b.mech.to_string(),
+        b.preemption.to_string(),
+        b.invocation.to_string(),
+        b.runtime_overhead.to_string(),
+        b.sgx_paging.to_string(),
+        b.total().to_string(),
+    ]
+}
+
+fn main() {
+    let scale = parse_scale();
+    let iters = 100 * scale as u64; // paper: 100k iterations
+    println!("Figure 5: paging performance using SGXv1/v2 instructions");
+    println!("(cycles per page, batch = 16, {iters} iterations)\n");
+
+    let mut rows = Vec::new();
+    for mech in [PagingMechanism::Sgx1, PagingMechanism::Sgx2] {
+        let (fault, evict) = measure(mech, iters);
+        rows.push(row(&fault));
+        rows.push(row(&evict));
+    }
+    print_table(
+        &[
+            "op",
+            "mech",
+            "preempt(AEX+ERESUME)",
+            "invoc(EENTER+EEXIT)",
+            "autarky-overhead",
+            "sgx-paging",
+            "total",
+        ],
+        &rows,
+    );
+
+    let elided = measure_elided_fault(PagingMechanism::Sgx1, iters);
+    let unprotected = measure_unprotected_fault(iters);
+    println!();
+    println!("AEX-elision optimization (per-page fault latency, SGXv1):");
+    println!("  unprotected OS paging : {unprotected} cycles");
+    println!("  Autarky, elided AEX   : {elided} cycles");
+    println!(
+        "  => secure paging {} than today's unprotected paging (paper §7.1)",
+        if elided < unprotected {
+            "FASTER"
+        } else {
+            "slower"
+        }
+    );
+}

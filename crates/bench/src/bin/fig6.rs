@@ -1,0 +1,69 @@
+//! Regenerate Figure 6: effect of cluster size on hash-table performance
+//! (uthash), against cached and uncached ORAM.
+
+use autarky_bench::fig6::{
+    run_cached_oram, run_clusters, run_uncached_oram, run_unprotected, Fig6Params,
+};
+use autarky_bench::util::{parse_scale, print_table};
+
+fn main() {
+    let scale = parse_scale();
+    let params = Fig6Params::scaled(scale);
+    println!("Figure 6: effect of cluster size on hash table performance");
+    println!(
+        "(uthash, {} items x {} B, budget {} pages, {} random reads)\n",
+        params.items, params.item_size, params.budget_pages, params.reads
+    );
+
+    let cluster_sizes = [1usize, 2, 5, 10, 20, 50, 100];
+    let series = run_clusters(&params, &cluster_sizes);
+    let cached = run_cached_oram(&params);
+    let uncached = run_uncached_oram(&params);
+    let unprotected = run_unprotected(&params);
+
+    let mut rows = Vec::new();
+    for (before, after) in &series {
+        rows.push(vec![
+            format!("{}", before.cluster_pages),
+            format!("{:.0}", before.throughput),
+            format!("{:.0}", after.throughput),
+            format!("{:.0}", cached.throughput),
+        ]);
+    }
+    print_table(
+        &[
+            "pages/cluster",
+            "clusters (req/s)",
+            "after rehash (req/s)",
+            "cached ORAM (req/s)",
+        ],
+        &rows,
+    );
+    println!();
+    println!(
+        "  unprotected baseline : {:>12.0} req/s",
+        unprotected.throughput
+    );
+    println!("  cached ORAM          : {:>12.0} req/s", cached.throughput);
+    println!(
+        "  uncached ORAM        : {:>12.1} req/s  ({}x slower than cached; paper: 232x)",
+        uncached.throughput,
+        (cached.throughput / uncached.throughput).round()
+    );
+    let one_page = &series[0].0;
+    println!(
+        "  unprotected / 1-page clusters = {:.2}x (paper: 1.9x)",
+        unprotected.throughput / one_page.throughput
+    );
+    // Break-even point vs cached ORAM.
+    let breakeven = series
+        .iter()
+        .find(|(before, _)| before.throughput < cached.throughput)
+        .map(|(b, _)| b.cluster_pages);
+    match breakeven {
+        Some(pages) => {
+            println!("  clusters/ORAM break-even near {pages} pages/cluster (paper: ~10)")
+        }
+        None => println!("  clusters beat cached ORAM at every measured size"),
+    }
+}

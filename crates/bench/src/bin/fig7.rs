@@ -1,0 +1,48 @@
+//! Regenerate Figure 7: rate-limited paging across the 14 Phoenix/PARSEC
+//! applications (slowdown vs baseline + page-fault rate).
+
+use autarky_bench::fig7::{run_all, Fig7Params};
+use autarky_bench::util::{geomean, parse_scale, print_table};
+
+fn main() {
+    let scale = parse_scale();
+    let params = Fig7Params::scaled(scale);
+    println!("Figure 7: rate-limited paging for Phoenix and PARSEC");
+    println!(
+        "(EPC budget {} pages, footprints ~{} pages)\n",
+        params.epc_budget_pages, params.footprint_pages
+    );
+
+    let with_aex = run_all(&params, false);
+    let elided = run_all(&params, true);
+
+    let mut rows = Vec::new();
+    for (row, erow) in with_aex.iter().zip(&elided) {
+        rows.push(vec![
+            row.name.to_string(),
+            format!("{:.3}", row.slowdown),
+            format!("{:.3}", erow.slowdown),
+            format!("{:.0}", row.pf_rate),
+            if row.checksums_match {
+                "ok".into()
+            } else {
+                "MISMATCH".into()
+            },
+        ]);
+    }
+    print_table(
+        &[
+            "app",
+            "slowdown",
+            "slowdown (elide AEX)",
+            "PF rate (faults/s)",
+            "result",
+        ],
+        &rows,
+    );
+    let mean = geomean(&with_aex.iter().map(|r| r.slowdown).collect::<Vec<_>>());
+    let mean_elided = geomean(&elided.iter().map(|r| r.slowdown).collect::<Vec<_>>());
+    println!();
+    println!("  geomean slowdown            : {mean:.3}  (paper: ~1.06)");
+    println!("  geomean slowdown, elide AEX : {mean_elided:.3}  (paper: ~1.02)");
+}

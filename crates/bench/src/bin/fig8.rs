@@ -1,0 +1,40 @@
+//! Regenerate Figure 8: Memcached with Autarky's paging policies across
+//! four request distributions.
+
+use autarky_bench::fig8::{distributions, run_all, Config, Fig8Params};
+use autarky_bench::util::{parse_scale, print_table};
+
+fn main() {
+    let scale = parse_scale();
+    let params = Fig8Params::scaled(scale);
+    println!("Figure 8: Memcached with Autarky's paging policies");
+    println!(
+        "({} items x {} B, budget {} pages, {} GETs per cell)\n",
+        params.items, params.value_size, params.budget_pages, params.requests
+    );
+
+    let grid = run_all(&params);
+    let mut rows = Vec::new();
+    for ((label, _), cells) in distributions().iter().zip(&grid) {
+        let mut row = vec![label.to_string()];
+        for value in cells {
+            row.push(format!("{value:.0}"));
+        }
+        // Normalized view: ORAM relative to baseline.
+        row.push(format!("{:.2}x", cells[0] / cells[3]));
+        rows.push(row);
+    }
+    let headers: Vec<String> = std::iter::once("distribution".to_string())
+        .chain(
+            Config::all()
+                .iter()
+                .map(|c| format!("{} (req/s)", c.label())),
+        )
+        .chain(std::iter::once("base/ORAM".to_string()))
+        .collect();
+    let header_refs: Vec<&str> = headers.iter().map(|s| s.as_str()).collect();
+    print_table(&header_refs, &rows);
+    println!();
+    println!("  paper shapes: rate-limit closest to baseline; clusters beat ORAM on");
+    println!("  uniform; the ORAM gap narrows with skew (only ~1.6x on the hottest).");
+}

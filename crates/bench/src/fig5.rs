@@ -1,0 +1,235 @@
+//! Figure 5: paging latency breakdown, SGXv1 vs SGXv2, fetch vs evict.
+//!
+//! The paper measures 100k fault/evict iterations, evicting in batches of
+//! 16 pages (the Intel driver's batch size) and normalizing to one page.
+//! The breakdown components are:
+//!
+//! * enclave preemption (`AEX` + `ERESUME`),
+//! * page-fault handler invocation (`EENTER` + `EEXIT`),
+//! * Autarky runtime overhead (handler bookkeeping + driver call),
+//! * SGX paging instructions including en/decryption.
+//!
+//! Key findings to reproduce: transitions account for 40–50% of the
+//! latency, SGXv1 instructions beat the SGXv2 software path, and eliding
+//! the AEX would make secure paging faster than today's unprotected
+//! paging.
+
+use autarky::prelude::*;
+use autarky::{Profile, SystemBuilder};
+
+/// Batch size used by the Intel driver and by this experiment.
+pub const BATCH: u64 = 16;
+
+/// Per-page latency breakdown in cycles.
+#[derive(Debug, Clone)]
+pub struct Breakdown {
+    /// Operation label ("fault" or "evict").
+    pub op: &'static str,
+    /// Mechanism label ("SGX1" or "SGX2").
+    pub mech: &'static str,
+    /// AEX + ERESUME share.
+    pub preemption: u64,
+    /// EENTER + EEXIT share.
+    pub invocation: u64,
+    /// Autarky handler + driver-call share.
+    pub runtime_overhead: u64,
+    /// Paging instructions + crypto share.
+    pub sgx_paging: u64,
+}
+
+impl Breakdown {
+    /// Total per-page cycles.
+    pub fn total(&self) -> u64 {
+        self.preemption + self.invocation + self.runtime_overhead + self.sgx_paging
+    }
+}
+
+fn build(mechanism: PagingMechanism, elide_aex: bool) -> (World, EncHeap, Vec<Vpn>) {
+    let (mut world, mut heap) = SystemBuilder::new(
+        "fig5",
+        Profile::Clusters {
+            pages_per_cluster: 1, // faults fetch single pages, as in the paper
+        },
+    )
+    .epc_pages(4096)
+    .heap_pages(256)
+    .mechanism(mechanism)
+    .elide_aex(elide_aex)
+    .build()
+    .expect("fig5 system");
+    let ptr = heap
+        .alloc(&mut world, (BATCH as usize) * PAGE_SIZE)
+        .expect("alloc");
+    let first = Vpn(ptr.0 >> 12);
+    let pages: Vec<Vpn> = (0..BATCH).map(|i| Vpn(first.0 + i)).collect();
+    // Touch everything once so contents exist.
+    heap.write(&mut world, ptr, &[0xA5u8; PAGE_SIZE])
+        .expect("touch");
+    (world, heap, pages)
+}
+
+/// Measure one mechanism with `iters` rounds of a batch-16 eviction
+/// followed by 16 single-page faults; returns (fault, evict) breakdowns
+/// normalized per page.
+pub fn measure(mechanism: PagingMechanism, iters: u64) -> (Breakdown, Breakdown) {
+    let (mut world, mut heap, pages) = build(mechanism, false);
+    let mech = match mechanism {
+        PagingMechanism::Sgx1 => "SGX1",
+        PagingMechanism::Sgx2 => "SGX2",
+    };
+    let costs = world.os.machine.costs.clone();
+
+    // Warm up one round.
+    world.rt.evict_pages(&mut world.os, &pages).expect("evict");
+    for &vpn in &pages {
+        heap.read(&mut world, autarky_ptr(vpn), &mut [0u8; 1])
+            .expect("fetch");
+    }
+
+    let mut evict_cycles = 0u64;
+    let mut fault_cycles = 0u64;
+    for _ in 0..iters {
+        // Eviction is batched (the Intel driver's batch of 16).
+        let t0 = world.now();
+        world.rt.evict_pages(&mut world.os, &pages).expect("evict");
+        let t1 = world.now();
+        // Every page faults individually on its next access.
+        for &vpn in &pages {
+            heap.read(&mut world, autarky_ptr(vpn), &mut [0u8; 1])
+                .expect("fetch");
+        }
+        let t2 = world.now();
+        evict_cycles += t1 - t0;
+        fault_cycles += t2 - t1;
+    }
+    let per_page = |total: u64| total / (iters * BATCH);
+
+    // Transition components are architectural constants charged once per
+    // fault; the remainder is the mechanism-specific paging work.
+    let preemption = costs.preemption();
+    let invocation = costs.handler_invocation();
+    let runtime_overhead = costs.runtime_handler + costs.exitless_call + costs.os_fault_handler;
+    let fault_total = per_page(fault_cycles);
+    let fault = Breakdown {
+        op: "fault",
+        mech,
+        preemption,
+        invocation,
+        runtime_overhead,
+        sgx_paging: fault_total.saturating_sub(preemption + invocation + runtime_overhead),
+    };
+    // Eviction's crossings amortize over the batched driver call.
+    let evict_total = per_page(evict_cycles);
+    let evict_rt = costs.exitless_call / BATCH + costs.runtime_handler / BATCH;
+    let evict = Breakdown {
+        op: "evict",
+        mech,
+        preemption: 0,
+        invocation: 0,
+        runtime_overhead: evict_rt,
+        sgx_paging: evict_total.saturating_sub(evict_rt),
+    };
+    (fault, evict)
+}
+
+/// Per-page fault latency with the AEX-elision optimization, for the
+/// "faster than unprotected paging" comparison.
+pub fn measure_elided_fault(mechanism: PagingMechanism, iters: u64) -> u64 {
+    let (mut world, mut heap, pages) = build(mechanism, true);
+    world.rt.evict_pages(&mut world.os, &pages).expect("evict");
+    for &vpn in &pages {
+        heap.read(&mut world, autarky_ptr(vpn), &mut [0u8; 1])
+            .expect("fetch");
+    }
+    let mut cycles = 0u64;
+    for _ in 0..iters {
+        world.rt.evict_pages(&mut world.os, &pages).expect("evict");
+        let t0 = world.now();
+        for &vpn in &pages {
+            heap.read(&mut world, autarky_ptr(vpn), &mut [0u8; 1])
+                .expect("fetch");
+        }
+        cycles += world.now() - t0;
+    }
+    cycles / (iters * BATCH)
+}
+
+/// Per-page fault latency of *unprotected* (OS-driven) demand paging, the
+/// baseline the elided path is compared against.
+pub fn measure_unprotected_fault(iters: u64) -> u64 {
+    let (mut world, mut heap) = SystemBuilder::new("fig5-base", Profile::Unprotected)
+        .epc_pages(4096)
+        .heap_pages(256)
+        .build()
+        .expect("baseline system");
+    let ptr = heap
+        .alloc(&mut world, (BATCH as usize) * PAGE_SIZE)
+        .expect("alloc");
+    heap.write(&mut world, ptr, &[1u8; PAGE_SIZE])
+        .expect("touch");
+    let first = Vpn(ptr.0 >> 12);
+    let pages: Vec<Vpn> = (0..BATCH).map(|i| Vpn(first.0 + i)).collect();
+    let eid = world.eid;
+    let mut cycles = 0u64;
+    for _ in 0..iters {
+        // The OS evicts the batch (not timed), then every page faults
+        // individually on access (OS-driven paging has no batch fetch).
+        for &vpn in &pages {
+            world.os.evict_os_page(eid, vpn).expect("os evict");
+        }
+        let t0 = world.now();
+        for &vpn in &pages {
+            heap.read(&mut world, autarky_ptr(vpn), &mut [0u8; 1])
+                .expect("fault+fetch");
+        }
+        cycles += world.now() - t0;
+    }
+    cycles / (iters * BATCH)
+}
+
+fn autarky_ptr(vpn: Vpn) -> autarky::workloads::Ptr {
+    autarky::workloads::Ptr(vpn.0 << 12)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn transitions_dominate_fault_latency() {
+        let (fault, _) = measure(PagingMechanism::Sgx1, 20);
+        let frac = (fault.preemption + fault.invocation) as f64 / fault.total() as f64;
+        assert!(
+            (0.35..=0.65).contains(&frac),
+            "transition fraction {frac} (paper: 40-50%)"
+        );
+    }
+
+    #[test]
+    fn sgx2_slower_than_sgx1() {
+        let (f1, e1) = measure(PagingMechanism::Sgx1, 10);
+        let (f2, e2) = measure(PagingMechanism::Sgx2, 10);
+        assert!(
+            f2.total() > f1.total(),
+            "SGX2 fetch {} vs SGX1 {}",
+            f2.total(),
+            f1.total()
+        );
+        assert!(
+            e2.total() > e1.total(),
+            "SGX2 evict {} vs SGX1 {}",
+            e2.total(),
+            e1.total()
+        );
+    }
+
+    #[test]
+    fn elided_faults_beat_unprotected_paging() {
+        let elided = measure_elided_fault(PagingMechanism::Sgx1, 10);
+        let unprotected = measure_unprotected_fault(10);
+        assert!(
+            elided < unprotected,
+            "elided {elided} must beat unprotected {unprotected} (paper §7.1)"
+        );
+    }
+}

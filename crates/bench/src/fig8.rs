@@ -1,0 +1,230 @@
+//! Figure 8: Memcached under YCSB-C with Autarky's paging policies.
+//!
+//! Configurations: insecure baseline, rate-limited paging, 10-page item
+//! clusters, and cached ORAM, each across uniform / zipf(0.99) /
+//! hotspot(0.9) / hotspot(0.99) request distributions (1 KB entries, 100%
+//! GET, single-threaded, data sized to oversubscribe EPC).
+//!
+//! Shapes to reproduce: rate-limited closest to baseline; clusters show a
+//! constant gap that beats ORAM on uniform; the gap narrows with skew and
+//! ORAM can win on hot distributions; on the hottest distribution ORAM is
+//! only ~60% slower than the insecure baseline.
+
+use autarky::workloads::kvstore::{store_pages, ItemClustering, KvStore};
+use autarky::workloads::ycsb::{Distribution, KeyGenerator};
+use autarky::{Profile, SystemBuilder};
+
+use crate::util::ops_per_sec;
+
+/// Policy configurations in presentation order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Config {
+    /// Vanilla SGX, OS paging.
+    Baseline,
+    /// Bounded-leakage demand paging.
+    RateLimit,
+    /// 10-page item clusters.
+    Cluster10,
+    /// Cached ORAM over all items.
+    Oram,
+}
+
+impl Config {
+    /// All four configurations.
+    pub fn all() -> [Config; 4] {
+        [
+            Config::Baseline,
+            Config::RateLimit,
+            Config::Cluster10,
+            Config::Oram,
+        ]
+    }
+
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Config::Baseline => "Baseline",
+            Config::RateLimit => "Rate Limit",
+            Config::Cluster10 => "10-Page Cluster",
+            Config::Oram => "ORAM",
+        }
+    }
+}
+
+/// The four request distributions of the figure.
+pub fn distributions() -> [(&'static str, Distribution); 4] {
+    [
+        ("Uniform", Distribution::Uniform),
+        ("Zipf (0.99)", Distribution::Zipfian { theta: 0.99 }),
+        (
+            "Hotspot (0.9)",
+            Distribution::Hotspot {
+                hot_frac: 0.01,
+                hot_prob: 0.9,
+            },
+        ),
+        (
+            "Hotspot (0.99)",
+            Distribution::Hotspot {
+                hot_frac: 0.01,
+                hot_prob: 0.99,
+            },
+        ),
+    ]
+}
+
+/// Experiment parameters.
+#[derive(Debug, Clone)]
+pub struct Fig8Params {
+    /// Items loaded (1 KB each in the paper; 400 MB total, scaled here).
+    pub items: u64,
+    /// Value size.
+    pub value_size: usize,
+    /// EPC share available for item pages.
+    pub budget_pages: usize,
+    /// GET requests measured per cell.
+    pub requests: u64,
+}
+
+impl Fig8Params {
+    /// Scale 1 ≈ 1/64 of the paper's sizes.
+    pub fn scaled(scale: u32) -> Self {
+        let s = scale as u64;
+        Self {
+            items: 6_000 * s,
+            value_size: 1024,
+            budget_pages: (1024 * s) as usize,
+            requests: 2_000 * s,
+        }
+    }
+}
+
+/// Measure one (config, distribution) cell; returns requests/second.
+pub fn measure(params: &Fig8Params, config: Config, dist: Distribution) -> f64 {
+    let data_pages = store_pages(params.items, params.value_size) as usize;
+    let profile = match config {
+        Config::Baseline => Profile::Unprotected,
+        Config::RateLimit => Profile::RateLimited {
+            max_faults_per_progress: 1e6,
+            burst: 1 << 40,
+        },
+        Config::Cluster10 => Profile::Clusters {
+            pages_per_cluster: 10,
+        },
+        Config::Oram => Profile::CachedOram {
+            capacity_pages: (data_pages * 4) as u64,
+            cache_pages: params.budget_pages,
+        },
+    };
+    let (mut world, mut heap) = SystemBuilder::new("fig8", profile)
+        .epc_pages(data_pages * 2 + 4096)
+        .heap_pages(data_pages * 2 + 64)
+        .budget_pages(params.budget_pages)
+        .build()
+        .expect("system");
+    if config == Config::Baseline {
+        // Same EPC share as the protected runs' self-paging budget.
+        world
+            .os
+            .set_epc_quota(world.eid, params.budget_pages)
+            .expect("quota");
+    }
+    let clustering = match config {
+        Config::Cluster10 => ItemClustering::Pages(10),
+        _ => ItemClustering::None,
+    };
+    let mut store = KvStore::new(
+        &mut world,
+        &mut heap,
+        params.items,
+        params.value_size,
+        clustering,
+    )
+    .expect("store");
+    store
+        .load(&mut world, &mut heap, params.items)
+        .expect("load");
+
+    let mut generator = KeyGenerator::new(params.items, dist, 11);
+    // Warm the caches with a burst of requests (untimed).
+    for _ in 0..params.requests / 4 {
+        let key = generator.next_key();
+        store.get(&mut world, &mut heap, key).expect("warm get");
+    }
+    let t0 = world.now();
+    for _ in 0..params.requests {
+        let key = generator.next_key();
+        let hit = store.get(&mut world, &mut heap, key).expect("get");
+        assert!(hit.is_some(), "100%-hit workload C");
+    }
+    ops_per_sec(params.requests, world.now() - t0)
+}
+
+/// A full grid of measurements: `rows[d][c]` for distribution `d`,
+/// configuration `c`.
+pub fn run_all(params: &Fig8Params) -> Vec<Vec<f64>> {
+    distributions()
+        .iter()
+        .map(|(_, dist)| {
+            Config::all()
+                .iter()
+                .map(|&config| measure(params, config, *dist))
+                .collect()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny() -> Fig8Params {
+        Fig8Params {
+            items: 700,
+            value_size: 1024,
+            budget_pages: 96,
+            requests: 300,
+        }
+    }
+
+    #[test]
+    fn rate_limit_close_to_baseline() {
+        let params = tiny();
+        let base = measure(&params, Config::Baseline, Distribution::Uniform);
+        let rate = measure(&params, Config::RateLimit, Distribution::Uniform);
+        assert!(
+            rate > base * 0.5,
+            "rate-limited {rate} too far below baseline {base}"
+        );
+    }
+
+    #[test]
+    fn clusters_beat_oram_on_uniform() {
+        let params = tiny();
+        let clusters = measure(&params, Config::Cluster10, Distribution::Uniform);
+        let oram = measure(&params, Config::Oram, Distribution::Uniform);
+        assert!(
+            clusters > oram,
+            "uniform: clusters {clusters} must beat ORAM {oram}"
+        );
+    }
+
+    #[test]
+    fn oram_gap_narrows_with_skew() {
+        let params = tiny();
+        let base_uni = measure(&params, Config::Baseline, Distribution::Uniform);
+        let oram_uni = measure(&params, Config::Oram, Distribution::Uniform);
+        let hot = Distribution::Hotspot {
+            hot_frac: 0.01,
+            hot_prob: 0.99,
+        };
+        let base_hot = measure(&params, Config::Baseline, hot);
+        let oram_hot = measure(&params, Config::Oram, hot);
+        let gap_uni = base_uni / oram_uni;
+        let gap_hot = base_hot / oram_hot;
+        assert!(
+            gap_hot < gap_uni,
+            "ORAM gap must narrow with skew: uniform {gap_uni:.2}x vs hot {gap_hot:.2}x"
+        );
+    }
+}

@@ -1,0 +1,81 @@
+//! **Autarky** — closing controlled channels with self-paging enclaves.
+//!
+//! A full-system reproduction of *Orenbach, Baumann, Silberstein: "Autarky:
+//! Closing controlled channels with self-paging enclaves" (EuroSys 2020)*,
+//! built on a deterministic SGX machine simulator.
+//!
+//! ## What's here
+//!
+//! * [`sgx`] — the SGX architecture model with Autarky's ISA extensions
+//!   (fault masking, the pending-exception flag, the accessed/dirty-bit
+//!   precondition, AEX elision);
+//! * [`os`] — the untrusted OS: loader, demand paging, the Autarky driver
+//!   syscalls, and the controlled-channel attacker;
+//! * [`rt`] — the trusted self-paging runtime: the fault handler with
+//!   attack detection, page clusters (Table 1), rate limiting, and both
+//!   SGXv1/SGXv2 paging mechanisms;
+//! * [`oram`] — PathORAM with the enclave-managed cache front-end;
+//! * [`workloads`] — every workload the paper evaluates;
+//! * [`SystemBuilder`] — one-call assembly of a protected system.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use autarky::{Profile, SystemBuilder};
+//!
+//! // A self-paging enclave with 10-page data clusters.
+//! let (mut world, mut heap) =
+//!     SystemBuilder::new("demo", Profile::Clusters { pages_per_cluster: 10 })
+//!         .epc_mib(8)
+//!         .heap_pages(512)
+//!         .build()
+//!         .expect("system assembles");
+//!
+//! // Allocate and touch enclave memory; faults, paging, and policy all
+//! // happen behind this call.
+//! let ptr = heap.alloc(&mut world, 4096).expect("alloc");
+//! heap.write(&mut world, ptr, &[7u8; 4096]).expect("write");
+//! let mut buf = [0u8; 4096];
+//! heap.read(&mut world, ptr, &mut buf).expect("read");
+//! assert_eq!(buf[0], 7);
+//!
+//! // The runtime detected no attacks and the OS saw no usable trace.
+//! assert!(!world.rt.is_terminated());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod builder;
+
+pub use builder::{Profile, SystemBuilder};
+
+/// The SGX machine model (re-export of `autarky-sgx-sim`).
+pub use autarky_sgx_sim as sgx;
+
+/// The untrusted OS and attacker (re-export of `autarky-os-sim`).
+pub use autarky_os_sim as os;
+
+/// The trusted self-paging runtime (re-export of `autarky-runtime`).
+pub use autarky_runtime as rt;
+
+/// PathORAM (re-export of `autarky-oram`).
+pub use autarky_oram as oram;
+
+/// Evaluation workloads (re-export of `autarky-workloads`).
+pub use autarky_workloads as workloads;
+
+/// Cryptographic primitives (re-export of `autarky-crypto`).
+pub use autarky_crypto as crypto;
+
+/// Commonly used types in one import.
+pub mod prelude {
+    pub use crate::builder::{Profile, SystemBuilder};
+    pub use autarky_os_sim::{EnclaveImage, Observation, Os, OsError};
+    pub use autarky_runtime::{
+        PagingMechanism, PolicyMode, RateLimit, RtError, Runtime, RuntimeConfig,
+    };
+    pub use autarky_sgx_sim::machine::MachineConfig;
+    pub use autarky_sgx_sim::{AccessKind, CostModel, EnclaveId, Va, Vpn, CLOCK_HZ, PAGE_SIZE};
+    pub use autarky_workloads::{EncHeap, Ptr, World};
+}

@@ -1,0 +1,160 @@
+//! RFC 7539 ChaCha20 stream cipher.
+//!
+//! The simulator's stand-in for the SGX memory-encryption engine: page
+//! contents evicted by `EWB` (or by the SGXv2 software path) are encrypted
+//! with a per-platform key and a nonce derived from the page's eviction
+//! version, so ciphertexts never repeat.
+
+/// Key length in bytes.
+pub const KEY_LEN: usize = 32;
+
+/// Nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+
+/// ChaCha20 cipher instance bound to a key and nonce.
+pub struct ChaCha20 {
+    state: [u32; 16],
+}
+
+impl ChaCha20 {
+    /// Create a cipher with the given key, nonce, and initial block counter.
+    pub fn new(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], counter: u32) -> Self {
+        let mut state = [0u32; 16];
+        state[0] = 0x6170_7865;
+        state[1] = 0x3320_646e;
+        state[2] = 0x7962_2d32;
+        state[3] = 0x6b20_6574;
+        for i in 0..8 {
+            state[4 + i] = u32::from_le_bytes(key[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        state[12] = counter;
+        for i in 0..3 {
+            state[13 + i] =
+                u32::from_le_bytes(nonce[i * 4..i * 4 + 4].try_into().expect("4 bytes"));
+        }
+        Self { state }
+    }
+
+    /// Produce the keystream block for the current counter and advance it.
+    fn next_block(&mut self) -> [u8; 64] {
+        let mut working = self.state;
+        for _ in 0..10 {
+            // Column rounds.
+            Self::quarter_round(&mut working, 0, 4, 8, 12);
+            Self::quarter_round(&mut working, 1, 5, 9, 13);
+            Self::quarter_round(&mut working, 2, 6, 10, 14);
+            Self::quarter_round(&mut working, 3, 7, 11, 15);
+            // Diagonal rounds.
+            Self::quarter_round(&mut working, 0, 5, 10, 15);
+            Self::quarter_round(&mut working, 1, 6, 11, 12);
+            Self::quarter_round(&mut working, 2, 7, 8, 13);
+            Self::quarter_round(&mut working, 3, 4, 9, 14);
+        }
+        let mut out = [0u8; 64];
+        for i in 0..16 {
+            let word = working[i].wrapping_add(self.state[i]);
+            out[i * 4..i * 4 + 4].copy_from_slice(&word.to_le_bytes());
+        }
+        self.state[12] = self.state[12].wrapping_add(1);
+        out
+    }
+
+    fn quarter_round(s: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(16);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(12);
+        s[a] = s[a].wrapping_add(s[b]);
+        s[d] = (s[d] ^ s[a]).rotate_left(8);
+        s[c] = s[c].wrapping_add(s[d]);
+        s[b] = (s[b] ^ s[c]).rotate_left(7);
+    }
+
+    /// XOR the keystream into `data` in place (encrypts or decrypts).
+    pub fn apply_keystream(&mut self, data: &mut [u8]) {
+        for chunk in data.chunks_mut(64) {
+            let block = self.next_block();
+            for (byte, k) in chunk.iter_mut().zip(block.iter()) {
+                *byte ^= k;
+            }
+        }
+    }
+
+    /// Generate `out.len()` bytes of raw keystream (used to derive the
+    /// Poly1305 one-time key in the AEAD construction).
+    pub fn keystream(&mut self, out: &mut [u8]) {
+        out.fill(0);
+        self.apply_keystream(out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+            .collect()
+    }
+
+    // RFC 7539 §2.4.2 test vector.
+    #[test]
+    fn rfc7539_encryption() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().expect("32");
+        let nonce = [0u8, 0, 0, 0, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you \
+only one tip for the future, sunscreen would be it.";
+        let mut data = plaintext.to_vec();
+        ChaCha20::new(&key, &nonce, 1).apply_keystream(&mut data);
+        let expected = hex_to_bytes(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0b\
+             f91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d8\
+             07ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab7793736\
+             5af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    // RFC 7539 §2.3.2 block function vector (first keystream block).
+    #[test]
+    fn rfc7539_block_function() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().expect("32");
+        let nonce = [0u8, 0, 0, 0x09, 0, 0, 0, 0x4a, 0, 0, 0, 0];
+        let mut cipher = ChaCha20::new(&key, &nonce, 1);
+        let mut ks = [0u8; 64];
+        cipher.keystream(&mut ks);
+        let expected = hex_to_bytes(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4e\
+             d2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(ks.to_vec(), expected);
+    }
+
+    #[test]
+    fn roundtrip() {
+        let key = [7u8; 32];
+        let nonce = [9u8; 12];
+        let mut data: Vec<u8> = (0..1000u32).map(|i| (i % 256) as u8).collect();
+        let orig = data.clone();
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut data);
+        assert_ne!(data, orig);
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut data);
+        assert_eq!(data, orig);
+    }
+
+    #[test]
+    fn counter_advances_across_chunks() {
+        let key = [1u8; 32];
+        let nonce = [2u8; 12];
+        let mut a = vec![0u8; 200];
+        ChaCha20::new(&key, &nonce, 0).apply_keystream(&mut a);
+        let mut b = vec![0u8; 200];
+        let mut cipher = ChaCha20::new(&key, &nonce, 0);
+        cipher.apply_keystream(&mut b[..64]);
+        cipher.apply_keystream(&mut b[64..128]);
+        cipher.apply_keystream(&mut b[128..]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,91 @@
+//! Constant-time helpers.
+//!
+//! The Autarky paper's ORAM implementation hides metadata accesses with
+//! `CMOVZ`-style conditional moves; these helpers are the software analogue
+//! and are also used for MAC comparison to avoid timing oracles.
+
+/// Constant-time byte-slice equality. Returns `false` for length mismatch.
+pub fn ct_eq(a: &[u8], b: &[u8]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut acc = 0u8;
+    for (x, y) in a.iter().zip(b.iter()) {
+        acc |= x ^ y;
+    }
+    acc == 0
+}
+
+/// Constant-time conditional select of `u64`: returns `a` if `cond` is
+/// true, `b` otherwise, without a data-dependent branch.
+pub fn ct_select_u64(cond: bool, a: u64, b: u64) -> u64 {
+    let mask = (cond as u64).wrapping_neg();
+    (a & mask) | (b & !mask)
+}
+
+/// Constant-time conditional copy: overwrites `dst` with `src` when `cond`
+/// is true, leaves it unchanged otherwise. Both slices must have equal
+/// length.
+///
+/// # Panics
+/// Panics if the slice lengths differ (a logic error at the call site).
+pub fn ct_copy(cond: bool, dst: &mut [u8], src: &[u8]) {
+    assert_eq!(dst.len(), src.len(), "ct_copy length mismatch");
+    let mask = (cond as u8).wrapping_neg();
+    for (d, s) in dst.iter_mut().zip(src.iter()) {
+        *d = (*s & mask) | (*d & !mask);
+    }
+}
+
+/// Constant-time swap of two equal-length slices when `cond` is true.
+///
+/// # Panics
+/// Panics if the slice lengths differ.
+pub fn ct_swap(cond: bool, a: &mut [u8], b: &mut [u8]) {
+    assert_eq!(a.len(), b.len(), "ct_swap length mismatch");
+    let mask = (cond as u8).wrapping_neg();
+    for (x, y) in a.iter_mut().zip(b.iter_mut()) {
+        let t = (*x ^ *y) & mask;
+        *x ^= t;
+        *y ^= t;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq_basic() {
+        assert!(ct_eq(b"hello", b"hello"));
+        assert!(!ct_eq(b"hello", b"hellp"));
+        assert!(!ct_eq(b"hello", b"hell"));
+        assert!(ct_eq(b"", b""));
+    }
+
+    #[test]
+    fn select() {
+        assert_eq!(ct_select_u64(true, 1, 2), 1);
+        assert_eq!(ct_select_u64(false, 1, 2), 2);
+        assert_eq!(ct_select_u64(true, u64::MAX, 0), u64::MAX);
+    }
+
+    #[test]
+    fn copy() {
+        let mut dst = [1u8, 2, 3];
+        ct_copy(false, &mut dst, &[9, 9, 9]);
+        assert_eq!(dst, [1, 2, 3]);
+        ct_copy(true, &mut dst, &[9, 8, 7]);
+        assert_eq!(dst, [9, 8, 7]);
+    }
+
+    #[test]
+    fn swap() {
+        let mut a = [1u8, 2];
+        let mut b = [3u8, 4];
+        ct_swap(false, &mut a, &mut b);
+        assert_eq!((a, b), ([1, 2], [3, 4]));
+        ct_swap(true, &mut a, &mut b);
+        assert_eq!((a, b), ([3, 4], [1, 2]));
+    }
+}

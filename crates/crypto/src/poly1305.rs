@@ -1,0 +1,284 @@
+//! RFC 7539 Poly1305 one-time authenticator.
+//!
+//! Implemented with five 26-bit limbs (the classic "donna" representation),
+//! which keeps all intermediate products within `u64` range.
+
+/// Key length in bytes (16-byte `r` + 16-byte `s`).
+pub const KEY_LEN: usize = 32;
+
+/// Tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Streaming Poly1305 context.
+pub struct Poly1305 {
+    r: [u32; 5],
+    h: [u32; 5],
+    pad: [u32; 4],
+    buf: [u8; 16],
+    buf_len: usize,
+}
+
+impl Poly1305 {
+    /// Create an authenticator from the 32-byte one-time key.
+    pub fn new(key: &[u8; KEY_LEN]) -> Self {
+        // r is clamped per the RFC: clear the top 4 bits of bytes 3/7/11/15
+        // and the bottom 2 bits of bytes 4/8/12, then split into 26-bit limbs.
+        let t0 = u32::from_le_bytes(key[0..4].try_into().expect("4")) & 0x0fff_ffff;
+        let t1 = u32::from_le_bytes(key[4..8].try_into().expect("4")) & 0x0fff_fffc;
+        let t2 = u32::from_le_bytes(key[8..12].try_into().expect("4")) & 0x0fff_fffc;
+        let t3 = u32::from_le_bytes(key[12..16].try_into().expect("4")) & 0x0fff_fffc;
+        let r = [
+            t0 & 0x03ff_ffff,
+            ((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff,
+            ((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff,
+            ((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff,
+            t3 >> 8,
+        ];
+        let pad = [
+            u32::from_le_bytes(key[16..20].try_into().expect("4")),
+            u32::from_le_bytes(key[20..24].try_into().expect("4")),
+            u32::from_le_bytes(key[24..28].try_into().expect("4")),
+            u32::from_le_bytes(key[28..32].try_into().expect("4")),
+        ];
+        Self {
+            r,
+            h: [0; 5],
+            pad,
+            buf: [0; 16],
+            buf_len: 0,
+        }
+    }
+
+    fn block(&mut self, block: &[u8; 16], final_bit: bool) {
+        let hibit: u32 = if final_bit { 0 } else { 1 << 24 };
+        let t0 = u32::from_le_bytes(block[0..4].try_into().expect("4"));
+        let t1 = u32::from_le_bytes(block[4..8].try_into().expect("4"));
+        let t2 = u32::from_le_bytes(block[8..12].try_into().expect("4"));
+        let t3 = u32::from_le_bytes(block[12..16].try_into().expect("4"));
+
+        let mut h = self.h;
+        h[0] = h[0].wrapping_add(t0 & 0x03ff_ffff);
+        h[1] = h[1].wrapping_add(((t0 >> 26) | (t1 << 6)) & 0x03ff_ffff);
+        h[2] = h[2].wrapping_add(((t1 >> 20) | (t2 << 12)) & 0x03ff_ffff);
+        h[3] = h[3].wrapping_add(((t2 >> 14) | (t3 << 18)) & 0x03ff_ffff);
+        h[4] = h[4].wrapping_add((t3 >> 8) | hibit);
+
+        let r = self.r;
+        let s1 = r[1] * 5;
+        let s2 = r[2] * 5;
+        let s3 = r[3] * 5;
+        let s4 = r[4] * 5;
+
+        let d0 = h[0] as u64 * r[0] as u64
+            + h[1] as u64 * s4 as u64
+            + h[2] as u64 * s3 as u64
+            + h[3] as u64 * s2 as u64
+            + h[4] as u64 * s1 as u64;
+        let d1 = h[0] as u64 * r[1] as u64
+            + h[1] as u64 * r[0] as u64
+            + h[2] as u64 * s4 as u64
+            + h[3] as u64 * s3 as u64
+            + h[4] as u64 * s2 as u64;
+        let d2 = h[0] as u64 * r[2] as u64
+            + h[1] as u64 * r[1] as u64
+            + h[2] as u64 * r[0] as u64
+            + h[3] as u64 * s4 as u64
+            + h[4] as u64 * s3 as u64;
+        let d3 = h[0] as u64 * r[3] as u64
+            + h[1] as u64 * r[2] as u64
+            + h[2] as u64 * r[1] as u64
+            + h[3] as u64 * r[0] as u64
+            + h[4] as u64 * s4 as u64;
+        let d4 = h[0] as u64 * r[4] as u64
+            + h[1] as u64 * r[3] as u64
+            + h[2] as u64 * r[2] as u64
+            + h[3] as u64 * r[1] as u64
+            + h[4] as u64 * r[0] as u64;
+
+        // Carry propagation.
+        let mut c: u64;
+        let d0 = d0;
+        let mut d1 = d1;
+        let mut d2 = d2;
+        let mut d3 = d3;
+        let mut d4 = d4;
+        c = d0 >> 26;
+        h[0] = (d0 & 0x03ff_ffff) as u32;
+        d1 += c;
+        c = d1 >> 26;
+        h[1] = (d1 & 0x03ff_ffff) as u32;
+        d2 += c;
+        c = d2 >> 26;
+        h[2] = (d2 & 0x03ff_ffff) as u32;
+        d3 += c;
+        c = d3 >> 26;
+        h[3] = (d3 & 0x03ff_ffff) as u32;
+        d4 += c;
+        c = d4 >> 26;
+        h[4] = (d4 & 0x03ff_ffff) as u32;
+        h[0] = h[0].wrapping_add((c * 5) as u32);
+        let c2 = h[0] >> 26;
+        h[0] &= 0x03ff_ffff;
+        h[1] = h[1].wrapping_add(c2);
+
+        self.h = h;
+    }
+
+    /// Absorb message data.
+    pub fn update(&mut self, data: &[u8]) -> &mut Self {
+        let mut data = data;
+        if self.buf_len > 0 {
+            let take = (16 - self.buf_len).min(data.len());
+            self.buf[self.buf_len..self.buf_len + take].copy_from_slice(&data[..take]);
+            self.buf_len += take;
+            data = &data[take..];
+            if self.buf_len == 16 {
+                let block = self.buf;
+                self.block(&block, false);
+                self.buf_len = 0;
+            }
+        }
+        while data.len() >= 16 {
+            let (blk, rest) = data.split_at(16);
+            let mut b = [0u8; 16];
+            b.copy_from_slice(blk);
+            self.block(&b, false);
+            data = rest;
+        }
+        if !data.is_empty() {
+            self.buf[..data.len()].copy_from_slice(data);
+            self.buf_len = data.len();
+        }
+        self
+    }
+
+    /// Finish and return the 16-byte tag.
+    pub fn finalize(mut self) -> [u8; TAG_LEN] {
+        if self.buf_len > 0 {
+            let mut block = [0u8; 16];
+            block[..self.buf_len].copy_from_slice(&self.buf[..self.buf_len]);
+            block[self.buf_len] = 1;
+            self.block(&block, true);
+        }
+        let mut h = self.h;
+
+        // Full carry.
+        let mut c: u32;
+        c = h[1] >> 26;
+        h[1] &= 0x03ff_ffff;
+        h[2] = h[2].wrapping_add(c);
+        c = h[2] >> 26;
+        h[2] &= 0x03ff_ffff;
+        h[3] = h[3].wrapping_add(c);
+        c = h[3] >> 26;
+        h[3] &= 0x03ff_ffff;
+        h[4] = h[4].wrapping_add(c);
+        c = h[4] >> 26;
+        h[4] &= 0x03ff_ffff;
+        h[0] = h[0].wrapping_add(c * 5);
+        c = h[0] >> 26;
+        h[0] &= 0x03ff_ffff;
+        h[1] = h[1].wrapping_add(c);
+
+        // Compute h + -p.
+        let mut g = [0u32; 5];
+        let mut carry: u32 = 5;
+        for i in 0..5 {
+            let t = h[i].wrapping_add(carry);
+            carry = t >> 26;
+            g[i] = t & 0x03ff_ffff;
+        }
+        g[4] = g[4].wrapping_sub(1 << 26);
+
+        // Select h if h < p, else g (constant-time-style select).
+        let mask = (g[4] >> 31).wrapping_sub(1); // all-ones if g >= 0 (i.e. h >= p)
+        for i in 0..5 {
+            h[i] = (h[i] & !mask) | (g[i] & mask);
+        }
+
+        // h %= 2^128, then add pad.
+        let h0 = h[0] | (h[1] << 26);
+        let h1 = (h[1] >> 6) | (h[2] << 20);
+        let h2 = (h[2] >> 12) | (h[3] << 14);
+        let h3 = (h[3] >> 18) | (h[4] << 8);
+
+        let mut f: u64;
+        let mut out = [0u8; TAG_LEN];
+        f = h0 as u64 + self.pad[0] as u64;
+        out[0..4].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h1 as u64 + self.pad[1] as u64 + (f >> 32);
+        out[4..8].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h2 as u64 + self.pad[2] as u64 + (f >> 32);
+        out[8..12].copy_from_slice(&(f as u32).to_le_bytes());
+        f = h3 as u64 + self.pad[3] as u64 + (f >> 32);
+        out[12..16].copy_from_slice(&(f as u32).to_le_bytes());
+        out
+    }
+}
+
+/// One-shot Poly1305 tag of `data` under `key`.
+pub fn poly1305(key: &[u8; KEY_LEN], data: &[u8]) -> [u8; TAG_LEN] {
+    let mut mac = Poly1305::new(key);
+    mac.update(data);
+    mac.finalize()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn hex_to_bytes(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).expect("hex"))
+            .collect()
+    }
+
+    // RFC 7539 §2.5.2 test vector.
+    #[test]
+    fn rfc7539_tag() {
+        let key: [u8; 32] =
+            hex_to_bytes("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b")
+                .try_into()
+                .expect("32");
+        let msg = b"Cryptographic Forum Research Group";
+        let tag = poly1305(&key, msg);
+        assert_eq!(
+            tag.to_vec(),
+            hex_to_bytes("a8061dc1305136c6c22b8baf0c0127a9")
+        );
+    }
+
+    // RFC 7539 §A.3 vector #1: all-zero key, all-zero message.
+    #[test]
+    fn zero_key_zero_msg() {
+        let key = [0u8; 32];
+        let msg = [0u8; 64];
+        assert_eq!(poly1305(&key, &msg), [0u8; 16]);
+    }
+
+    // RFC 7539 §A.3 vector #2.
+    #[test]
+    fn rfc7539_a3_vector2() {
+        let mut key = [0u8; 32];
+        let s = hex_to_bytes("36e5f6b5c5e06070f0efca96227a863e");
+        key[16..].copy_from_slice(&s);
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        assert_eq!(
+            poly1305(&key, msg.as_slice()).to_vec(),
+            hex_to_bytes("36e5f6b5c5e06070f0efca96227a863e")
+        );
+    }
+
+    #[test]
+    fn streaming_matches_oneshot() {
+        let key: [u8; 32] = (0u8..32).collect::<Vec<_>>().try_into().expect("32");
+        let data: Vec<u8> = (0..259u32).map(|i| (i * 3 % 256) as u8).collect();
+        for split in [0usize, 1, 15, 16, 17, 100, 259] {
+            let mut mac = Poly1305::new(&key);
+            mac.update(&data[..split]);
+            mac.update(&data[split..]);
+            assert_eq!(mac.finalize(), poly1305(&key, &data), "split {split}");
+        }
+    }
+}

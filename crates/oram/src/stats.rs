@@ -1,0 +1,62 @@
+//! Cost accounting for ORAM operations.
+//!
+//! The ORAM crate is pure (no dependency on the machine simulator);
+//! instead of charging cycles directly it counts the events that cost
+//! something, and the runtime converts them to cycles with its cost model.
+
+/// Counters accumulated by ORAM operations.
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct OramStats {
+    /// Logical ORAM accesses performed.
+    pub accesses: u64,
+    /// Buckets read from untrusted storage.
+    pub bucket_reads: u64,
+    /// Buckets written to untrusted storage.
+    pub bucket_writes: u64,
+    /// Bytes moved through bucket encryption/decryption.
+    pub crypto_bytes: u64,
+    /// Bytes covered by oblivious (CMOV-style) scans of the stash and,
+    /// in uncached mode, the position map.
+    pub oblivious_scan_bytes: u64,
+    /// Cache hits (cached front-end only).
+    pub cache_hits: u64,
+    /// Cache misses (cached front-end only).
+    pub cache_misses: u64,
+}
+
+impl OramStats {
+    /// Merge another counter set into this one.
+    pub fn absorb(&mut self, other: &OramStats) {
+        self.accesses += other.accesses;
+        self.bucket_reads += other.bucket_reads;
+        self.bucket_writes += other.bucket_writes;
+        self.crypto_bytes += other.crypto_bytes;
+        self.oblivious_scan_bytes += other.oblivious_scan_bytes;
+        self.cache_hits += other.cache_hits;
+        self.cache_misses += other.cache_misses;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn absorb_sums_fields() {
+        let mut a = OramStats {
+            accesses: 1,
+            bucket_reads: 2,
+            ..Default::default()
+        };
+        let b = OramStats {
+            accesses: 10,
+            bucket_reads: 20,
+            cache_hits: 5,
+            ..Default::default()
+        };
+        a.absorb(&b);
+        assert_eq!(a.accesses, 11);
+        assert_eq!(a.bucket_reads, 22);
+        assert_eq!(a.cache_hits, 5);
+    }
+}

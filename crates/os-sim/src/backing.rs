@@ -1,0 +1,121 @@
+//! Untrusted backing storage for evicted enclave pages.
+//!
+//! Everything stored here is adversary-visible: sealed `EWB` blobs, the
+//! runtime's software-sealed pages (SGXv2 path), and ORAM buckets all live
+//! in ordinary host memory. Confidentiality comes only from the sealing
+//! done before the data arrives here; *access patterns* to this store are
+//! exactly what the demand-paging side channel leaks.
+
+use std::collections::HashMap;
+
+use autarky_sgx_sim::{EnclaveId, SealedPage, Vpn};
+
+/// Untrusted host memory holding swapped-out enclave state.
+#[derive(Default)]
+pub struct BackingStore {
+    sealed: HashMap<(EnclaveId, Vpn), SealedPage>,
+    blobs: HashMap<u64, Vec<u8>>,
+}
+
+impl BackingStore {
+    /// Create an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Store an `EWB` blob for `(eid, vpn)`, replacing any previous one.
+    pub fn put_sealed(&mut self, sealed: SealedPage) {
+        self.sealed.insert((sealed.eid, sealed.vpn), sealed);
+    }
+
+    /// Look up the current blob for a page.
+    pub fn get_sealed(&self, eid: EnclaveId, vpn: Vpn) -> Option<&SealedPage> {
+        self.sealed.get(&(eid, vpn))
+    }
+
+    /// Remove a blob (after a successful `ELDU`).
+    pub fn take_sealed(&mut self, eid: EnclaveId, vpn: Vpn) -> Option<SealedPage> {
+        self.sealed.remove(&(eid, vpn))
+    }
+
+    /// Whether a blob exists for the page.
+    pub fn has_sealed(&self, eid: EnclaveId, vpn: Vpn) -> bool {
+        self.sealed.contains_key(&(eid, vpn))
+    }
+
+    /// Number of sealed pages held.
+    pub fn sealed_count(&self) -> usize {
+        self.sealed.len()
+    }
+
+    /// Raw untrusted buffer write (runtime software-sealing path, ORAM
+    /// buckets). Keys are chosen by the writer.
+    pub fn put_blob(&mut self, key: u64, data: Vec<u8>) {
+        self.blobs.insert(key, data);
+    }
+
+    /// Raw untrusted buffer read.
+    pub fn get_blob(&self, key: u64) -> Option<&[u8]> {
+        self.blobs.get(&key).map(|v| v.as_slice())
+    }
+
+    /// Remove a raw buffer.
+    pub fn remove_blob(&mut self, key: u64) -> Option<Vec<u8>> {
+        self.blobs.remove(&key)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autarky_sgx_sim::Perms;
+
+    fn sealed(eid: u32, vpn: u64) -> SealedPage {
+        SealedPage {
+            eid: EnclaveId(eid),
+            vpn: Vpn(vpn),
+            version: 1,
+            perms: Perms::RW,
+            ciphertext: vec![0; 16],
+            tag: [0; 16],
+        }
+    }
+
+    #[test]
+    fn sealed_roundtrip() {
+        let mut store = BackingStore::new();
+        store.put_sealed(sealed(1, 5));
+        assert!(store.has_sealed(EnclaveId(1), Vpn(5)));
+        assert!(!store.has_sealed(EnclaveId(1), Vpn(6)));
+        assert_eq!(store.sealed_count(), 1);
+        let blob = store.take_sealed(EnclaveId(1), Vpn(5)).expect("present");
+        assert_eq!(blob.vpn, Vpn(5));
+        assert!(!store.has_sealed(EnclaveId(1), Vpn(5)));
+    }
+
+    #[test]
+    fn newer_blob_replaces_older() {
+        let mut store = BackingStore::new();
+        store.put_sealed(sealed(1, 5));
+        let mut newer = sealed(1, 5);
+        newer.version = 2;
+        store.put_sealed(newer);
+        assert_eq!(
+            store
+                .get_sealed(EnclaveId(1), Vpn(5))
+                .expect("blob")
+                .version,
+            2
+        );
+        assert_eq!(store.sealed_count(), 1);
+    }
+
+    #[test]
+    fn raw_blobs() {
+        let mut store = BackingStore::new();
+        store.put_blob(42, vec![1, 2, 3]);
+        assert_eq!(store.get_blob(42), Some(&[1u8, 2, 3][..]));
+        assert_eq!(store.remove_blob(42), Some(vec![1, 2, 3]));
+        assert!(store.get_blob(42).is_none());
+    }
+}

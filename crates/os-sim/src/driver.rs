@@ -1,0 +1,228 @@
+//! The Autarky SGX-driver interface: the `ay_*` system calls (paper
+//! §5.2.1) plus supporting calls used by the SGXv2 software-paging path.
+//!
+//! All calls are made by the *trusted runtime* but executed by the
+//! *untrusted OS*, so their arguments (page lists!) are adversary-visible;
+//! every call is logged to the observation stream. The calls are batched
+//! by design "to minimize system calls and enclave crossing overhead".
+
+use autarky_sgx_sim::pagetable::Pte;
+use autarky_sgx_sim::{EnclaveId, Perms, Vpn};
+
+use crate::kernel::{Observation, Os, OsError};
+
+impl Os {
+    /// `ay_set_enclave_managed`: yield management of `pages` to the
+    /// enclave. Returns each page's residence status so the runtime can
+    /// initialize its tracking (and page in what it needs).
+    ///
+    /// Enclave-managed resident pages are pinned: the OS will not evict
+    /// them while the enclave is runnable.
+    pub fn ay_set_enclave_managed(
+        &mut self,
+        eid: EnclaveId,
+        pages: &[Vpn],
+    ) -> Result<Vec<(Vpn, bool)>, OsError> {
+        self.charge_syscall();
+        self.observe(Observation::SetEnclaveManaged {
+            eid,
+            pages: pages.to_vec(),
+        });
+        let machine_resident: Vec<bool> = pages
+            .iter()
+            .map(|&vpn| self.machine.is_resident(eid, vpn))
+            .collect();
+        let proc = self.proc_mut(eid)?;
+        let mut out = Vec::with_capacity(pages.len());
+        for (&vpn, &resident) in pages.iter().zip(&machine_resident) {
+            proc.os_managed.remove(&vpn);
+            proc.enclave_managed.insert(vpn);
+            proc.eviction.forget(vpn);
+            out.push((vpn, resident));
+        }
+        Ok(out)
+    }
+
+    /// `ay_set_os_managed`: return management of `pages` to the OS, which
+    /// may from now on evict them at will.
+    pub fn ay_set_os_managed(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
+        self.charge_syscall();
+        self.observe(Observation::SetOsManaged {
+            eid,
+            pages: pages.to_vec(),
+        });
+        let machine_resident: Vec<bool> = pages
+            .iter()
+            .map(|&vpn| self.machine.is_resident(eid, vpn))
+            .collect();
+        let proc = self.proc_mut(eid)?;
+        for (&vpn, &resident) in pages.iter().zip(&machine_resident) {
+            proc.enclave_managed.remove(&vpn);
+            proc.os_managed.insert(vpn);
+            proc.eviction.forget(vpn);
+            if resident {
+                proc.eviction.on_resident(vpn);
+            }
+        }
+        Ok(())
+    }
+
+    /// `ay_fetch_pages`: securely bring `pages` into EPC from the backing
+    /// store (batched). Pages that are already resident but unmapped are
+    /// remapped (this also serves the forwarding path for faults on
+    /// OS-managed pages).
+    pub fn ay_fetch_pages(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
+        self.charge_syscall();
+        self.observe(Observation::FetchSyscall {
+            eid,
+            pages: pages.to_vec(),
+        });
+        for &vpn in pages {
+            if self.machine.is_resident(eid, vpn) {
+                // Restore the mapping (with preset A/D) if it was broken.
+                let frame = self.machine.frame_of(eid, vpn)?;
+                let pt = self.machine.page_table_mut(eid)?;
+                match pt.get_mut(vpn) {
+                    Some(pte) => {
+                        pte.present = true;
+                        pte.frame = frame;
+                        pte.accessed = true;
+                        pte.dirty = true;
+                    }
+                    None => pt.map(
+                        vpn,
+                        Pte {
+                            present: true,
+                            frame,
+                            perms: Perms::RW,
+                            accessed: true,
+                            dirty: true,
+                        },
+                    ),
+                }
+                continue;
+            }
+            if !self.backing.has_sealed(eid, vpn) {
+                return Err(OsError::BadRequest("fetch of page with no backing copy"));
+            }
+            self.make_room(eid)?;
+            self.fetch_page_eldu(eid, vpn)?;
+            // Fetched enclave-managed pages are pinned (not in the OS
+            // eviction queue); OS-managed ones re-enter it.
+            let proc = self.proc_mut(eid)?;
+            if proc.os_managed.contains(&vpn) {
+                proc.eviction.on_resident(vpn);
+            }
+        }
+        Ok(())
+    }
+
+    /// `ay_evict_pages`: securely write `pages` out to the backing store
+    /// (batched `EBLOCK`/`ETRACK`/`EWB`).
+    pub fn ay_evict_pages(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
+        self.charge_syscall();
+        self.observe(Observation::EvictSyscall {
+            eid,
+            pages: pages.to_vec(),
+        });
+        for &vpn in pages {
+            if !self.machine.is_resident(eid, vpn) {
+                return Err(OsError::BadRequest("evict of non-resident page"));
+            }
+            self.evict_page_ewb(eid, vpn)?;
+            self.proc_mut(eid)?.eviction.forget(vpn);
+        }
+        Ok(())
+    }
+
+    /// `ay_alloc_pages`: lazily allocate fresh zeroed pages (`EAUG`). The
+    /// runtime must `EACCEPT` each page before use.
+    pub fn ay_alloc_pages(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
+        self.charge_syscall();
+        self.observe(Observation::AllocSyscall {
+            eid,
+            pages: pages.to_vec(),
+        });
+        for &vpn in pages {
+            if self.machine.is_resident(eid, vpn) {
+                return Err(OsError::BadRequest("alloc of resident page"));
+            }
+            self.make_room(eid)?;
+            let frame = self.machine.eaug(eid, vpn)?;
+            self.machine.page_table_mut(eid)?.map(
+                vpn,
+                Pte {
+                    present: true,
+                    frame,
+                    perms: Perms::RW,
+                    accessed: true,
+                    dirty: true,
+                },
+            );
+            // Ownership: self-paging enclaves manage their fresh pages
+            // (unless previously declared OS-managed); legacy enclaves'
+            // pages always belong to the OS and join its eviction queue.
+            let self_paging = self.machine.secs(eid)?.attributes.self_paging;
+            let proc = self.proc_mut(eid)?;
+            if self_paging && !proc.os_managed.contains(&vpn) {
+                proc.enclave_managed.insert(vpn);
+            } else {
+                proc.os_managed.insert(vpn);
+                proc.eviction.on_resident(vpn);
+            }
+        }
+        Ok(())
+    }
+
+    /// `ay_protect_pages`: update the PTE permissions of mapped pages
+    /// (the mprotect the runtime issues after an `EACCEPTCOPY` restores a
+    /// page whose EPCM permissions differ from the default RW mapping).
+    pub fn ay_protect_pages(
+        &mut self,
+        eid: EnclaveId,
+        pages: &[Vpn],
+        perms: Perms,
+    ) -> Result<(), OsError> {
+        self.charge_syscall();
+        for &vpn in pages {
+            let pt = self.machine.page_table_mut(eid)?;
+            if let Some(pte) = pt.get_mut(vpn) {
+                pte.perms = perms;
+                // A/D stay preset, per the Autarky driver contract.
+                pte.accessed = true;
+                pte.dirty = true;
+            }
+            self.machine.tlb_shootdown(eid, vpn);
+        }
+        Ok(())
+    }
+
+    /// `ay_remove_pages`: complete the SGXv2 trim handshake for pages the
+    /// enclave has already `EACCEPT`ed as trimmed, freeing their frames.
+    pub fn ay_remove_pages(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
+        self.charge_syscall();
+        for &vpn in pages {
+            self.machine.eremove(eid, vpn)?;
+            self.machine.page_table_mut(eid)?.unmap(vpn);
+            let proc = self.proc_mut(eid)?;
+            proc.eviction.forget(vpn);
+        }
+        Ok(())
+    }
+
+    /// Untrusted-memory write on behalf of the enclave (SGXv2 software
+    /// eviction path, ORAM bucket store). The key, the size, and the
+    /// access itself are all adversary-visible.
+    pub fn sys_untrusted_write(&mut self, key: u64, data: Vec<u8>) {
+        self.charge_syscall();
+        self.observe(Observation::UntrustedAccess { key, write: true });
+        self.backing.put_blob(key, data);
+    }
+
+    /// Untrusted-memory read on behalf of the enclave.
+    pub fn sys_untrusted_read(&mut self, key: u64) -> Option<Vec<u8>> {
+        self.charge_syscall();
+        self.observe(Observation::UntrustedAccess { key, write: false });
+        self.backing.get_blob(key).map(|b| b.to_vec())
+    }
+}

@@ -1,0 +1,619 @@
+//! The untrusted OS kernel: enclave loading, EPC accounting, demand paging
+//! of OS-managed pages, fault entry, and whole-enclave swap.
+//!
+//! Everything in this module runs *outside* the trust boundary. It is both
+//! the resource manager the enclave depends on and — via
+//! [`crate::attack`] — the adversary of the paper's threat model (§3).
+
+use std::collections::{BTreeSet, HashMap};
+
+use autarky_sgx_sim::machine::MachineConfig;
+use autarky_sgx_sim::pagetable::Pte;
+use autarky_sgx_sim::{
+    AccessKind, Attributes, EnclaveId, FaultEvent, Machine, PageType, Perms, SgxError, Va, Vpn,
+};
+
+use crate::attack::Attacker;
+use crate::backing::BackingStore;
+use crate::eviction::{EvictionPolicy, EvictionState};
+use crate::image::EnclaveImage;
+
+/// Errors surfaced by OS operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum OsError {
+    /// EPC exhausted and nothing evictable: the caller must free memory.
+    NoMemory,
+    /// The enclave id is unknown to the OS.
+    NotLoaded(EnclaveId),
+    /// The enclave is suspended (whole-enclave swap) and cannot run.
+    Suspended(EnclaveId),
+    /// Underlying architectural failure.
+    Sgx(SgxError),
+    /// The OS refused a nonsensical request (e.g. fetching a page that has
+    /// no backing copy and was never allocated).
+    BadRequest(&'static str),
+}
+
+impl From<SgxError> for OsError {
+    fn from(err: SgxError) -> Self {
+        OsError::Sgx(err)
+    }
+}
+
+impl core::fmt::Display for OsError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            OsError::NoMemory => write!(f, "out of EPC memory"),
+            OsError::NotLoaded(eid) => write!(f, "{eid} not loaded"),
+            OsError::Suspended(eid) => write!(f, "{eid} is suspended"),
+            OsError::Sgx(e) => write!(f, "SGX error: {e}"),
+            OsError::BadRequest(what) => write!(f, "bad request: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for OsError {}
+
+/// One adversary-visible event. The attack oracles consume only this
+/// stream (plus direct page-table inspection) — never enclave-internal
+/// state — so a verdict of "nothing leaked" is meaningful.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Observation {
+    /// A fault was delivered to the OS with this (possibly masked) report.
+    Fault {
+        /// Faulting enclave.
+        eid: EnclaveId,
+        /// Reported address (enclave base when masked).
+        va: Va,
+        /// Reported access kind (`Read` when masked).
+        kind: AccessKind,
+    },
+    /// The enclave runtime asked to fetch these pages (demand-paging side
+    /// channel — visible by design, clusters widen the anonymity set).
+    FetchSyscall {
+        /// Requesting enclave.
+        eid: EnclaveId,
+        /// Pages requested, in request order.
+        pages: Vec<Vpn>,
+    },
+    /// The enclave runtime asked to evict these pages.
+    EvictSyscall {
+        /// Requesting enclave.
+        eid: EnclaveId,
+        /// Pages evicted.
+        pages: Vec<Vpn>,
+    },
+    /// The enclave runtime asked for fresh (zeroed) pages.
+    AllocSyscall {
+        /// Requesting enclave.
+        eid: EnclaveId,
+        /// Pages allocated.
+        pages: Vec<Vpn>,
+    },
+    /// Pages were handed to enclave management.
+    SetEnclaveManaged {
+        /// Requesting enclave.
+        eid: EnclaveId,
+        /// Pages transferred.
+        pages: Vec<Vpn>,
+    },
+    /// Pages were handed (back) to OS management.
+    SetOsManaged {
+        /// Requesting enclave.
+        eid: EnclaveId,
+        /// Pages transferred.
+        pages: Vec<Vpn>,
+    },
+    /// An untrusted-memory buffer was read or written by the enclave.
+    UntrustedAccess {
+        /// Buffer key.
+        key: u64,
+        /// True for writes.
+        write: bool,
+    },
+    /// The OS performed legacy demand paging for this page.
+    DemandPaging {
+        /// Enclave.
+        eid: EnclaveId,
+        /// Page paged in.
+        vpn: Vpn,
+    },
+    /// An attacker poll found a PTE accessed/dirty bit newly set.
+    AdBitObserved {
+        /// Enclave.
+        eid: EnclaveId,
+        /// Page observed.
+        vpn: Vpn,
+        /// Whether the dirty bit (vs just accessed) was set.
+        dirty: bool,
+    },
+}
+
+/// What `Os::on_fault` decided.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDisposition {
+    /// Legacy flow: the OS resolved the fault and silently resumed the
+    /// enclave; the access should simply be replayed.
+    Resumed,
+    /// Autarky flow: `ERESUME` is blocked by the pending-exception flag;
+    /// the OS re-entered the enclave so the trusted handler can run.
+    HandlerRequired,
+}
+
+pub(crate) struct Proc {
+    pub image: EnclaveImage,
+    /// Pages the OS may page at will.
+    pub os_managed: BTreeSet<Vpn>,
+    /// Pages pinned under the Autarky contract while the enclave runs.
+    pub enclave_managed: BTreeSet<Vpn>,
+    pub eviction: EvictionState,
+    /// Maximum EPC frames this enclave may occupy.
+    pub quota: usize,
+    pub suspended: bool,
+}
+
+/// The untrusted operating system.
+pub struct Os {
+    /// The hardware. Public so trusted-runtime code can execute its
+    /// (unprivileged) instructions on it, exactly as real enclave code
+    /// shares the CPU with the kernel.
+    pub machine: Machine,
+    pub(crate) procs: HashMap<EnclaveId, Proc>,
+    /// Untrusted swap space.
+    pub backing: BackingStore,
+    /// The currently armed attacker (part of the OS).
+    pub attacker: Attacker,
+    observations: Vec<Observation>,
+    /// Use exitless calls for enclave syscalls (Graphene/Eleos style).
+    pub exitless: bool,
+}
+
+impl Os {
+    /// Boot an OS on a machine built from `config`.
+    pub fn new(config: MachineConfig) -> Self {
+        Self {
+            machine: Machine::new(config),
+            procs: HashMap::new(),
+            backing: BackingStore::new(),
+            attacker: Attacker::None,
+            observations: Vec::new(),
+            exitless: true,
+        }
+    }
+
+    /// The adversary-visible event log.
+    pub fn observations(&self) -> &[Observation] {
+        &self.observations
+    }
+
+    /// Drain the event log.
+    pub fn take_observations(&mut self) -> Vec<Observation> {
+        std::mem::take(&mut self.observations)
+    }
+
+    pub(crate) fn observe(&mut self, obs: Observation) {
+        self.observations.push(obs);
+    }
+
+    pub(crate) fn proc(&self, eid: EnclaveId) -> Result<&Proc, OsError> {
+        self.procs.get(&eid).ok_or(OsError::NotLoaded(eid))
+    }
+
+    pub(crate) fn proc_mut(&mut self, eid: EnclaveId) -> Result<&mut Proc, OsError> {
+        self.procs.get_mut(&eid).ok_or(OsError::NotLoaded(eid))
+    }
+
+    /// The image an enclave was loaded from.
+    pub fn image(&self, eid: EnclaveId) -> Result<&EnclaveImage, OsError> {
+        Ok(&self.proc(eid)?.image)
+    }
+
+    /// Charge one syscall (exitless handoff or ring switch).
+    pub(crate) fn charge_syscall(&mut self) {
+        let cost = if self.exitless {
+            self.machine.costs.exitless_call
+        } else {
+            self.machine.costs.syscall
+        };
+        self.machine.clock.charge(cost);
+    }
+
+    // ----------------------------------------------------------------
+    // Loading.
+    // ----------------------------------------------------------------
+
+    /// Load an enclave: `ECREATE`, `EADD`+measure the initial pages, map
+    /// them (A/D preset), `EINIT`, and `EENTER` on TCS 0.
+    ///
+    /// If the initial image exceeds EPC (or the enclave's quota), the
+    /// loader pages out already-loaded pages as it goes, so images larger
+    /// than EPC load fine — they just start partially swapped.
+    pub fn load_enclave(&mut self, image: &EnclaveImage) -> Result<EnclaveId, OsError> {
+        let attributes = Attributes {
+            self_paging: image.self_paging,
+            debug: false,
+        };
+        let eid = self
+            .machine
+            .ecreate(image.base, image.size_bytes(), attributes);
+        let policy = if image.self_paging {
+            EvictionPolicy::Fifo
+        } else {
+            EvictionPolicy::Clock
+        };
+        self.procs.insert(
+            eid,
+            Proc {
+                image: image.clone(),
+                os_managed: BTreeSet::new(),
+                enclave_managed: BTreeSet::new(),
+                eviction: EvictionState::new(policy),
+                quota: self.machine.epc_total_frames(),
+                suspended: false,
+            },
+        );
+
+        // TCS pages.
+        for i in 0..image.tcs_count {
+            let vpn = Vpn(image.tcs_start().0 + i as u64);
+            self.add_initial_page(eid, vpn, PageType::Tcs, Perms::RW, image)?;
+        }
+        // Code (RX, measured contents).
+        for vpn in image.code_range() {
+            self.add_initial_page(eid, vpn, PageType::Reg, Perms::RX, image)?;
+        }
+        // Data and stack (RW).
+        let data_start = image.data_start().0;
+        let stack_end = image.heap_start().0;
+        for n in data_start..stack_end {
+            self.add_initial_page(eid, Vpn(n), PageType::Reg, Perms::RW, image)?;
+        }
+        // The heap region is reserved but not backed: the runtime
+        // allocates it lazily with `EAUG` (SGXv2 dynamic memory), for
+        // legacy and self-paging enclaves alike — as Graphene-SGX does on
+        // SGXv2 hardware.
+        self.machine.einit(eid)?;
+        self.machine.eenter(eid, 0)?;
+        Ok(eid)
+    }
+
+    fn add_initial_page(
+        &mut self,
+        eid: EnclaveId,
+        vpn: Vpn,
+        page_type: PageType,
+        perms: Perms,
+        image: &EnclaveImage,
+    ) -> Result<(), OsError> {
+        self.make_room(eid)?;
+        // Code pages carry (measured) synthetic contents; data, stack and
+        // heap start zeroed, like BSS.
+        let contents = if perms.x {
+            Some(image.page_contents(vpn))
+        } else {
+            None
+        };
+        let frame = self
+            .machine
+            .eadd(eid, vpn, page_type, perms, contents.as_ref())?;
+        self.machine.page_table_mut(eid)?.map(
+            vpn,
+            Pte {
+                present: true,
+                frame,
+                perms,
+                accessed: true,
+                dirty: true,
+            },
+        );
+        let proc = self.proc_mut(eid)?;
+        proc.os_managed.insert(vpn);
+        proc.eviction.on_resident(vpn);
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // EPC accounting and OS-driven eviction.
+    // ----------------------------------------------------------------
+
+    /// Set the EPC quota (in frames) for an enclave, immediately evicting
+    /// OS-managed pages down to the new limit (kernel reclaim). Pinned
+    /// enclave-managed pages are never touched, so the effective floor is
+    /// the enclave's pinned working set.
+    pub fn set_epc_quota(&mut self, eid: EnclaveId, frames: usize) -> Result<(), OsError> {
+        self.proc_mut(eid)?.quota = frames;
+        while self.machine.epc_frames_of(eid) > frames {
+            match self.evict_one_os_managed(eid) {
+                Ok(_) => {}
+                Err(OsError::NoMemory) => break, // only pinned pages remain
+                Err(e) => return Err(e),
+            }
+        }
+        Ok(())
+    }
+
+    /// The enclave's EPC quota in frames.
+    pub fn epc_quota(&self, eid: EnclaveId) -> Result<usize, OsError> {
+        Ok(self.proc(eid)?.quota)
+    }
+
+    /// EPC frames the enclave currently occupies.
+    pub fn resident_frames(&self, eid: EnclaveId) -> usize {
+        self.machine.epc_frames_of(eid)
+    }
+
+    /// Ensure at least one frame is available for `eid` without exceeding
+    /// its quota, evicting OS-managed pages if necessary.
+    pub(crate) fn make_room(&mut self, eid: EnclaveId) -> Result<(), OsError> {
+        loop {
+            let over_quota = {
+                let quota = self.proc(eid)?.quota;
+                self.machine.epc_frames_of(eid) >= quota
+            };
+            let epc_full = self.machine.epc_free_frames() == 0;
+            if !over_quota && !epc_full {
+                return Ok(());
+            }
+            // Victim enclave: ourselves when over quota, else whoever has
+            // the most evictable pages.
+            let victim_eid = if over_quota {
+                eid
+            } else {
+                self.procs
+                    .iter()
+                    .filter(|(_, p)| !p.eviction.is_empty())
+                    .max_by_key(|(e, _)| self.machine.epc_frames_of(**e))
+                    .map(|(e, _)| *e)
+                    .ok_or(OsError::NoMemory)?
+            };
+            self.evict_one_os_managed(victim_eid)?;
+        }
+    }
+
+    /// Evict a single OS-managed page of `eid`, chosen by its policy
+    /// (used by quota reclaim and by the hypervisor's balloon).
+    ///
+    /// Stale queue entries (pages that already left EPC by another path,
+    /// e.g. whole-enclave suspension) are skipped and dropped.
+    pub fn evict_one_os_managed(&mut self, eid: EnclaveId) -> Result<Vpn, OsError> {
+        loop {
+            let victim = self.pick_os_victim(eid)?;
+            if self.machine.is_resident(eid, victim) {
+                self.evict_page_ewb(eid, victim)?;
+                return Ok(victim);
+            }
+        }
+    }
+
+    fn pick_os_victim(&mut self, eid: EnclaveId) -> Result<Vpn, OsError> {
+        // Victim selection may consult/clear PTE accessed bits (clock).
+        let victim = {
+            let machine = &mut self.machine;
+            let proc = self.procs.get_mut(&eid).ok_or(OsError::NotLoaded(eid))?;
+            let mut clear_list = Vec::new();
+            let victim = proc.eviction.pick_victim(
+                |vpn| {
+                    machine
+                        .page_table(eid)
+                        .ok()
+                        .and_then(|pt| pt.get(vpn))
+                        .map(|pte| pte.accessed)
+                        .unwrap_or(false)
+                },
+                |vpn| clear_list.push(vpn),
+            );
+            let flush_needed = !clear_list.is_empty();
+            for vpn in clear_list {
+                if let Ok(pt) = machine.page_table_mut(eid) {
+                    pt.clear_accessed_dirty(vpn);
+                }
+            }
+            if flush_needed {
+                // One batched IPI flush for the whole second-chance lap,
+                // as real kernels do — not one shootdown per PTE.
+                let _ = machine.etrack(eid);
+            }
+            victim.ok_or(OsError::NoMemory)?
+        };
+        Ok(victim)
+    }
+
+    /// OS-initiated eviction of one OS-managed page at an arbitrary
+    /// moment — the flexibility the two-level contract grants the OS for
+    /// insensitive pages (§5.2.1).
+    pub fn evict_os_page(&mut self, eid: EnclaveId, vpn: Vpn) -> Result<(), OsError> {
+        if !self.proc(eid)?.os_managed.contains(&vpn) {
+            return Err(OsError::BadRequest("page is enclave-managed (pinned)"));
+        }
+        self.evict_page_ewb(eid, vpn)?;
+        self.proc_mut(eid)?.eviction.forget(vpn);
+        Ok(())
+    }
+
+    /// Low-level `EBLOCK`/`ETRACK`/`EWB` eviction of one page.
+    pub(crate) fn evict_page_ewb(&mut self, eid: EnclaveId, vpn: Vpn) -> Result<(), OsError> {
+        self.machine.eblock(eid, vpn)?;
+        self.machine.etrack(eid)?;
+        let sealed = self.machine.ewb(eid, vpn)?;
+        self.backing.put_sealed(sealed);
+        self.machine.page_table_mut(eid)?.unmap(vpn);
+        Ok(())
+    }
+
+    /// Low-level `ELDU` + map of one page. A/D bits are preset, as the
+    /// Autarky driver contract requires.
+    pub(crate) fn fetch_page_eldu(&mut self, eid: EnclaveId, vpn: Vpn) -> Result<(), OsError> {
+        let sealed = self
+            .backing
+            .take_sealed(eid, vpn)
+            .ok_or(OsError::BadRequest("no backing copy"))?;
+        let perms = sealed.perms;
+        let frame = match self.machine.eldu(eid, &sealed) {
+            Ok(frame) => frame,
+            Err(e) => {
+                // Put the blob back so the page is not lost.
+                self.backing.put_sealed(sealed);
+                return Err(e.into());
+            }
+        };
+        self.machine.page_table_mut(eid)?.map(
+            vpn,
+            Pte {
+                present: true,
+                frame,
+                perms,
+                accessed: true,
+                dirty: true,
+            },
+        );
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Fault entry.
+    // ----------------------------------------------------------------
+
+    /// OS page-fault handler entry: log, run the attacker hook, then
+    /// resolve benignly (legacy) or bounce to the enclave handler
+    /// (Autarky).
+    pub fn on_fault(&mut self, ev: FaultEvent) -> Result<FaultDisposition, OsError> {
+        debug_assert!(!ev.elided, "elided faults never reach the OS");
+        self.observe(Observation::Fault {
+            eid: ev.eid,
+            va: ev.reported_va,
+            kind: ev.reported_kind,
+        });
+        if self.proc(ev.eid)?.suspended {
+            return Err(OsError::Suspended(ev.eid));
+        }
+
+        // The adversary sees the fault first (it owns the kernel).
+        self.run_attacker_on_fault(ev);
+
+        // Benign resolution for legacy enclaves: demand paging on the
+        // reported page.
+        let self_paging = self.machine.secs(ev.eid)?.attributes.self_paging;
+        if !self_paging {
+            let vpn = ev.reported_va.vpn();
+            self.legacy_resolve(ev.eid, vpn)?;
+            // Silent resume: the enclave never observes the fault.
+            match self.machine.eresume(ev.eid, ev.tcs) {
+                Ok(()) => return Ok(FaultDisposition::Resumed),
+                Err(SgxError::ResumeBlocked) => unreachable!("legacy TCS never blocks resume"),
+                Err(e) => return Err(e.into()),
+            }
+        }
+
+        // Autarky: ERESUME is blocked; the OS is forced to re-enter the
+        // enclave so the trusted handler runs (§5.1.3).
+        match self.machine.eresume(ev.eid, ev.tcs) {
+            Err(SgxError::ResumeBlocked) => {
+                self.machine.eenter(ev.eid, ev.tcs)?;
+                Ok(FaultDisposition::HandlerRequired)
+            }
+            Ok(()) => unreachable!("self-paging fault must set the pending flag"),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Legacy (vanilla SGX) demand paging: make the reported page
+    /// accessible again.
+    fn legacy_resolve(&mut self, eid: EnclaveId, vpn: Vpn) -> Result<(), OsError> {
+        if self.machine.is_resident(eid, vpn) {
+            // Frame still in EPC: the PTE was non-present (attacker or
+            // transient) — restore mapping and bits.
+            let pt = self.machine.page_table_mut(eid)?;
+            if let Some(pte) = pt.get_mut(vpn) {
+                pte.present = true;
+                pte.accessed = true;
+                pte.dirty = true;
+            } else {
+                // Mapping removed entirely: rebuild it from the EPCM.
+                let frame = self.machine.frame_of(eid, vpn)?;
+                let perms = Perms::RW;
+                self.machine.page_table_mut(eid)?.map(
+                    vpn,
+                    Pte {
+                        present: true,
+                        frame,
+                        perms,
+                        accessed: true,
+                        dirty: true,
+                    },
+                );
+            }
+            return Ok(());
+        }
+        if self.backing.has_sealed(eid, vpn) {
+            self.observe(Observation::DemandPaging { eid, vpn });
+            self.make_room(eid)?;
+            self.fetch_page_eldu(eid, vpn)?;
+            let proc = self.proc_mut(eid)?;
+            proc.eviction.on_resident(vpn);
+            return Ok(());
+        }
+        Err(OsError::BadRequest(
+            "fault on page with no frame and no backing",
+        ))
+    }
+
+    // ----------------------------------------------------------------
+    // Whole-enclave swap (§5.2.1: the OS's last-resort reclamation).
+    // ----------------------------------------------------------------
+
+    /// Suspend an enclave and evict *all* of its pages, including
+    /// enclave-managed ones — legal because the enclave is not runnable
+    /// while suspended.
+    pub fn suspend_enclave(&mut self, eid: EnclaveId) -> Result<usize, OsError> {
+        self.proc(eid)?;
+        let pages: Vec<Vpn> = self
+            .machine
+            .page_table(eid)?
+            .iter()
+            .map(|(vpn, _)| vpn)
+            .filter(|&vpn| self.machine.is_resident(eid, vpn))
+            .collect();
+        let count = pages.len();
+        for vpn in pages {
+            self.evict_page_ewb(eid, vpn)?;
+        }
+        let proc = self.proc_mut(eid)?;
+        proc.suspended = true;
+        Ok(count)
+    }
+
+    /// Restore every page evicted during suspension and make the enclave
+    /// runnable again. The contract requires *all* enclave-managed pages
+    /// back in EPC before resumption.
+    pub fn resume_enclave(&mut self, eid: EnclaveId) -> Result<usize, OsError> {
+        if !self.proc(eid)?.suspended {
+            return Err(OsError::BadRequest("enclave not suspended"));
+        }
+        let pages: Vec<Vpn> = self
+            .proc(eid)?
+            .os_managed
+            .iter()
+            .chain(self.proc(eid)?.enclave_managed.iter())
+            .copied()
+            .filter(|&vpn| self.backing.has_sealed(eid, vpn))
+            .collect();
+        let count = pages.len();
+        for vpn in pages {
+            self.make_room(eid)?;
+            self.fetch_page_eldu(eid, vpn)?;
+            let proc = self.proc_mut(eid)?;
+            if proc.os_managed.contains(&vpn) {
+                proc.eviction.forget(vpn);
+                proc.eviction.on_resident(vpn);
+            }
+        }
+        let proc = self.proc_mut(eid)?;
+        proc.suspended = false;
+        Ok(count)
+    }
+
+    /// Whether the enclave is suspended.
+    pub fn is_suspended(&self, eid: EnclaveId) -> bool {
+        self.procs.get(&eid).map(|p| p.suspended).unwrap_or(false)
+    }
+}

@@ -1,0 +1,381 @@
+//! Integration tests for the untrusted OS: loading, demand paging under
+//! EPC pressure, the Autarky driver syscalls, whole-enclave swap, and the
+//! attacker machinery against legacy enclaves.
+//!
+//! (Runtime-cooperating flows — the trusted handler, policies, attack
+//! *defense* — are tested in `autarky-runtime` and the workspace-level
+//! `tests/attack_defense.rs`.)
+
+use autarky_os_sim::{EnclaveImage, FaultDisposition, Observation, Os, OsError};
+use autarky_sgx_sim::machine::MachineConfig;
+use autarky_sgx_sim::{AccessError, EnclaveId, SgxError, Va, Vpn};
+
+fn small_image(name: &str, self_paging: bool) -> EnclaveImage {
+    let mut img = EnclaveImage::named(name);
+    img.self_paging = self_paging;
+    img.code_pages = 4;
+    img.data_pages = 4;
+    img.stack_pages = 2;
+    img.heap_pages = 16;
+    img
+}
+
+fn os_with_frames(frames: usize) -> Os {
+    Os::new(MachineConfig {
+        epc_frames: frames,
+        ..Default::default()
+    })
+}
+
+/// Back a range of heap pages (what the in-enclave allocator would do:
+/// `ay_alloc_pages` + `EACCEPT` per page).
+fn alloc_heap(os: &mut Os, eid: EnclaveId, pages: &[Vpn]) {
+    os.ay_alloc_pages(eid, pages).expect("alloc");
+    for &vpn in pages {
+        os.machine.eaccept(eid, vpn).expect("accept");
+    }
+}
+
+/// Drive a legacy-enclave read to completion, letting the OS resolve
+/// faults the way a real kernel would.
+fn legacy_read(os: &mut Os, eid: EnclaveId, va: Va, buf: &mut [u8]) {
+    loop {
+        match os.machine.read_bytes(eid, 0, va, buf) {
+            Ok(()) => return,
+            Err(AccessError::Fault(ev)) => {
+                let disp = os.on_fault(ev).expect("OS resolves legacy fault");
+                assert_eq!(disp, FaultDisposition::Resumed);
+            }
+            Err(AccessError::Fatal(e)) => panic!("fatal: {e}"),
+        }
+    }
+}
+
+fn legacy_write(os: &mut Os, eid: EnclaveId, va: Va, buf: &[u8]) {
+    loop {
+        match os.machine.write_bytes(eid, 0, va, buf) {
+            Ok(()) => return,
+            Err(AccessError::Fault(ev)) => {
+                os.on_fault(ev).expect("OS resolves legacy fault");
+            }
+            Err(AccessError::Fatal(e)) => panic!("fatal: {e}"),
+        }
+    }
+}
+
+#[test]
+fn load_and_touch_legacy_enclave() {
+    let mut os = os_with_frames(256);
+    let img = small_image("legacy", false);
+    let eid = os.load_enclave(&img).expect("load");
+    let data_va = img.data_start().base();
+    legacy_write(&mut os, eid, data_va, &[1, 2, 3]);
+    let mut buf = [0u8; 3];
+    legacy_read(&mut os, eid, data_va, &mut buf);
+    assert_eq!(buf, [1, 2, 3]);
+}
+
+#[test]
+fn image_larger_than_epc_loads_and_runs() {
+    // 16 frames of EPC, but the *initial* (measured) image needs more:
+    // the loader must page as it goes, and the enclave must still run via
+    // demand paging.
+    let mut os = os_with_frames(16);
+    let mut img = small_image("big", false);
+    img.data_pages = 24; // initial pages alone exceed EPC
+    assert!(img.tcs_count + img.code_pages + img.data_pages + img.stack_pages > 16);
+    let eid = os.load_enclave(&img).expect("load pages out as it goes");
+    assert!(os.machine.epc_frames_of(eid) <= 16);
+
+    // Touch every data page; every access must eventually succeed.
+    let data: Vec<Vpn> = (img.data_start().0..img.stack_start().0).map(Vpn).collect();
+    for &vpn in &data {
+        legacy_write(&mut os, eid, vpn.base(), &[vpn.0 as u8]);
+    }
+    for &vpn in &data {
+        let mut buf = [0u8; 1];
+        legacy_read(&mut os, eid, vpn.base(), &mut buf);
+        assert_eq!(buf[0], vpn.0 as u8, "contents preserved across swaps");
+    }
+    // Demand paging must actually have happened.
+    let stats = os.machine.stats();
+    assert!(stats.ewbs > 0, "evictions under pressure");
+    assert!(stats.eldus > 0, "reloads on fault");
+}
+
+#[test]
+fn quota_bounds_residency() {
+    let mut os = os_with_frames(256);
+    let img = small_image("q", false);
+    let eid = os.load_enclave(&img).expect("load");
+    os.set_epc_quota(eid, 8).expect("quota");
+    for vpn in img.heap_range() {
+        alloc_heap(&mut os, eid, &[vpn]);
+        legacy_write(&mut os, eid, vpn.base(), &[9]);
+        assert!(
+            os.machine.epc_frames_of(eid) <= 8,
+            "resident frames exceed quota"
+        );
+    }
+}
+
+#[test]
+fn fault_tracer_recovers_legacy_access_pattern() {
+    let mut os = os_with_frames(256);
+    let img = small_image("victim", false);
+    let eid = os.load_enclave(&img).expect("load");
+    let heap: Vec<Vpn> = img.heap_range().collect();
+    alloc_heap(&mut os, eid, &heap[..4]);
+
+    // Secret-dependent access pattern over 4 pages.
+    let secret = [2usize, 0, 3, 1, 2, 2, 0];
+    os.arm_fault_tracer(eid, heap[..4].iter().copied())
+        .expect("arm");
+    for &s in &secret {
+        let mut buf = [0u8; 1];
+        legacy_read(&mut os, eid, heap[s].base(), &mut buf);
+    }
+    let attacker = os.disarm_attacker();
+    let trace = match attacker {
+        autarky_os_sim::Attacker::FaultTracer(t) => t.trace,
+        other => panic!("unexpected attacker {other:?}"),
+    };
+    // The trace must reproduce the secret sequence (repeated accesses to
+    // the same page do not re-fault, exactly like the real attack).
+    let expected: Vec<Vpn> = {
+        let mut out = Vec::new();
+        let mut last = None;
+        for &s in &secret {
+            if last != Some(s) {
+                out.push(heap[s]);
+                last = Some(s);
+            }
+        }
+        out
+    };
+    assert_eq!(trace, expected, "noise-free page-granular trace recovered");
+}
+
+#[test]
+fn ad_monitor_sees_legacy_accesses_without_faults() {
+    let mut os = os_with_frames(256);
+    let img = small_image("victim2", false);
+    let eid = os.load_enclave(&img).expect("load");
+    let heap: Vec<Vpn> = img.heap_range().collect();
+    alloc_heap(&mut os, eid, &heap[..4]);
+
+    os.arm_ad_monitor(eid, heap[..4].iter().copied())
+        .expect("arm");
+    let faults_before = os.machine.stats().faults;
+
+    let mut buf = [0u8; 1];
+    legacy_read(&mut os, eid, heap[1].base(), &mut buf);
+    os.attacker_poll();
+    legacy_write(&mut os, eid, heap[3].base(), &[1]);
+    os.attacker_poll();
+
+    assert_eq!(
+        os.machine.stats().faults,
+        faults_before,
+        "A/D monitoring is fault-free on legacy SGX"
+    );
+    let attacker = os.disarm_attacker();
+    let trace = match attacker {
+        autarky_os_sim::Attacker::AdMonitor(m) => m.trace,
+        other => panic!("unexpected attacker {other:?}"),
+    };
+    assert_eq!(trace, vec![(heap[1], false), (heap[3], true)]);
+}
+
+#[test]
+fn masked_faults_defeat_fault_tracer() {
+    // Against a self-paging enclave the tracer only counts masked faults;
+    // it cannot attribute them to pages. (Full handler-side detection is
+    // tested with the runtime.)
+    let mut os = os_with_frames(256);
+    let img = small_image("protected", true);
+    let eid = os.load_enclave(&img).expect("load");
+    let data = img.data_start();
+    os.arm_fault_tracer(eid, [data]).expect("arm");
+
+    let err = os
+        .machine
+        .read_bytes(eid, 0, data.base(), &mut [0u8; 1])
+        .expect_err("unmapped page faults");
+    let ev = match err {
+        AccessError::Fault(ev) => ev,
+        other => panic!("unexpected {other:?}"),
+    };
+    assert_eq!(ev.reported_va, img.base, "report masked to enclave base");
+    let disp = os.on_fault(ev).expect("fault entry");
+    assert_eq!(disp, FaultDisposition::HandlerRequired);
+    match &os.attacker {
+        autarky_os_sim::Attacker::FaultTracer(t) => {
+            assert!(t.trace.is_empty(), "no attributable trace");
+            assert_eq!(t.masked_faults, 1);
+        }
+        other => panic!("unexpected {other:?}"),
+    }
+}
+
+#[test]
+fn driver_transfers_management_and_pins() {
+    let mut os = os_with_frames(64);
+    let img = small_image("drv", true);
+    let eid = os.load_enclave(&img).expect("load");
+    let data: Vec<Vpn> = (img.data_start().0..img.stack_start().0).map(Vpn).collect();
+
+    let status = os.ay_set_enclave_managed(eid, &data).expect("claim");
+    assert!(
+        status.iter().all(|(_, resident)| *resident),
+        "initially resident"
+    );
+
+    // Pinned pages must survive OS memory pressure from another enclave.
+    let mut img2 = small_image("pressure", false);
+    img2.base = Va(0x4000_0000);
+    img2.heap_pages = 64; // exceeds what's left
+    let eid2 = os.load_enclave(&img2).expect("second enclave loads");
+    for (vpn, _) in &status {
+        assert!(
+            os.machine.is_resident(eid, *vpn),
+            "enclave-managed page {vpn} evicted despite pin"
+        );
+    }
+    let _ = eid2;
+}
+
+#[test]
+fn driver_fetch_evict_roundtrip() {
+    let mut os = os_with_frames(128);
+    let img = small_image("rt", true);
+    let eid = os.load_enclave(&img).expect("load");
+    let page = img.data_start();
+    os.ay_set_enclave_managed(eid, &[page]).expect("claim");
+
+    // Write through the machine, evict, then fetch back.
+    os.machine
+        .write_bytes(eid, 0, page.base(), &[0xEE; 4])
+        .expect("write while resident");
+    os.ay_evict_pages(eid, &[page]).expect("evict");
+    assert!(!os.machine.is_resident(eid, page));
+    os.ay_fetch_pages(eid, &[page]).expect("fetch");
+    let mut buf = [0u8; 4];
+    os.machine
+        .read_bytes(eid, 0, page.base(), &mut buf)
+        .expect("read back");
+    assert_eq!(buf, [0xEE; 4]);
+}
+
+#[test]
+fn driver_alloc_then_accept() {
+    let mut os = os_with_frames(128);
+    let img = small_image("alloc", true);
+    let eid = os.load_enclave(&img).expect("load");
+    let heap0 = img.heap_start();
+    os.ay_alloc_pages(eid, &[heap0]).expect("alloc");
+    // Pending page faults until the enclave accepts it.
+    assert!(matches!(
+        os.machine.read_bytes(eid, 0, heap0.base(), &mut [0u8; 1]),
+        Err(AccessError::Fault(_))
+    ));
+    // The trusted runtime accepts; then the page works.
+    os.machine.eenter(eid, 0).expect("handler entry");
+    os.machine.eaccept(eid, heap0).expect("accept");
+    os.machine.pop_ssa(eid, 0).expect("pop fault frame");
+    os.machine
+        .write_bytes(eid, 0, heap0.base(), &[5u8])
+        .expect("usable after accept");
+}
+
+#[test]
+fn syscalls_are_observable() {
+    let mut os = os_with_frames(128);
+    let img = small_image("obs", true);
+    let eid = os.load_enclave(&img).expect("load");
+    let page = img.data_start();
+    os.take_observations();
+    os.ay_set_enclave_managed(eid, &[page]).expect("claim");
+    os.ay_evict_pages(eid, &[page]).expect("evict");
+    os.ay_fetch_pages(eid, &[page]).expect("fetch");
+    let obs = os.take_observations();
+    assert!(obs
+        .iter()
+        .any(|o| matches!(o, Observation::SetEnclaveManaged { pages, .. } if pages == &[page])));
+    assert!(obs
+        .iter()
+        .any(|o| matches!(o, Observation::EvictSyscall { pages, .. } if pages == &[page])));
+    assert!(obs
+        .iter()
+        .any(|o| matches!(o, Observation::FetchSyscall { pages, .. } if pages == &[page])));
+}
+
+#[test]
+fn suspend_and_resume_whole_enclave() {
+    let mut os = os_with_frames(128);
+    let img = small_image("swap", true);
+    let eid = os.load_enclave(&img).expect("load");
+    let page = img.data_start();
+    os.ay_set_enclave_managed(eid, &[page]).expect("claim");
+    os.machine
+        .write_bytes(eid, 0, page.base(), &[0x77; 8])
+        .expect("write");
+
+    let evicted = os.suspend_enclave(eid).expect("suspend");
+    assert!(evicted > 0);
+    assert!(os.is_suspended(eid));
+    assert_eq!(os.machine.epc_frames_of(eid), 0, "everything out");
+
+    let restored = os.resume_enclave(eid).expect("resume");
+    assert_eq!(
+        restored, evicted,
+        "contract: all pages restored before resume"
+    );
+    assert!(
+        os.machine.is_resident(eid, page),
+        "enclave-managed page back"
+    );
+    let mut buf = [0u8; 8];
+    os.machine
+        .read_bytes(eid, 0, page.base(), &mut buf)
+        .expect("read");
+    assert_eq!(buf, [0x77; 8]);
+}
+
+#[test]
+fn self_paging_enclave_fault_forces_reentry() {
+    let mut os = os_with_frames(128);
+    let img = small_image("handler", true);
+    let eid = os.load_enclave(&img).expect("load");
+    let page = img.data_start();
+    os.ay_set_enclave_managed(eid, &[page]).expect("claim");
+    os.ay_evict_pages(eid, &[page]).expect("evict");
+
+    let err = os
+        .machine
+        .read_bytes(eid, 0, page.base(), &mut [0u8; 1])
+        .expect_err("fault on evicted page");
+    let ev = match err {
+        AccessError::Fault(ev) => ev,
+        other => panic!("unexpected {other:?}"),
+    };
+    // ERESUME must be refused before the handler runs.
+    assert_eq!(os.machine.eresume(eid, 0), Err(SgxError::ResumeBlocked));
+    let disp = os.on_fault(ev).expect("fault entry");
+    assert_eq!(disp, FaultDisposition::HandlerRequired);
+    // We are now "inside" the handler; the trusted side sees real info.
+    let info = os.machine.ssa_exinfo(eid, 0).expect("tcs").expect("exinfo");
+    assert_eq!(info.va, page.base());
+}
+
+#[test]
+fn fetch_without_backing_rejected() {
+    let mut os = os_with_frames(128);
+    let img = small_image("bad", true);
+    let eid = os.load_enclave(&img).expect("load");
+    let never_allocated = img.heap_start();
+    assert!(matches!(
+        os.ay_fetch_pages(eid, &[never_allocated]),
+        Err(OsError::BadRequest(_))
+    ));
+}

@@ -1,0 +1,100 @@
+//! Runtime error types.
+
+use autarky_os_sim::OsError;
+use autarky_sgx_sim::{SgxError, Vpn};
+
+/// Errors surfaced by the trusted self-paging runtime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RtError {
+    /// The fault handler detected a controlled-channel attack (an
+    /// unexpected fault on a purportedly-resident enclave-managed page, or
+    /// a cleared accessed/dirty bit). The enclave has been terminated.
+    AttackDetected {
+        /// Page the attack targeted (as seen by trusted code).
+        vpn: Vpn,
+        /// Human-readable cause.
+        why: &'static str,
+    },
+    /// The legitimate page-fault rate exceeded the configured bound
+    /// (bounded-leakage policy, §5.2.4). The enclave has been terminated.
+    RateLimitExceeded,
+    /// Self-paging budget too small to hold a required fetch set.
+    OutOfBudget {
+        /// Pages that must be resident at once.
+        needed: usize,
+        /// Configured budget.
+        budget: usize,
+    },
+    /// The enclave was already terminated.
+    Terminated,
+    /// Allocation failure (heap region exhausted).
+    OutOfMemory,
+    /// Cluster API misuse.
+    BadCluster(&'static str),
+    /// Error from the untrusted OS (propagated; the runtime treats OS
+    /// misbehaviour on sensitive paths as an attack separately).
+    Os(OsError),
+    /// Architectural error.
+    Sgx(SgxError),
+    /// Software-sealed page failed authentication on reload (the OS
+    /// tampered with or replayed untrusted backing memory).
+    SealBroken(Vpn),
+}
+
+impl From<OsError> for RtError {
+    fn from(err: OsError) -> Self {
+        RtError::Os(err)
+    }
+}
+
+impl From<SgxError> for RtError {
+    fn from(err: SgxError) -> Self {
+        RtError::Sgx(err)
+    }
+}
+
+impl core::fmt::Display for RtError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            RtError::AttackDetected { vpn, why } => {
+                write!(f, "controlled-channel attack detected on {vpn}: {why}")
+            }
+            RtError::RateLimitExceeded => write!(f, "page-fault rate limit exceeded"),
+            RtError::OutOfBudget { needed, budget } => {
+                write!(f, "fetch set of {needed} pages exceeds budget {budget}")
+            }
+            RtError::Terminated => write!(f, "enclave terminated"),
+            RtError::OutOfMemory => write!(f, "enclave heap exhausted"),
+            RtError::BadCluster(why) => write!(f, "cluster API misuse: {why}"),
+            RtError::Os(e) => write!(f, "OS error: {e}"),
+            RtError::Sgx(e) => write!(f, "SGX error: {e}"),
+            RtError::SealBroken(vpn) => write!(f, "sealed page {vpn} failed authentication"),
+        }
+    }
+}
+
+impl std::error::Error for RtError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_page() {
+        let err = RtError::AttackDetected {
+            vpn: Vpn(0x42),
+            why: "unexpected fault",
+        };
+        let text = err.to_string();
+        assert!(text.contains("0x42"));
+        assert!(text.contains("unexpected fault"));
+    }
+
+    #[test]
+    fn conversions() {
+        let rt: RtError = SgxError::EpcFull.into();
+        assert!(matches!(rt, RtError::Sgx(SgxError::EpcFull)));
+        let rt: RtError = OsError::NoMemory.into();
+        assert!(matches!(rt, RtError::Os(OsError::NoMemory)));
+    }
+}

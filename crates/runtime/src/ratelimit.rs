@@ -1,0 +1,130 @@
+//! Page-fault rate limiting (paper §5.2.4).
+//!
+//! The enclave lacks a trusted time source (the cycle counter is
+//! untrusted; the SGX platform-services clock is too slow for a fault
+//! handler), so the limit is expressed against application-specific
+//! *forward progress* observed by the libOS — I/O operations, memory
+//! allocations, system calls. The enclave terminates when legitimate
+//! demand-paging faults outpace progress beyond the configured bound.
+
+/// Configuration of the bounded-leakage policy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RateLimit {
+    /// Maximum tolerated faults per unit of progress.
+    pub max_faults_per_progress: f64,
+    /// Grace amount: faults tolerated before the ratio is enforced,
+    /// covering cold-start (first touch of the working set faults heavily
+    /// before any progress accrues).
+    pub burst: u64,
+}
+
+impl Default for RateLimit {
+    fn default() -> Self {
+        Self {
+            max_faults_per_progress: 64.0,
+            burst: 4096,
+        }
+    }
+}
+
+/// Fault-rate tracking state.
+#[derive(Debug, Default, Clone)]
+pub struct RateLimiter {
+    limit: Option<RateLimit>,
+    faults: u64,
+    progress: u64,
+}
+
+impl RateLimiter {
+    /// Create a limiter; `None` disables enforcement.
+    pub fn new(limit: Option<RateLimit>) -> Self {
+        Self {
+            limit,
+            faults: 0,
+            progress: 0,
+        }
+    }
+
+    /// Record `amount` units of forward progress (I/O, allocations,
+    /// system calls — counted by the libOS).
+    pub fn progress(&mut self, amount: u64) {
+        self.progress = self.progress.saturating_add(amount);
+    }
+
+    /// Record one legitimate page fault; returns `false` when the bound is
+    /// now exceeded (caller must terminate the enclave).
+    #[must_use]
+    pub fn on_fault(&mut self) -> bool {
+        self.faults += 1;
+        let Some(limit) = self.limit else { return true };
+        if self.faults <= limit.burst {
+            return true;
+        }
+        let allowed = limit.burst as f64 + self.progress as f64 * limit.max_faults_per_progress;
+        (self.faults as f64) <= allowed
+    }
+
+    /// Total faults recorded.
+    pub fn faults(&self) -> u64 {
+        self.faults
+    }
+
+    /// Total progress recorded.
+    pub fn progress_total(&self) -> u64 {
+        self.progress
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_limiter_never_trips() {
+        let mut limiter = RateLimiter::new(None);
+        for _ in 0..100_000 {
+            assert!(limiter.on_fault());
+        }
+    }
+
+    #[test]
+    fn burst_tolerated_then_ratio_enforced() {
+        let mut limiter = RateLimiter::new(Some(RateLimit {
+            max_faults_per_progress: 2.0,
+            burst: 10,
+        }));
+        for _ in 0..10 {
+            assert!(limiter.on_fault(), "burst allowance");
+        }
+        // No progress yet: the very next fault trips the bound.
+        assert!(!limiter.on_fault());
+    }
+
+    #[test]
+    fn progress_buys_fault_budget() {
+        let mut limiter = RateLimiter::new(Some(RateLimit {
+            max_faults_per_progress: 2.0,
+            burst: 0,
+        }));
+        limiter.progress(5); // budget: 10 faults
+        for i in 0..10 {
+            assert!(limiter.on_fault(), "fault {i} within budget");
+        }
+        // The over-budget fault still counts (the enclave would have been
+        // terminated; counting it keeps the math monotonic).
+        assert!(!limiter.on_fault(), "11th fault over budget");
+        limiter.progress(1); // +2 budget → 12 allowed, 11 consumed
+        assert!(limiter.on_fault(), "12th fault within new budget");
+        assert!(!limiter.on_fault(), "13th fault over budget again");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut limiter = RateLimiter::new(None);
+        limiter.progress(3);
+        let _ = limiter.on_fault();
+        let _ = limiter.on_fault();
+        assert_eq!(limiter.faults(), 2);
+        assert_eq!(limiter.progress_total(), 3);
+    }
+}

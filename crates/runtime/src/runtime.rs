@@ -1,0 +1,670 @@
+//! The trusted self-paging runtime (the paper's library-OS layer).
+//!
+//! A [`Runtime`] owns an enclave's paging *policy*:
+//!
+//! * it claims sensitive pages as **enclave-managed** through the driver
+//!   interface, pinning them in EPC;
+//! * its **fault handler** is guaranteed to run on every page fault
+//!   (Autarky's pending-exception flag makes silent OS resolution
+//!   impossible) and classifies each fault as: legitimate self-paging,
+//!   a forwardable fault on an insensitive OS-managed page, or an attack
+//!   — in which case it terminates the enclave;
+//! * it fetches and evicts in **cluster** units, maintaining the paper's
+//!   residency invariant, with FIFO victim selection (no A/D bits exist
+//!   for the OS — or the runtime — to build a clock policy from);
+//! * it optionally enforces a **fault-rate bound** for unmodified
+//!   binaries (§5.2.4).
+//!
+//! Both paging mechanisms of §6 are implemented: SGXv1 `EWB`/`ELDU`
+//! through driver syscalls, and SGXv2 software sealing with
+//! `EAUG`/`EACCEPTCOPY`/`EMODT`.
+
+use std::collections::{HashMap, VecDeque};
+
+use autarky_os_sim::{FaultDisposition, Os};
+use autarky_sgx_sim::{AccessError, EnclaveId, FaultCause, Perms, SgxError, Va, Vpn, PAGE_SIZE};
+
+use crate::cluster::ClusterMap;
+use crate::error::RtError;
+use crate::paging::{blob_key, sw_open, sw_seal};
+use crate::ratelimit::{RateLimit, RateLimiter};
+
+/// Which mechanism moves page contents in and out of EPC.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PagingMechanism {
+    /// Privileged `EWB`/`ELDU` via driver syscalls (faster; hardware
+    /// sealing).
+    Sgx1,
+    /// SGXv2 dynamic memory: the runtime seals pages in software and uses
+    /// `EAUG`/`EACCEPTCOPY`/`EMODPR`/`EMODT` (more flexible; extra
+    /// crossings and in-enclave crypto).
+    Sgx2,
+}
+
+/// How the fault handler treats enclave-managed pages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PolicyMode {
+    /// Everything pinned; *any* fault on an enclave-managed page is an
+    /// attack. The strongest setting when the working set fits in EPC
+    /// (libjpeg/Hunspell/FreeType in Table 2).
+    PinAll,
+    /// Secure self-paging with clusters; faults on evicted pages trigger
+    /// cluster-granular fetches.
+    SelfPaging,
+}
+
+/// Runtime configuration.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Fault-handling policy.
+    pub mode: PolicyMode,
+    /// Optional fault-rate bound (§5.2.4).
+    pub rate_limit: Option<RateLimit>,
+    /// Paging mechanism.
+    pub mechanism: PagingMechanism,
+    /// Maximum resident enclave-managed pages (0 = unlimited). The
+    /// runtime evicts before fetching when at budget.
+    pub budget: usize,
+    /// Automatic data-page cluster size for the allocator (0 = off).
+    pub auto_cluster_size: usize,
+    /// Put all code pages into one per-library cluster at attach time.
+    pub cluster_code: bool,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        Self {
+            mode: PolicyMode::SelfPaging,
+            rate_limit: None,
+            mechanism: PagingMechanism::Sgx1,
+            budget: 0,
+            auto_cluster_size: 0,
+            cluster_code: true,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum PageState {
+    Resident,
+    Evicted,
+}
+
+/// Runtime event counters.
+#[derive(Debug, Default, Clone)]
+pub struct RtStats {
+    /// Faults observed by the trusted handler.
+    pub faults_handled: u64,
+    /// Faults on OS-managed pages forwarded back to the OS.
+    pub forwarded: u64,
+    /// Pages fetched by self-paging.
+    pub pages_fetched: u64,
+    /// Pages evicted by self-paging.
+    pub pages_evicted: u64,
+    /// Heap pages allocated lazily.
+    pub pages_allocated: u64,
+    /// Allocations served.
+    pub allocs: u64,
+}
+
+/// The trusted runtime instance for one enclave.
+pub struct Runtime {
+    /// Enclave this runtime manages.
+    pub eid: EnclaveId,
+    /// TCS used for execution.
+    pub tcs: usize,
+    config: RuntimeConfig,
+    tracked: HashMap<Vpn, PageState>,
+    /// Page clusters (public: applications call the Table 1 API on it).
+    pub clusters: ClusterMap,
+    self_paging: bool,
+    /// FIFO of resident enclave-managed pages in fetch order.
+    fifo: VecDeque<Vpn>,
+    resident_count: usize,
+    limiter: RateLimiter,
+    sealing_key: [u8; 32],
+    sw_versions: HashMap<Vpn, u64>,
+    /// Original EPCM permissions of pages evicted via the SGXv2 software
+    /// path, restored at `EACCEPTCOPY` time (the hardware path carries
+    /// them in the sealed blob instead).
+    sw_perms: HashMap<Vpn, Perms>,
+    /// Heap bump/free-list allocator state.
+    heap: Heap,
+    /// Event counters.
+    pub stats: RtStats,
+    terminated: bool,
+}
+
+struct Heap {
+    start: Va,
+    pages: usize,
+    bump: u64,
+    free_lists: HashMap<usize, Vec<Va>>,
+    /// One-past-the-highest page already backed by EPC.
+    allocated_until: u64,
+}
+
+impl Runtime {
+    /// Attach a runtime to a loaded enclave: claim its code/data/stack
+    /// pages as enclave-managed (self-paging enclaves only) and set up
+    /// clusters per the configuration.
+    pub fn attach(os: &mut Os, eid: EnclaveId, config: RuntimeConfig) -> Result<Self, RtError> {
+        let image = os.image(eid)?.clone();
+        let self_paging = image.self_paging;
+        let mut rt = Self {
+            eid,
+            tcs: 0,
+            self_paging,
+            tracked: HashMap::new(),
+            clusters: ClusterMap::default(),
+            fifo: VecDeque::new(),
+            resident_count: 0,
+            limiter: RateLimiter::new(config.rate_limit),
+            sealing_key: derive_sealing_key(eid),
+            sw_versions: HashMap::new(),
+            sw_perms: HashMap::new(),
+            heap: Heap {
+                start: image.heap_start().base(),
+                pages: image.heap_pages,
+                bump: 0,
+                free_lists: HashMap::new(),
+                allocated_until: image.heap_start().0,
+            },
+            stats: RtStats::default(),
+            config,
+            terminated: false,
+        };
+        if rt.config.auto_cluster_size > 0 {
+            rt.clusters.ay_init_clusters(0, rt.config.auto_cluster_size);
+        }
+        if self_paging {
+            // Claim the measured image (code, data, stack) as
+            // enclave-managed; the runtime's own state rides along.
+            let pages: Vec<Vpn> = (image.code_start().0..image.heap_start().0)
+                .map(Vpn)
+                .collect();
+            let status = os.ay_set_enclave_managed(eid, &pages)?;
+            for (vpn, resident) in status {
+                let state = if resident {
+                    PageState::Resident
+                } else {
+                    PageState::Evicted
+                };
+                if resident {
+                    rt.fifo.push_back(vpn);
+                    rt.resident_count += 1;
+                }
+                rt.tracked.insert(vpn, state);
+            }
+            if rt.config.cluster_code {
+                // One cluster per library (§5.2.3, "Clusters for code
+                // pages"), created automatically by the trusted loader. A
+                // library's cluster also covers the code of libraries it
+                // calls into, so control flow across the dependency edge
+                // never faults separately — and dependents of a shared
+                // library end up sharing pages, which the transitive
+                // fetch-set rule then keeps consistent.
+                if image.libraries.is_empty() {
+                    let lib = rt.clusters.new_cluster();
+                    for vpn in image.code_range() {
+                        rt.clusters.ay_add_page(lib, vpn)?;
+                    }
+                } else {
+                    for (index, library) in image.libraries.iter().enumerate() {
+                        let cluster = rt.clusters.new_cluster();
+                        for vpn in image.library_pages(index) {
+                            rt.clusters.ay_add_page(cluster, vpn)?;
+                        }
+                        for &dep in &library.uses {
+                            for vpn in image.library_pages(dep) {
+                                rt.clusters.ay_add_page(cluster, vpn)?;
+                            }
+                        }
+                    }
+                    // Code pages outside any declared library form one
+                    // residual cluster.
+                    let declared: usize = image.libraries.iter().map(|l| l.pages).sum();
+                    if declared < image.code_pages {
+                        let rest = rt.clusters.new_cluster();
+                        for vpn in image.code_range().skip(declared) {
+                            rt.clusters.ay_add_page(rest, vpn)?;
+                        }
+                    }
+                }
+            }
+        }
+        Ok(rt)
+    }
+
+    /// Whether the runtime terminated the enclave (attack response).
+    pub fn is_terminated(&self) -> bool {
+        self.terminated
+    }
+
+    /// The configured budget (0 = unlimited).
+    pub fn budget(&self) -> usize {
+        self.config.budget
+    }
+
+    /// Adjust the resident-page budget at run time.
+    pub fn set_budget(&mut self, budget: usize) {
+        self.config.budget = budget;
+    }
+
+    /// Cooperatively shrink to `new_budget` resident pages, evicting down
+    /// immediately (the enclave side of a memory-ballooning upcall, §5.2.1
+    /// / §5.4 — the paper defers the upcall protocol; this is the enclave
+    /// mechanism it would invoke).
+    pub fn shrink_budget(&mut self, os: &mut Os, new_budget: usize) -> Result<(), RtError> {
+        self.config.budget = new_budget;
+        self.make_room(os, 0)
+    }
+
+    /// Resident enclave-managed pages.
+    pub fn resident_pages(&self) -> usize {
+        self.resident_count
+    }
+
+    /// Whether a tracked page is currently resident (`None` when the page
+    /// is not enclave-managed).
+    pub fn residency(&self, vpn: Vpn) -> Option<bool> {
+        self.tracked.get(&vpn).map(|s| *s == PageState::Resident)
+    }
+
+    /// Record forward progress for the rate limiter (I/O, syscalls,
+    /// allocations — called by the libOS layers above).
+    pub fn progress(&mut self, amount: u64) {
+        self.limiter.progress(amount);
+    }
+
+    /// Faults counted by the rate limiter so far.
+    pub fn fault_count(&self) -> u64 {
+        self.limiter.faults()
+    }
+
+    // ----------------------------------------------------------------
+    // Memory operations with full fault resolution.
+    // ----------------------------------------------------------------
+
+    /// Read enclave memory at `va`, resolving faults per policy.
+    pub fn read(&mut self, os: &mut Os, va: Va, buf: &mut [u8]) -> Result<(), RtError> {
+        loop {
+            match os.machine.read_bytes(self.eid, self.tcs, va, buf) {
+                Ok(()) => return Ok(()),
+                Err(e) => self.resolve(os, e)?,
+            }
+        }
+    }
+
+    /// Write enclave memory at `va`, resolving faults per policy.
+    pub fn write(&mut self, os: &mut Os, va: Va, buf: &[u8]) -> Result<(), RtError> {
+        loop {
+            match os.machine.write_bytes(self.eid, self.tcs, va, buf) {
+                Ok(()) => return Ok(()),
+                Err(e) => self.resolve(os, e)?,
+            }
+        }
+    }
+
+    /// Simulate executing code at `va` (instruction fetch), resolving
+    /// faults per policy.
+    pub fn exec(&mut self, os: &mut Os, va: Va) -> Result<(), RtError> {
+        loop {
+            match os.machine.fetch_code(self.eid, self.tcs, va) {
+                Ok(()) => return Ok(()),
+                Err(e) => self.resolve(os, e)?,
+            }
+        }
+    }
+
+    fn resolve(&mut self, os: &mut Os, err: AccessError) -> Result<(), RtError> {
+        if self.terminated {
+            return Err(RtError::Terminated);
+        }
+        match err {
+            AccessError::Fatal(SgxError::Terminated) => Err(RtError::Terminated),
+            AccessError::Fatal(e) => Err(RtError::Sgx(e)),
+            AccessError::Fault(ev) if ev.elided => {
+                // Proposed hardware optimization: we are already "in" the
+                // handler; no AEX, no OS, no transitions.
+                let outcome = self.handle_fault(os);
+                os.machine.pop_ssa(self.eid, self.tcs)?;
+                outcome
+            }
+            AccessError::Fault(ev) => {
+                match os.on_fault(ev)? {
+                    FaultDisposition::Resumed => Ok(()), // legacy silent path
+                    FaultDisposition::HandlerRequired => {
+                        let outcome = self.handle_fault(os);
+                        if outcome.is_ok() {
+                            if os.machine.elide_handler_invocation() {
+                                // "No upcall" variant (Table 2): in-enclave
+                                // resume pops the SSA without EEXIT+ERESUME.
+                                os.machine.pop_ssa(self.eid, self.tcs)?;
+                            } else {
+                                os.machine.eexit(self.eid, self.tcs)?;
+                                os.machine.eresume(self.eid, self.tcs)?;
+                            }
+                        }
+                        outcome
+                    }
+                }
+            }
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // The fault handler (the heart of the defense).
+    // ----------------------------------------------------------------
+
+    /// The trusted page-fault handler. Runs with the real fault
+    /// information from the SSA frame; the OS saw only a masked report.
+    pub fn handle_fault(&mut self, os: &mut Os) -> Result<(), RtError> {
+        self.stats.faults_handled += 1;
+        os.machine.clock.charge(os.machine.costs.runtime_handler);
+        let info = match os.machine.ssa_exinfo(self.eid, self.tcs)? {
+            Some(info) => info,
+            None => {
+                // Handler invoked with no pending exception: re-entrancy
+                // games by the OS (§5.3).
+                return self.attack(os, Vpn(0), "handler entered with empty SSA");
+            }
+        };
+        let vpn = info.va.vpn();
+
+        // Cleared accessed/dirty bits can only come from the OS: benign
+        // mappings are always installed with them preset.
+        if info.cause == FaultCause::AdBitsClear {
+            return self.attack(os, vpn, "PTE accessed/dirty bits cleared by OS");
+        }
+
+        match self.tracked.get(&vpn).copied() {
+            None => {
+                // OS-managed page: insensitive by declaration. Forward the
+                // fault so the OS can demand-page it (§7.3's libjpeg flow).
+                if !self.limiter.on_fault() {
+                    return self.kill_rate_limited(os);
+                }
+                os.ay_fetch_pages(self.eid, &[vpn])?;
+                self.stats.forwarded += 1;
+                Ok(())
+            }
+            Some(PageState::Resident) => {
+                // The page should be mapped and accessible — the OS (or
+                // an attacker) broke the mapping. This is the detection
+                // path for the controlled channel.
+                self.attack(os, vpn, "unexpected fault on resident enclave-managed page")
+            }
+            Some(PageState::Evicted) => {
+                if self.config.mode == PolicyMode::PinAll {
+                    return self.attack(os, vpn, "fault on pinned page under PinAll policy");
+                }
+                if !self.limiter.on_fault() {
+                    return self.kill_rate_limited(os);
+                }
+                // Legitimate self-paging: fetch the transitive cluster set.
+                let fetch: Vec<Vpn> = self
+                    .clusters
+                    .fetch_set(vpn)
+                    .into_iter()
+                    .filter(|p| self.tracked.get(p) == Some(&PageState::Evicted))
+                    .collect();
+                self.make_room(os, fetch.len())?;
+                self.fetch_pages(os, &fetch)?;
+                Ok(())
+            }
+        }
+    }
+
+    fn attack(&mut self, os: &mut Os, vpn: Vpn, why: &'static str) -> Result<(), RtError> {
+        self.terminated = true;
+        os.machine.terminate(self.eid)?;
+        Err(RtError::AttackDetected { vpn, why })
+    }
+
+    fn kill_rate_limited(&mut self, os: &mut Os) -> Result<(), RtError> {
+        self.terminated = true;
+        os.machine.terminate(self.eid)?;
+        Err(RtError::RateLimitExceeded)
+    }
+
+    // ----------------------------------------------------------------
+    // Self-paging mechanics.
+    // ----------------------------------------------------------------
+
+    fn make_room(&mut self, os: &mut Os, incoming: usize) -> Result<(), RtError> {
+        let budget = self.config.budget;
+        if budget == 0 {
+            return Ok(());
+        }
+        if incoming > budget {
+            return Err(RtError::OutOfBudget {
+                needed: incoming,
+                budget,
+            });
+        }
+        while self.resident_count + incoming > budget {
+            let victim = loop {
+                let Some(v) = self.fifo.pop_front() else {
+                    return Err(RtError::OutOfBudget {
+                        needed: incoming,
+                        budget,
+                    });
+                };
+                if self.tracked.get(&v) == Some(&PageState::Resident) {
+                    break v;
+                }
+            };
+            // Evict the victim's whole cluster (safe even when shared).
+            let evict: Vec<Vpn> = self
+                .clusters
+                .evict_set(victim)
+                .into_iter()
+                .filter(|p| self.tracked.get(p) == Some(&PageState::Resident))
+                .collect();
+            self.evict_pages(os, &evict)?;
+        }
+        Ok(())
+    }
+
+    /// Evict `pages` now (used by the policy and exposed for the paging
+    /// microbenchmarks).
+    pub fn evict_pages(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        match self.config.mechanism {
+            PagingMechanism::Sgx1 => {
+                os.ay_evict_pages(self.eid, pages)?;
+            }
+            PagingMechanism::Sgx2 => {
+                for &vpn in pages {
+                    // Remember the page's permissions so the refetch can
+                    // restore them (code pages must come back executable).
+                    let original = os
+                        .machine
+                        .page_table(self.eid)?
+                        .get(vpn)
+                        .map(|pte| pte.perms)
+                        .unwrap_or(Perms::RW);
+                    self.sw_perms.insert(vpn, original);
+                    // Restrict to read-only so concurrent writes cannot race
+                    // the copy-out, per §6.
+                    os.machine.emodpr(self.eid, vpn, Perms::R)?;
+                    os.machine.eaccept(self.eid, vpn)?;
+                    let contents = os.machine.read_own_page(self.eid, vpn)?;
+                    let version = {
+                        let v = self.sw_versions.entry(vpn).or_insert(0);
+                        *v += 1;
+                        *v
+                    };
+                    os.machine
+                        .clock
+                        .charge(os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64);
+                    let blob = sw_seal(&self.sealing_key, vpn, version, &contents);
+                    os.sys_untrusted_write(blob_key(self.eid.0, vpn), blob);
+                    os.machine.emodt_trim(self.eid, vpn)?;
+                    os.machine.eaccept(self.eid, vpn)?;
+                    os.ay_remove_pages(self.eid, &[vpn])?;
+                }
+            }
+        }
+        for &vpn in pages {
+            if let Some(state) = self.tracked.get_mut(&vpn) {
+                if *state == PageState::Resident {
+                    *state = PageState::Evicted;
+                    self.resident_count -= 1;
+                }
+            }
+            // Lazy FIFO: stale entries are skipped at pop time.
+        }
+        self.stats.pages_evicted += pages.len() as u64;
+        Ok(())
+    }
+
+    /// Fetch `pages` now (used by the policy and exposed for the paging
+    /// microbenchmarks).
+    pub fn fetch_pages(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        match self.config.mechanism {
+            PagingMechanism::Sgx1 => {
+                os.ay_fetch_pages(self.eid, pages)?;
+            }
+            PagingMechanism::Sgx2 => {
+                for &vpn in pages {
+                    let key = blob_key(self.eid.0, vpn);
+                    let blob = os.sys_untrusted_read(key).ok_or(RtError::SealBroken(vpn))?;
+                    let version = *self.sw_versions.get(&vpn).unwrap_or(&0);
+                    os.machine
+                        .clock
+                        .charge(os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64);
+                    let contents = sw_open(&self.sealing_key, vpn, version, &blob)
+                        .ok_or(RtError::SealBroken(vpn))?;
+                    os.ay_alloc_pages(self.eid, &[vpn])?;
+                    let perms = self.sw_perms.get(&vpn).copied().unwrap_or(Perms::RW);
+                    os.machine.eacceptcopy(self.eid, vpn, &contents, perms)?;
+                    if perms != Perms::RW {
+                        // Restore the original mapping permissions (code
+                        // pages must come back executable).
+                        os.ay_protect_pages(self.eid, &[vpn], perms)?;
+                    }
+                }
+            }
+        }
+        for &vpn in pages {
+            if let Some(state) = self.tracked.get_mut(&vpn) {
+                if *state == PageState::Evicted {
+                    *state = PageState::Resident;
+                    self.resident_count += 1;
+                    self.fifo.push_back(vpn);
+                }
+            }
+        }
+        self.stats.pages_fetched += pages.len() as u64;
+        Ok(())
+    }
+
+    /// Hand pages back to OS management (the §7.3 libjpeg flow: buffers
+    /// whose access pattern is insensitive can use flexible OS paging).
+    /// The pages leave the runtime's tracking and any clusters.
+    pub fn release_to_os(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
+        os.ay_set_os_managed(self.eid, pages)?;
+        for &vpn in pages {
+            if self.tracked.remove(&vpn) == Some(PageState::Resident) {
+                self.resident_count -= 1;
+            }
+            for id in self.clusters.ay_get_cluster_ids(vpn) {
+                let _ = self.clusters.ay_remove_page(id, vpn);
+            }
+        }
+        Ok(())
+    }
+
+    /// Verify the cluster residency invariant (§5.2.3) — used by tests.
+    pub fn cluster_invariant_holds(&self) -> bool {
+        self.clusters
+            .invariant_holds(|vpn| self.tracked.get(&vpn) != Some(&PageState::Evicted))
+    }
+
+    // ----------------------------------------------------------------
+    // Heap allocator (libOS allocator with automatic clustering, §5.2.3).
+    // ----------------------------------------------------------------
+
+    /// Allocate `size` bytes from the enclave heap (16-byte aligned).
+    ///
+    /// Backing pages are allocated lazily with `EAUG`+`EACCEPT`, become
+    /// enclave-managed, and join the automatic data clusters when
+    /// configured.
+    pub fn malloc(&mut self, os: &mut Os, size: usize) -> Result<Va, RtError> {
+        if self.terminated {
+            return Err(RtError::Terminated);
+        }
+        self.stats.allocs += 1;
+        let size = size.max(1).next_multiple_of(16);
+        if let Some(list) = self.heap.free_lists.get_mut(&size) {
+            if let Some(va) = list.pop() {
+                return Ok(va);
+            }
+        }
+        let offset = self.heap.bump;
+        let end = offset + size as u64;
+        if end > (self.heap.pages * PAGE_SIZE) as u64 {
+            return Err(RtError::OutOfMemory);
+        }
+        self.heap.bump = end;
+        let va = Va(self.heap.start.0 + offset);
+        // Ensure every page covered by the allocation is backed.
+        let first = va.vpn().0;
+        let last = Va(self.heap.start.0 + end - 1).vpn().0;
+        for n in first..=last {
+            self.ensure_heap_page(os, Vpn(n))?;
+        }
+        Ok(va)
+    }
+
+    /// Eagerly back the first `n` heap pages (models statically allocated
+    /// datasets, so timed regions exclude allocation costs).
+    pub fn prealloc_heap_pages(&mut self, os: &mut Os, n: usize) -> Result<(), RtError> {
+        let last = Vpn(self.heap.start.vpn().0 + (n.min(self.heap.pages)) as u64 - 1);
+        self.ensure_heap_page(os, last)
+    }
+
+    /// Return an allocation of `size` bytes at `va` to the free list.
+    pub fn free(&mut self, va: Va, size: usize) {
+        let size = size.max(1).next_multiple_of(16);
+        self.heap.free_lists.entry(size).or_default().push(va);
+    }
+
+    fn ensure_heap_page(&mut self, os: &mut Os, vpn: Vpn) -> Result<(), RtError> {
+        if vpn.0 < self.heap.allocated_until {
+            return Ok(());
+        }
+        // Lazy allocation: EAUG + EACCEPT, under the budget. Legacy
+        // enclaves allocate the same way (Graphene-on-SGXv2 behaviour)
+        // but their pages stay OS-managed and untracked.
+        for n in self.heap.allocated_until..=vpn.0 {
+            let page = Vpn(n);
+            if self.self_paging {
+                self.make_room(os, 1)?;
+            }
+            os.ay_alloc_pages(self.eid, &[page])?;
+            os.machine.eaccept(self.eid, page)?;
+            if self.self_paging {
+                self.tracked.insert(page, PageState::Resident);
+                self.resident_count += 1;
+                self.fifo.push_back(page);
+                self.clusters.auto_assign(page);
+            }
+            self.stats.pages_allocated += 1;
+        }
+        self.heap.allocated_until = vpn.0 + 1;
+        Ok(())
+    }
+}
+
+fn derive_sealing_key(eid: EnclaveId) -> [u8; 32] {
+    // Stand-in for EGETKEY: a per-enclave sealing key.
+    autarky_crypto::hmac_sha256(b"autarky-runtime-sealing", &eid.0.to_le_bytes())
+}

@@ -1,0 +1,142 @@
+//! Address and page-number newtypes.
+//!
+//! The simulator uses 4 KiB pages like SGX. Virtual addresses ([`Va`]) name
+//! locations inside an enclave's linear address space; physical frame
+//! numbers ([`Frame`]) index the simulated EPC.
+
+/// Page size in bytes (4 KiB, as on x86).
+pub const PAGE_SIZE: usize = 4096;
+
+/// Log2 of the page size.
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A virtual address inside the simulated address space.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Va(pub u64);
+
+impl Va {
+    /// The virtual page number containing this address.
+    pub fn vpn(self) -> Vpn {
+        Vpn(self.0 >> PAGE_SHIFT)
+    }
+
+    /// Offset of this address within its page.
+    pub fn page_offset(self) -> usize {
+        (self.0 & (PAGE_SIZE as u64 - 1)) as usize
+    }
+
+    /// The address rounded down to its page base.
+    pub fn page_base(self) -> Va {
+        Va(self.0 & !(PAGE_SIZE as u64 - 1))
+    }
+
+    /// Whether the address is page-aligned.
+    pub fn is_page_aligned(self) -> bool {
+        self.page_offset() == 0
+    }
+
+    /// Checked addition of a byte offset.
+    pub fn checked_add(self, off: u64) -> Option<Va> {
+        self.0.checked_add(off).map(Va)
+    }
+}
+
+impl core::fmt::Display for Va {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// A virtual page number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Vpn(pub u64);
+
+impl Vpn {
+    /// Base virtual address of this page.
+    pub fn base(self) -> Va {
+        Va(self.0 << PAGE_SHIFT)
+    }
+
+    /// The next page number.
+    pub fn next(self) -> Vpn {
+        Vpn(self.0 + 1)
+    }
+}
+
+impl core::fmt::Display for Vpn {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "{:#x}", self.0)
+    }
+}
+
+/// An EPC frame number (index into the simulated enclave page cache).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Frame(pub u32);
+
+impl core::fmt::Display for Frame {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "epc#{}", self.0)
+    }
+}
+
+/// Identifier of a simulated enclave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct EnclaveId(pub u32);
+
+impl core::fmt::Display for EnclaveId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "enclave{}", self.0)
+    }
+}
+
+/// Iterate over the virtual page numbers covering `[start, start+len)`.
+pub fn pages_covering(start: Va, len: usize) -> impl Iterator<Item = Vpn> {
+    let first = start.vpn().0;
+    let end = start.0 + len.max(1) as u64 - 1;
+    let last = Va(end).vpn().0;
+    (first..=last).map(Vpn)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_and_offset() {
+        let va = Va(0x1234);
+        assert_eq!(va.vpn(), Vpn(1));
+        assert_eq!(va.page_offset(), 0x234);
+        assert_eq!(va.page_base(), Va(0x1000));
+        assert!(!va.is_page_aligned());
+        assert!(Va(0x2000).is_page_aligned());
+    }
+
+    #[test]
+    fn vpn_base_roundtrip() {
+        assert_eq!(Vpn(3).base(), Va(0x3000));
+        assert_eq!(Vpn(3).base().vpn(), Vpn(3));
+        assert_eq!(Vpn(3).next(), Vpn(4));
+    }
+
+    #[test]
+    fn covering_single_page() {
+        let pages: Vec<_> = pages_covering(Va(0x1000), 1).collect();
+        assert_eq!(pages, vec![Vpn(1)]);
+        let pages: Vec<_> = pages_covering(Va(0x1fff), 1).collect();
+        assert_eq!(pages, vec![Vpn(1)]);
+    }
+
+    #[test]
+    fn covering_spanning_access() {
+        let pages: Vec<_> = pages_covering(Va(0x1ffe), 4).collect();
+        assert_eq!(pages, vec![Vpn(1), Vpn(2)]);
+        let pages: Vec<_> = pages_covering(Va(0x1000), 2 * PAGE_SIZE).collect();
+        assert_eq!(pages, vec![Vpn(1), Vpn(2)]);
+    }
+
+    #[test]
+    fn zero_length_access_touches_one_page() {
+        let pages: Vec<_> = pages_covering(Va(0x1000), 0).collect();
+        assert_eq!(pages, vec![Vpn(1)]);
+    }
+}

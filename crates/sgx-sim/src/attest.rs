@@ -1,0 +1,182 @@
+//! Enclave measurement and local attestation.
+//!
+//! Autarky's new attribute bit is *attested*: a remote party verifying a
+//! report learns whether the enclave runs in self-paging mode, and the
+//! threat model (§3) relies on attestation to detect restart attacks. The
+//! simulator implements the measurement flow (`ECREATE`/`EADD`/`EEXTEND`
+//! folding into MRENCLAVE) and HMAC-based reports standing in for
+//! `EREPORT`'s CMAC.
+
+use autarky_crypto::{hmac_sha256, Sha256};
+
+use crate::addr::Vpn;
+use crate::enclave::Attributes;
+use crate::epc::{PageType, Perms};
+
+/// Running measurement of an enclave under construction.
+#[derive(Clone)]
+pub struct Measurement {
+    hasher: Sha256,
+}
+
+impl Measurement {
+    /// Begin a measurement (`ECREATE`).
+    pub fn start(base: u64, size: u64, attributes: Attributes) -> Self {
+        let mut hasher = Sha256::new();
+        hasher.update(b"ECREATE");
+        hasher.update(&base.to_le_bytes());
+        hasher.update(&size.to_le_bytes());
+        hasher.update(&attributes.to_bytes());
+        Self { hasher }
+    }
+
+    /// Record an added page's metadata (`EADD`).
+    pub fn add_page(&mut self, vpn: Vpn, page_type: PageType, perms: Perms) {
+        self.hasher.update(b"EADD");
+        self.hasher.update(&vpn.0.to_le_bytes());
+        self.hasher.update(&[
+            match page_type {
+                PageType::Reg => 0u8,
+                PageType::Tcs => 1,
+                PageType::Trim => 2,
+            },
+            perms.r as u8,
+            perms.w as u8,
+            perms.x as u8,
+        ]);
+    }
+
+    /// Record page contents (`EEXTEND`).
+    pub fn extend(&mut self, contents: &[u8]) {
+        self.hasher.update(b"EEXTEND");
+        self.hasher.update(contents);
+    }
+
+    /// Finalize to MRENCLAVE (`EINIT`).
+    pub fn finalize(self) -> [u8; 32] {
+        self.hasher.finalize()
+    }
+}
+
+/// An attestation report (`EREPORT` analogue).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Report {
+    /// MRENCLAVE of the reporting enclave.
+    pub mrenclave: [u8; 32],
+    /// Attested attributes (carries the self-paging bit).
+    pub attributes: Attributes,
+    /// 64 bytes of enclave-chosen data bound into the report.
+    pub report_data: [u8; 64],
+    /// MAC over the above under the platform report key.
+    pub mac: [u8; 32],
+}
+
+fn report_body(mrenclave: &[u8; 32], attributes: Attributes, report_data: &[u8; 64]) -> Vec<u8> {
+    let mut body = Vec::with_capacity(32 + 2 + 64);
+    body.extend_from_slice(mrenclave);
+    body.extend_from_slice(&attributes.to_bytes());
+    body.extend_from_slice(report_data);
+    body
+}
+
+/// Produce a report keyed by the platform's report key.
+pub fn make_report(
+    platform_key: &[u8; 32],
+    mrenclave: [u8; 32],
+    attributes: Attributes,
+    report_data: [u8; 64],
+) -> Report {
+    let mac = hmac_sha256(
+        platform_key,
+        &report_body(&mrenclave, attributes, &report_data),
+    );
+    Report {
+        mrenclave,
+        attributes,
+        report_data,
+        mac,
+    }
+}
+
+/// Verify a report's MAC (what a local verifier enclave does).
+pub fn verify_report(platform_key: &[u8; 32], report: &Report) -> bool {
+    let expected = hmac_sha256(
+        platform_key,
+        &report_body(&report.mrenclave, report.attributes, &report.report_data),
+    );
+    autarky_crypto::ct_eq(&expected, &report.mac)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KEY: [u8; 32] = [9; 32];
+
+    fn sample_measurement(self_paging: bool) -> [u8; 32] {
+        let mut m = Measurement::start(
+            0x10000,
+            0x4000,
+            Attributes {
+                self_paging,
+                debug: false,
+            },
+        );
+        m.add_page(Vpn(0x10), PageType::Tcs, Perms::RW);
+        m.add_page(Vpn(0x11), PageType::Reg, Perms::RX);
+        m.extend(b"some code page contents");
+        m.finalize()
+    }
+
+    #[test]
+    fn measurement_is_deterministic() {
+        assert_eq!(sample_measurement(true), sample_measurement(true));
+    }
+
+    #[test]
+    fn self_paging_bit_changes_measurement() {
+        assert_ne!(sample_measurement(true), sample_measurement(false));
+    }
+
+    #[test]
+    fn page_order_changes_measurement() {
+        let mut a = Measurement::start(0, 0x2000, Attributes::default());
+        a.add_page(Vpn(0), PageType::Reg, Perms::RW);
+        a.add_page(Vpn(1), PageType::Reg, Perms::RW);
+        let mut b = Measurement::start(0, 0x2000, Attributes::default());
+        b.add_page(Vpn(1), PageType::Reg, Perms::RW);
+        b.add_page(Vpn(0), PageType::Reg, Perms::RW);
+        assert_ne!(a.finalize(), b.finalize());
+    }
+
+    #[test]
+    fn report_verifies() {
+        let report = make_report(
+            &KEY,
+            sample_measurement(true),
+            Attributes {
+                self_paging: true,
+                debug: false,
+            },
+            [7; 64],
+        );
+        assert!(verify_report(&KEY, &report));
+        assert!(
+            report.attributes.self_paging,
+            "verifier sees the attested bit"
+        );
+    }
+
+    #[test]
+    fn forged_report_rejected() {
+        let mut report = make_report(&KEY, [1; 32], Attributes::default(), [0; 64]);
+        report.attributes.self_paging = true; // attacker flips the bit
+        assert!(!verify_report(&KEY, &report));
+    }
+
+    #[test]
+    fn wrong_key_rejected() {
+        let report = make_report(&KEY, [1; 32], Attributes::default(), [0; 64]);
+        assert!(!verify_report(&[8; 32], &report));
+    }
+}

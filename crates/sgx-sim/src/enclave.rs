@@ -1,0 +1,157 @@
+//! Per-enclave hardware structures: SECS, attributes, TCS, SSA frames.
+//!
+//! In real SGX these live in dedicated EPC pages; the simulator models them
+//! as plain structs owned by the machine (they are never addressable by the
+//! OS, which is the property that matters).
+
+use crate::addr::{Va, Vpn};
+use crate::error::{AccessKind, FaultCause};
+
+/// Attested enclave attribute flags.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Attributes {
+    /// Autarky's new attribute bit: the enclave opts into self-paging.
+    /// Enables fault masking, the pending-exception flag, and the
+    /// accessed/dirty-bit precondition (§5.1.1).
+    pub self_paging: bool,
+    /// Debug enclave (excluded from confidentiality guarantees; unused by
+    /// the simulator's logic but part of the attested identity).
+    pub debug: bool,
+}
+
+impl Attributes {
+    /// Serialize for measurement/report binding.
+    pub fn to_bytes(self) -> [u8; 2] {
+        [self.self_paging as u8, self.debug as u8]
+    }
+}
+
+/// SGX Enclave Control Structure: identity and extent of one enclave.
+#[derive(Debug, Clone)]
+pub struct Secs {
+    /// Base linear address of the enclave region (ELRANGE).
+    pub base: Va,
+    /// Size of the enclave region in bytes.
+    pub size: u64,
+    /// Attested attributes.
+    pub attributes: Attributes,
+    /// MRENCLAVE: running/final measurement of the initial contents.
+    pub measurement: [u8; 32],
+    /// Whether `EINIT` has completed.
+    pub initialized: bool,
+    /// Set when the trusted runtime killed the enclave after detecting an
+    /// attack; no further entries are possible.
+    pub terminated: bool,
+}
+
+impl Secs {
+    /// Whether `va` lies inside the enclave's linear range.
+    pub fn contains(&self, va: Va) -> bool {
+        va.0 >= self.base.0 && va.0 - self.base.0 < self.size
+    }
+
+    /// Whether the whole page `vpn` lies inside the enclave's range.
+    pub fn contains_page(&self, vpn: Vpn) -> bool {
+        self.contains(vpn.base())
+            && self.contains(Va(vpn.base().0 + crate::addr::PAGE_SIZE as u64 - 1))
+    }
+}
+
+/// Exception information saved in an SSA frame on AEX.
+///
+/// Unlike what the OS sees, this holds the *unmasked* fault address and
+/// cause — only trusted in-enclave code can read it (§5.1.2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SsaExInfo {
+    /// True faulting address.
+    pub va: Va,
+    /// True access kind.
+    pub kind: AccessKind,
+    /// Architectural cause.
+    pub cause: FaultCause,
+}
+
+/// One state-save-area frame (context + optional exception info).
+#[derive(Debug, Clone, Copy)]
+pub struct SsaFrame {
+    /// Exception details, if this frame was pushed by a fault AEX.
+    pub exinfo: Option<SsaExInfo>,
+}
+
+/// Thread control structure: one hardware entry slot into the enclave.
+#[derive(Debug)]
+pub struct Tcs {
+    /// SSA stack; AEX pushes, `ERESUME` pops.
+    pub ssa: Vec<SsaFrame>,
+    /// Maximum SSA depth (NSSA); exceeding it makes the thread
+    /// un-executable, so the runtime provisions enough to detect
+    /// re-entrancy attacks (§5.3).
+    pub nssa: usize,
+    /// Autarky's pending-exception flag (§5.1.3): set by AEX on a page
+    /// fault, cleared by `EENTER`, blocks `ERESUME` while set.
+    pub pending_exception: bool,
+    /// Whether a logical core currently executes on this TCS.
+    pub active: bool,
+}
+
+impl Tcs {
+    /// Create a TCS with the given SSA depth.
+    pub fn new(nssa: usize) -> Self {
+        Self {
+            ssa: Vec::new(),
+            nssa,
+            pending_exception: false,
+            active: false,
+        }
+    }
+
+    /// Current SSA stack depth.
+    pub fn ssa_depth(&self) -> usize {
+        self.ssa.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn secs_contains() {
+        let secs = Secs {
+            base: Va(0x10000),
+            size: 0x2000,
+            attributes: Attributes::default(),
+            measurement: [0; 32],
+            initialized: true,
+            terminated: false,
+        };
+        assert!(secs.contains(Va(0x10000)));
+        assert!(secs.contains(Va(0x11fff)));
+        assert!(!secs.contains(Va(0x12000)));
+        assert!(!secs.contains(Va(0xffff)));
+        assert!(secs.contains_page(Vpn(0x10)));
+        assert!(secs.contains_page(Vpn(0x11)));
+        assert!(!secs.contains_page(Vpn(0x12)));
+    }
+
+    #[test]
+    fn tcs_defaults() {
+        let tcs = Tcs::new(4);
+        assert_eq!(tcs.ssa_depth(), 0);
+        assert!(!tcs.pending_exception);
+        assert!(!tcs.active);
+    }
+
+    #[test]
+    fn attributes_serialize_distinctly() {
+        let a = Attributes {
+            self_paging: true,
+            debug: false,
+        };
+        let b = Attributes {
+            self_paging: false,
+            debug: false,
+        };
+        assert_ne!(a.to_bytes(), b.to_bytes());
+    }
+}

@@ -1,0 +1,262 @@
+//! Architectural edge cases: multi-TCS behaviour, lifecycle ordering,
+//! permission interplay between PTE and EPCM, and seal/attestation
+//! boundaries.
+
+use autarky_sgx_sim::machine::MachineConfig;
+use autarky_sgx_sim::pagetable::Pte;
+use autarky_sgx_sim::{
+    AccessError, Attributes, Machine, PageType, Perms, SgxError, Va, Vpn, PAGE_SIZE,
+};
+
+fn machine() -> Machine {
+    Machine::new(MachineConfig::default())
+}
+
+fn build(
+    machine: &mut Machine,
+    self_paging: bool,
+    tcs_count: usize,
+    pages: u64,
+) -> autarky_sgx_sim::EnclaveId {
+    let base = Va(0x40_0000);
+    let eid = machine.ecreate(
+        base,
+        (tcs_count as u64 + pages) * PAGE_SIZE as u64,
+        Attributes {
+            self_paging,
+            debug: false,
+        },
+    );
+    for i in 0..tcs_count as u64 {
+        machine
+            .eadd(eid, Vpn(base.vpn().0 + i), PageType::Tcs, Perms::RW, None)
+            .expect("tcs");
+    }
+    for i in 0..pages {
+        let vpn = Vpn(base.vpn().0 + tcs_count as u64 + i);
+        let frame = machine
+            .eadd(eid, vpn, PageType::Reg, Perms::RW, None)
+            .expect("eadd");
+        machine.page_table_mut(eid).expect("pt").map(
+            vpn,
+            Pte {
+                present: true,
+                frame,
+                perms: Perms::RW,
+                accessed: true,
+                dirty: true,
+            },
+        );
+    }
+    machine.einit(eid).expect("einit");
+    eid
+}
+
+#[test]
+fn pending_exception_flags_are_per_tcs() {
+    let mut m = machine();
+    let eid = build(&mut m, true, 2, 4);
+    m.eenter(eid, 0).expect("enter tcs0");
+    m.eenter(eid, 1).expect("enter tcs1");
+    let data = Vpn(0x402);
+    m.page_table_mut(eid).expect("pt").clear_present(data);
+    m.tlb_shootdown(eid, data);
+    // TCS 0 faults.
+    let err = m.read_bytes(eid, 0, data.base(), &mut [0u8; 1]);
+    assert!(matches!(err, Err(AccessError::Fault(_))));
+    assert!(m.pending_exception(eid, 0).expect("tcs0"));
+    assert!(
+        !m.pending_exception(eid, 1).expect("tcs1"),
+        "flag is per-TCS"
+    );
+    // TCS 1 can still be resumed/entered freely; TCS 0 cannot resume.
+    assert_eq!(m.eresume(eid, 0), Err(SgxError::ResumeBlocked));
+    m.eenter(eid, 1).expect("tcs1 unaffected");
+}
+
+#[test]
+fn eadd_after_einit_rejected() {
+    let mut m = machine();
+    let eid = build(&mut m, false, 1, 2);
+    assert_eq!(
+        m.eadd(eid, Vpn(0x402), PageType::Reg, Perms::RW, None),
+        Err(SgxError::LifecycleViolation),
+        "initial pages are fixed at EINIT; growth must use EAUG"
+    );
+}
+
+#[test]
+fn double_einit_rejected() {
+    let mut m = machine();
+    let eid = build(&mut m, false, 1, 2);
+    assert_eq!(m.einit(eid), Err(SgxError::LifecycleViolation));
+}
+
+#[test]
+fn eenter_before_einit_rejected() {
+    let mut m = machine();
+    let base = Va(0x40_0000);
+    let eid = m.ecreate(base, 4 * PAGE_SIZE as u64, Attributes::default());
+    m.eadd(eid, base.vpn(), PageType::Tcs, Perms::RW, None)
+        .expect("tcs");
+    assert_eq!(m.eenter(eid, 0), Err(SgxError::LifecycleViolation));
+}
+
+#[test]
+fn epcm_perms_bound_pte_perms() {
+    // The OS maps a page RWX, but the EPCM granted only RW: execute must
+    // fault even though the PTE allows it.
+    let mut m = machine();
+    let eid = build(&mut m, false, 1, 2);
+    m.eenter(eid, 0).expect("enter");
+    let vpn = Vpn(0x401);
+    let frame = m.frame_of(eid, vpn).expect("frame");
+    m.page_table_mut(eid).expect("pt").map(
+        vpn,
+        Pte {
+            present: true,
+            frame,
+            perms: Perms::RWX,
+            accessed: true,
+            dirty: true,
+        },
+    );
+    m.tlb_shootdown(eid, vpn);
+    let err = m.fetch_code(eid, 0, vpn.base());
+    assert!(
+        matches!(err, Err(AccessError::Fault(_))),
+        "EPCM must veto OS-granted execute: {err:?}"
+    );
+    // Plain reads still work.
+    m.read_bytes(eid, 0, vpn.base(), &mut [0u8; 1])
+        .expect("read allowed");
+}
+
+#[test]
+fn enclaves_cannot_touch_each_others_frames() {
+    let mut m = machine();
+    let eid1 = build(&mut m, false, 1, 2);
+    let base2 = Va(0x80_0000);
+    let eid2 = m.ecreate(base2, 4 * PAGE_SIZE as u64, Attributes::default());
+    m.eadd(eid2, base2.vpn(), PageType::Tcs, Perms::RW, None)
+        .expect("tcs");
+    let frame2 = m
+        .eadd(eid2, Vpn(base2.vpn().0 + 1), PageType::Reg, Perms::RW, None)
+        .expect("page");
+    m.einit(eid2).expect("einit");
+    // Enclave 1's OS mapping points at enclave 2's frame: EPCM mismatch.
+    m.eenter(eid1, 0).expect("enter");
+    let vpn = Vpn(0x401);
+    m.page_table_mut(eid1).expect("pt").map(
+        vpn,
+        Pte {
+            present: true,
+            frame: frame2,
+            perms: Perms::RW,
+            accessed: true,
+            dirty: true,
+        },
+    );
+    m.tlb_shootdown(eid1, vpn);
+    let err = m.read_bytes(eid1, 0, vpn.base(), &mut [0u8; 1]);
+    assert!(
+        matches!(err, Err(AccessError::Fault(_))),
+        "cross-enclave mapping vetoed"
+    );
+}
+
+#[test]
+fn sealed_page_cannot_cross_enclaves() {
+    let mut m = machine();
+    let eid1 = build(&mut m, true, 1, 2);
+    let eid2 = build_second(&mut m);
+    let vpn = Vpn(0x401);
+    m.eblock(eid1, vpn).expect("block");
+    m.etrack(eid1).expect("track");
+    let sealed = m.ewb(eid1, vpn).expect("ewb");
+    assert_eq!(m.eldu(eid2, &sealed), Err(SgxError::SealBroken));
+}
+
+fn build_second(m: &mut Machine) -> autarky_sgx_sim::EnclaveId {
+    let base = Va(0xC0_0000);
+    let eid = m.ecreate(
+        base,
+        4 * PAGE_SIZE as u64,
+        Attributes {
+            self_paging: true,
+            debug: false,
+        },
+    );
+    m.eadd(eid, base.vpn(), PageType::Tcs, Perms::RW, None)
+        .expect("tcs");
+    m.einit(eid).expect("einit");
+    eid
+}
+
+#[test]
+fn read_only_epcm_page_rejects_writes() {
+    let mut m = machine();
+    let base = Va(0x40_0000);
+    let eid = m.ecreate(base, 4 * PAGE_SIZE as u64, Attributes::default());
+    m.eadd(eid, base.vpn(), PageType::Tcs, Perms::RW, None)
+        .expect("tcs");
+    let vpn = Vpn(base.vpn().0 + 1);
+    let frame = m
+        .eadd(eid, vpn, PageType::Reg, Perms::R, None)
+        .expect("ro page");
+    m.page_table_mut(eid).expect("pt").map(
+        vpn,
+        Pte {
+            present: true,
+            frame,
+            perms: Perms::RW,
+            accessed: true,
+            dirty: true,
+        },
+    );
+    m.einit(eid).expect("einit");
+    m.eenter(eid, 0).expect("enter");
+    m.read_bytes(eid, 0, vpn.base(), &mut [0u8; 1])
+        .expect("read ok");
+    let err = m.write_bytes(eid, 0, vpn.base(), &[1]);
+    assert!(
+        matches!(err, Err(AccessError::Fault(_))),
+        "EPCM R-only page rejects writes"
+    );
+}
+
+#[test]
+fn tlb_caches_translations_across_pages_independently() {
+    let mut m = machine();
+    let eid = build(&mut m, false, 1, 4);
+    m.eenter(eid, 0).expect("enter");
+    for i in 0..4u64 {
+        m.read_bytes(eid, 0, Va((0x401 + i) << 12), &mut [0u8; 1])
+            .expect("read");
+    }
+    let (fills_a, _, _) = m.tlb_stats();
+    for i in 0..4u64 {
+        m.read_bytes(eid, 0, Va((0x401 + i) << 12), &mut [0u8; 1])
+            .expect("read");
+    }
+    let (fills_b, hits_b, _) = m.tlb_stats();
+    assert_eq!(fills_a, fills_b, "second sweep is all hits");
+    assert!(hits_b >= 4);
+}
+
+#[test]
+fn enclave_entry_flushes_tlb() {
+    let mut m = machine();
+    let eid = build(&mut m, false, 1, 2);
+    m.eenter(eid, 0).expect("enter");
+    m.read_bytes(eid, 0, Va(0x401 << 12), &mut [0u8; 1])
+        .expect("read");
+    let (fills_a, _, flushes_a) = m.tlb_stats();
+    m.eexit(eid, 0).expect("exit");
+    m.eenter(eid, 0).expect("re-enter");
+    m.read_bytes(eid, 0, Va(0x401 << 12), &mut [0u8; 1])
+        .expect("read");
+    let (fills_b, _, flushes_b) = m.tlb_stats();
+    assert!(flushes_b >= flushes_a + 2, "exit and entry each flush");
+    assert_eq!(fills_b, fills_a + 1, "the translation had to be refilled");
+}

@@ -1,0 +1,33 @@
+//! Evaluation workloads for the Autarky reproduction — every application
+//! the paper measures, implemented over instrumented enclave memory.
+//!
+//! * [`encmem`] — the execution environment: [`World`] (machine + OS +
+//!   runtime) and [`EncHeap`], the instrumented data path with Direct,
+//!   cached-ORAM, and uncached-ORAM modes;
+//! * [`uthash`] — the chained hash table of §7.2 (Figure 6);
+//! * [`kvstore`] + [`ycsb`] — the Memcached/YCSB-C setup of Figure 8;
+//! * [`jpeg`] — the libjpeg-style codec with the leaky IDCT shortcut
+//!   (Table 2);
+//! * [`spell`] — the Hunspell-style multi-dictionary server (Table 2);
+//! * [`font`] — the FreeType-style glyph renderer whose code-page trace
+//!   leaks rendered text (Table 2);
+//! * [`nbench`] — all ten BYTEmark kernels (the zero-paging-overhead
+//!   experiment);
+//! * [`phoenix`] / [`parsec`] / [`apps`] — the 14 Figure 7 applications.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod apps;
+pub mod encmem;
+pub mod font;
+pub mod jpeg;
+pub mod kvstore;
+pub mod nbench;
+pub mod parsec;
+pub mod phoenix;
+pub mod spell;
+pub mod uthash;
+pub mod ycsb;
+
+pub use encmem::{EncHeap, EncVecF64, EncVecU64, Ptr, World};

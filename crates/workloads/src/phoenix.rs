@@ -1,0 +1,314 @@
+//! Phoenix MapReduce kernels (paper §7.2, Figure 7): kmeans, linear
+//! regression, word count, PCA, string match, and matrix multiply.
+//!
+//! Each kernel takes a `pages` footprint parameter so the Figure 7 harness
+//! can size working sets relative to EPC; the access *patterns* match the
+//! originals (streaming sweeps for linreg/smatch, strided reuse for
+//! mmult, hash updates for wcount, iterative scans for kmeans/pca).
+
+use autarky_runtime::RtError;
+use autarky_sgx_sim::PAGE_SIZE;
+
+use crate::encmem::{EncHeap, EncVecF64, World};
+use crate::uthash::{hash64, EncHashTable};
+
+fn floats_for(pages: usize) -> usize {
+    pages * PAGE_SIZE / 8
+}
+
+/// K-means clustering: iterative sweeps over a point array with a small
+/// hot centroid table.
+pub fn kmeans(world: &mut World, heap: &mut EncHeap, pages: usize) -> Result<u64, RtError> {
+    const D: usize = 4;
+    const K: usize = 8;
+    let n = (floats_for(pages) / D).max(64);
+    let points = EncVecF64::new(world, heap, n * D)?;
+    let centroids = EncVecF64::new(world, heap, K * D)?;
+    for i in 0..n * D {
+        points.set(world, heap, i, (hash64(i as u64) % 1000) as f64 / 100.0)?;
+    }
+    for i in 0..K * D {
+        centroids.set(
+            world,
+            heap,
+            i,
+            (hash64(i as u64 ^ 99) % 1000) as f64 / 100.0,
+        )?;
+    }
+    let mut assignment_hash = 0u64;
+    for _iter in 0..3 {
+        let mut sums = vec![0f64; K * D];
+        let mut counts = vec![0u64; K];
+        for p in 0..n {
+            let mut pt = [0f64; D];
+            for (d, v) in pt.iter_mut().enumerate() {
+                *v = points.get(world, heap, p * D + d)?;
+            }
+            let mut best = (0usize, f64::MAX);
+            for k in 0..K {
+                let mut dist = 0.0;
+                for (d, &v) in pt.iter().enumerate() {
+                    let c = centroids.get(world, heap, k * D + d)?;
+                    dist += (v - c) * (v - c);
+                }
+                if dist < best.1 {
+                    best = (k, dist);
+                }
+            }
+            counts[best.0] += 1;
+            for (d, &v) in pt.iter().enumerate() {
+                sums[best.0 * D + d] += v;
+            }
+            assignment_hash = assignment_hash.wrapping_add(hash64(p as u64 ^ best.0 as u64));
+            world.compute(K as u64 * D as u64 * 3);
+        }
+        for k in 0..K {
+            if counts[k] > 0 {
+                for d in 0..D {
+                    centroids.set(world, heap, k * D + d, sums[k * D + d] / counts[k] as f64)?;
+                }
+            }
+        }
+    }
+    Ok(assignment_hash)
+}
+
+/// Linear regression: one streaming pass accumulating sums.
+pub fn linreg(world: &mut World, heap: &mut EncHeap, pages: usize) -> Result<u64, RtError> {
+    let n = (floats_for(pages) / 2).max(64);
+    let xs = EncVecF64::new(world, heap, n)?;
+    let ys = EncVecF64::new(world, heap, n)?;
+    for i in 0..n {
+        let x = (hash64(i as u64) % 10_000) as f64 / 100.0;
+        xs.set(world, heap, i, x)?;
+        ys.set(
+            world,
+            heap,
+            i,
+            3.0 * x + 7.0 + ((hash64(i as u64 ^ 5) % 100) as f64 / 100.0),
+        )?;
+    }
+    let (mut sx, mut sy, mut sxx, mut sxy) = (0f64, 0f64, 0f64, 0f64);
+    for i in 0..n {
+        let x = xs.get(world, heap, i)?;
+        let y = ys.get(world, heap, i)?;
+        sx += x;
+        sy += y;
+        sxx += x * x;
+        sxy += x * y;
+        world.compute(8);
+    }
+    let nf = n as f64;
+    let slope = (nf * sxy - sx * sy) / (nf * sxx - sx * sx);
+    let intercept = (sy - slope * sx) / nf;
+    debug_assert!((slope - 3.0).abs() < 0.1, "slope {slope}");
+    Ok(slope.to_bits() ^ intercept.to_bits())
+}
+
+/// Word count: stream a text buffer, counting words in a hash table.
+pub fn wcount(world: &mut World, heap: &mut EncHeap, pages: usize) -> Result<u64, RtError> {
+    let text_pages = pages * 3 / 4;
+    let bytes = text_pages * PAGE_SIZE;
+    let text = heap.alloc(world, bytes)?;
+    // Synthetic text: words of 3-8 letters from a 4096-word vocabulary.
+    let mut chunk = Vec::with_capacity(PAGE_SIZE);
+    let mut written = 0usize;
+    let mut word_idx = 0u64;
+    while written < bytes {
+        chunk.clear();
+        while chunk.len() + 10 < PAGE_SIZE {
+            let w = hash64(word_idx) % 4096;
+            word_idx += 1;
+            let len = 3 + (hash64(w) % 6) as usize;
+            for i in 0..len {
+                chunk.push(b'a' + (hash64(w ^ i as u64) % 26) as u8);
+            }
+            chunk.push(b' ');
+        }
+        chunk.resize(PAGE_SIZE.min(bytes - written), b' ');
+        heap.write(world, text.offset(written as u64), &chunk)?;
+        written += chunk.len();
+    }
+    // Count words.
+    let mut counts = EncHashTable::new(world, heap, 1024, 8, 16)?;
+    let mut buf = vec![0u8; PAGE_SIZE];
+    let mut current = 0u64;
+    let mut have_word = false;
+    let mut total_words = 0u64;
+    for off in (0..bytes).step_by(PAGE_SIZE) {
+        let n = buf.len().min(bytes - off);
+        heap.read(world, text.offset(off as u64), &mut buf[..n])?;
+        for &b in &buf[..n] {
+            if b.is_ascii_alphabetic() {
+                current = current.wrapping_mul(31).wrapping_add(b as u64);
+                have_word = true;
+            } else if have_word {
+                let key = hash64(current);
+                let prev = counts
+                    .get(world, heap, key)?
+                    .map(|v| u64::from_le_bytes(v.try_into().expect("8 bytes")))
+                    .unwrap_or(0);
+                counts.insert(world, heap, key, &(prev + 1).to_le_bytes())?;
+                total_words += 1;
+                current = 0;
+                have_word = false;
+            }
+            world.compute(2);
+        }
+    }
+    Ok(total_words ^ counts.len())
+}
+
+/// PCA first stage: mean-center and compute a covariance matrix by
+/// column sweeps.
+pub fn pca(world: &mut World, heap: &mut EncHeap, pages: usize) -> Result<u64, RtError> {
+    const COLS: usize = 8;
+    let rows = (floats_for(pages) / COLS).max(32);
+    let data = EncVecF64::new(world, heap, rows * COLS)?;
+    for i in 0..rows * COLS {
+        data.set(world, heap, i, (hash64(i as u64) % 2000) as f64 / 100.0)?;
+    }
+    let mut means = [0f64; COLS];
+    for (c, mean) in means.iter_mut().enumerate() {
+        let mut sum = 0.0;
+        for r in 0..rows {
+            sum += data.get(world, heap, r * COLS + c)?;
+        }
+        *mean = sum / rows as f64;
+        world.compute(rows as u64);
+    }
+    let mut checksum = 0u64;
+    for a in 0..COLS {
+        for b in a..COLS {
+            let mut cov = 0.0;
+            for r in 0..rows {
+                let x = data.get(world, heap, r * COLS + a)? - means[a];
+                let y = data.get(world, heap, r * COLS + b)? - means[b];
+                cov += x * y;
+            }
+            cov /= (rows - 1) as f64;
+            checksum = checksum.wrapping_add(cov.to_bits() >> 16);
+            world.compute(rows as u64 * 3);
+        }
+    }
+    Ok(checksum)
+}
+
+/// String match: stream the corpus comparing against a small key set.
+pub fn smatch(world: &mut World, heap: &mut EncHeap, pages: usize) -> Result<u64, RtError> {
+    let bytes = pages * PAGE_SIZE;
+    let corpus = heap.alloc(world, bytes)?;
+    let keys: Vec<&[u8]> = vec![b"needle", b"autarky", b"enclave", b"oblivious"];
+    // Plant known needles at deterministic positions.
+    let mut chunk = vec![0u8; PAGE_SIZE];
+    let mut planted = 0u64;
+    for (page, off) in (0..bytes).step_by(PAGE_SIZE).enumerate() {
+        for (i, b) in chunk.iter_mut().enumerate() {
+            *b = b'a' + (hash64((off + i) as u64) % 20) as u8;
+        }
+        if page % 7 == 3 {
+            let key = keys[page % keys.len()];
+            chunk[100..100 + key.len()].copy_from_slice(key);
+            planted += 1;
+        }
+        let n = chunk.len().min(bytes - off);
+        heap.write(world, corpus.offset(off as u64), &chunk[..n])?;
+    }
+    // Scan.
+    let mut found = 0u64;
+    let mut buf = vec![0u8; PAGE_SIZE + 16];
+    for off in (0..bytes).step_by(PAGE_SIZE) {
+        let n = (PAGE_SIZE + 16).min(bytes - off);
+        heap.read(world, corpus.offset(off as u64), &mut buf[..n])?;
+        for key in &keys {
+            found += buf[..n].windows(key.len()).filter(|w| w == key).count() as u64;
+        }
+        world.compute(PAGE_SIZE as u64);
+    }
+    debug_assert!(found >= planted, "found {found} < planted {planted}");
+    Ok(found)
+}
+
+/// Matrix multiply: row×column sweeps (strided, TLB- and paging-heavy).
+pub fn mmult(world: &mut World, heap: &mut EncHeap, pages: usize) -> Result<u64, RtError> {
+    let n = (((floats_for(pages) / 3) as f64).sqrt() as usize).max(16);
+    let a = EncVecF64::new(world, heap, n * n)?;
+    let b = EncVecF64::new(world, heap, n * n)?;
+    let c = EncVecF64::new(world, heap, n * n)?;
+    for i in 0..n * n {
+        a.set(world, heap, i, (hash64(i as u64) % 100) as f64 / 10.0)?;
+        b.set(world, heap, i, (hash64(i as u64 ^ 3) % 100) as f64 / 10.0)?;
+    }
+    let mut checksum = 0u64;
+    for i in 0..n {
+        for j in 0..n {
+            let mut sum = 0.0;
+            for k in 0..n {
+                sum += a.get(world, heap, i * n + k)? * b.get(world, heap, k * n + j)?;
+            }
+            c.set(world, heap, i * n + j, sum)?;
+            world.compute(2 * n as u64);
+        }
+        checksum = checksum.wrapping_add(c.get(world, heap, i * n + i)?.to_bits() >> 16);
+    }
+    Ok(checksum)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autarky_os_sim::EnclaveImage;
+    use autarky_runtime::RuntimeConfig;
+    use autarky_sgx_sim::machine::MachineConfig;
+
+    fn world() -> World {
+        let mut img = EnclaveImage::named("phoenix-test");
+        img.heap_pages = 1024;
+        World::new(
+            MachineConfig {
+                epc_frames: 4096,
+                ..Default::default()
+            },
+            img,
+            RuntimeConfig::default(),
+        )
+        .expect("world")
+    }
+
+    #[test]
+    fn kernels_run_and_are_deterministic() {
+        type F = fn(&mut World, &mut EncHeap, usize) -> Result<u64, RtError>;
+        let kernels: Vec<(&str, F)> = vec![
+            ("kmeans", kmeans),
+            ("linreg", linreg),
+            ("wcount", wcount),
+            ("pca", pca),
+            ("smatch", smatch),
+            ("mmult", mmult),
+        ];
+        for (name, run) in kernels {
+            let mut w1 = world();
+            let mut h1 = EncHeap::direct();
+            let a = run(&mut w1, &mut h1, 16).unwrap_or_else(|e| panic!("{name}: {e}"));
+            let mut w2 = world();
+            let mut h2 = EncHeap::direct();
+            let b = run(&mut w2, &mut h2, 16).expect("rerun");
+            assert_eq!(a, b, "{name} deterministic");
+        }
+    }
+
+    #[test]
+    fn linreg_recovers_slope() {
+        let mut w = world();
+        let mut h = EncHeap::direct();
+        linreg(&mut w, &mut h, 8).expect("runs with internal slope assert");
+    }
+
+    #[test]
+    fn smatch_finds_planted_needles() {
+        let mut w = world();
+        let mut h = EncHeap::direct();
+        let found = smatch(&mut w, &mut h, 32).expect("run");
+        assert!(found >= 4, "planted needles found: {found}");
+    }
+}

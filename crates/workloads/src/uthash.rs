@@ -1,0 +1,302 @@
+//! A chained hash table in enclave memory, modeled on `uthash` (the
+//! paper's §7.2 workload: 256-byte items, up to 10 items per bucket,
+//! rehash-and-expand on overflow).
+//!
+//! The access pattern is the interesting part: a lookup touches the bucket
+//! array page, then walks a chain of nodes that usually live on *different
+//! pages* — exactly the secret-dependent page-access signature the
+//! Hunspell attack exploited, and the pattern clusters/ORAM must hide.
+
+use autarky_runtime::RtError;
+
+use crate::encmem::{EncHeap, Ptr, World};
+
+/// Node header: key (8) + next pointer (8).
+const NODE_HEADER: usize = 16;
+
+/// A chained hash table over instrumented enclave memory.
+pub struct EncHashTable {
+    buckets: Ptr,
+    nbuckets: u64,
+    item_size: usize,
+    count: u64,
+    /// Rehash when average chain length would exceed this.
+    max_chain: u64,
+    /// Number of rehashes performed (diagnostics).
+    pub rehashes: u32,
+}
+
+/// 64-bit mix (splitmix64 finalizer) used as the hash function.
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+impl EncHashTable {
+    /// Create a table with `nbuckets` initial buckets holding
+    /// `item_size`-byte values, rehashing at `max_chain` items per bucket.
+    pub fn new(
+        world: &mut World,
+        heap: &mut EncHeap,
+        nbuckets: u64,
+        item_size: usize,
+        max_chain: u64,
+    ) -> Result<Self, RtError> {
+        let buckets = heap.alloc(world, (nbuckets * 8) as usize)?;
+        // Heap memory is zeroed on allocation, so chains start empty.
+        Ok(Self {
+            buckets,
+            nbuckets,
+            item_size,
+            count: 0,
+            max_chain,
+            rehashes: 0,
+        })
+    }
+
+    /// Items stored.
+    pub fn len(&self) -> u64 {
+        self.count
+    }
+
+    /// Whether the table is empty.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Current bucket count.
+    pub fn nbuckets(&self) -> u64 {
+        self.nbuckets
+    }
+
+    /// Total bytes a node occupies.
+    pub fn node_size(&self) -> usize {
+        NODE_HEADER + self.item_size
+    }
+
+    fn bucket_slot(&self, key: u64) -> Ptr {
+        let idx = hash64(key) % self.nbuckets;
+        self.buckets.offset(idx * 8)
+    }
+
+    /// Insert or update `key` with `value`.
+    pub fn insert(
+        &mut self,
+        world: &mut World,
+        heap: &mut EncHeap,
+        key: u64,
+        value: &[u8],
+    ) -> Result<(), RtError> {
+        debug_assert_eq!(value.len(), self.item_size);
+        // Update in place when the key exists.
+        let slot = self.bucket_slot(key);
+        let mut node = Ptr(heap.read_u64(world, slot)?);
+        while !node.is_null() {
+            let node_key = heap.read_u64(world, node)?;
+            if node_key == key {
+                heap.write(world, node.offset(NODE_HEADER as u64), value)?;
+                return Ok(());
+            }
+            node = Ptr(heap.read_u64(world, node.offset(8))?);
+        }
+        // Prepend a new node.
+        let node = heap.alloc(world, self.node_size())?;
+        let head = heap.read_u64(world, slot)?;
+        heap.write_u64(world, node, key)?;
+        heap.write_u64(world, node.offset(8), head)?;
+        heap.write(world, node.offset(NODE_HEADER as u64), value)?;
+        heap.write_u64(world, slot, node.0)?;
+        self.count += 1;
+        if self.count > self.nbuckets * self.max_chain {
+            self.rehash(world, heap)?;
+        }
+        Ok(())
+    }
+
+    /// Look up `key`, returning its value when present.
+    pub fn get(
+        &self,
+        world: &mut World,
+        heap: &mut EncHeap,
+        key: u64,
+    ) -> Result<Option<Vec<u8>>, RtError> {
+        let slot = self.bucket_slot(key);
+        let mut node = Ptr(heap.read_u64(world, slot)?);
+        while !node.is_null() {
+            let node_key = heap.read_u64(world, node)?;
+            if node_key == key {
+                let mut value = vec![0u8; self.item_size];
+                heap.read(world, node.offset(NODE_HEADER as u64), &mut value)?;
+                return Ok(Some(value));
+            }
+            node = Ptr(heap.read_u64(world, node.offset(8))?);
+        }
+        Ok(None)
+    }
+
+    /// Whether `key` is present (no value copy).
+    pub fn contains(
+        &self,
+        world: &mut World,
+        heap: &mut EncHeap,
+        key: u64,
+    ) -> Result<bool, RtError> {
+        let slot = self.bucket_slot(key);
+        let mut node = Ptr(heap.read_u64(world, slot)?);
+        while !node.is_null() {
+            if heap.read_u64(world, node)? == key {
+                return Ok(true);
+            }
+            node = Ptr(heap.read_u64(world, node.offset(8))?);
+        }
+        Ok(false)
+    }
+
+    /// Double the bucket array and re-link every node (uthash's expansion;
+    /// §7.2 measures throughput before and after this).
+    pub fn rehash(&mut self, world: &mut World, heap: &mut EncHeap) -> Result<(), RtError> {
+        let new_n = self.nbuckets * 2;
+        let new_buckets = heap.alloc(world, (new_n * 8) as usize)?;
+        for i in 0..self.nbuckets {
+            let mut node = Ptr(heap.read_u64(world, self.buckets.offset(i * 8))?);
+            while !node.is_null() {
+                let next = Ptr(heap.read_u64(world, node.offset(8))?);
+                let key = heap.read_u64(world, node)?;
+                let slot = new_buckets.offset((hash64(key) % new_n) * 8);
+                let head = heap.read_u64(world, slot)?;
+                heap.write_u64(world, node.offset(8), head)?;
+                heap.write_u64(world, slot, node.0)?;
+                node = next;
+            }
+        }
+        heap.free(world, self.buckets, (self.nbuckets * 8) as usize);
+        self.buckets = new_buckets;
+        self.nbuckets = new_n;
+        self.rehashes += 1;
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autarky_os_sim::EnclaveImage;
+    use autarky_runtime::RuntimeConfig;
+    use autarky_sgx_sim::machine::MachineConfig;
+
+    fn world() -> World {
+        let mut img = EnclaveImage::named("uthash-test");
+        img.heap_pages = 2048;
+        World::new(
+            MachineConfig {
+                epc_frames: 4096,
+                ..Default::default()
+            },
+            img,
+            RuntimeConfig::default(),
+        )
+        .expect("world")
+    }
+
+    #[test]
+    fn insert_get_roundtrip() {
+        let mut w = world();
+        let mut heap = EncHeap::direct();
+        let mut table = EncHashTable::new(&mut w, &mut heap, 16, 32, 10).expect("table");
+        for key in 0..100u64 {
+            let value = vec![(key % 256) as u8; 32];
+            table
+                .insert(&mut w, &mut heap, key, &value)
+                .expect("insert");
+        }
+        assert_eq!(table.len(), 100);
+        for key in 0..100u64 {
+            let value = table
+                .get(&mut w, &mut heap, key)
+                .expect("get")
+                .expect("present");
+            assert_eq!(value, vec![(key % 256) as u8; 32]);
+        }
+        assert_eq!(table.get(&mut w, &mut heap, 1000).expect("get"), None);
+    }
+
+    #[test]
+    fn update_in_place() {
+        let mut w = world();
+        let mut heap = EncHeap::direct();
+        let mut table = EncHashTable::new(&mut w, &mut heap, 16, 8, 10).expect("table");
+        table
+            .insert(&mut w, &mut heap, 5, &[1u8; 8])
+            .expect("insert");
+        table
+            .insert(&mut w, &mut heap, 5, &[2u8; 8])
+            .expect("update");
+        assert_eq!(table.len(), 1, "update must not duplicate");
+        assert_eq!(
+            table
+                .get(&mut w, &mut heap, 5)
+                .expect("get")
+                .expect("present"),
+            vec![2u8; 8]
+        );
+    }
+
+    #[test]
+    fn rehash_triggers_and_preserves_contents() {
+        let mut w = world();
+        let mut heap = EncHeap::direct();
+        let mut table = EncHashTable::new(&mut w, &mut heap, 4, 8, 2).expect("table");
+        for key in 0..100u64 {
+            table
+                .insert(&mut w, &mut heap, key, &[(key % 251) as u8; 8])
+                .expect("insert");
+        }
+        assert!(table.rehashes > 0, "rehash must have fired");
+        assert!(table.nbuckets() > 4);
+        for key in 0..100u64 {
+            assert_eq!(
+                table
+                    .get(&mut w, &mut heap, key)
+                    .expect("get")
+                    .expect("present"),
+                vec![(key % 251) as u8; 8],
+                "key {key} lost in rehash"
+            );
+        }
+    }
+
+    #[test]
+    fn contains_matches_get() {
+        let mut w = world();
+        let mut heap = EncHeap::direct();
+        let mut table = EncHashTable::new(&mut w, &mut heap, 8, 8, 10).expect("table");
+        table
+            .insert(&mut w, &mut heap, 77, &[0u8; 8])
+            .expect("insert");
+        assert!(table.contains(&mut w, &mut heap, 77).expect("contains"));
+        assert!(!table.contains(&mut w, &mut heap, 78).expect("contains"));
+    }
+
+    #[test]
+    fn works_over_cached_oram() {
+        let mut w = world();
+        let mut heap = EncHeap::cached_oram(512, 32, 3);
+        let mut table = EncHashTable::new(&mut w, &mut heap, 16, 32, 10).expect("table");
+        for key in 0..50u64 {
+            table
+                .insert(&mut w, &mut heap, key, &[(key as u8); 32])
+                .expect("insert");
+        }
+        for key in 0..50u64 {
+            assert_eq!(
+                table
+                    .get(&mut w, &mut heap, key)
+                    .expect("get")
+                    .expect("present"),
+                vec![key as u8; 32]
+            );
+        }
+    }
+}

@@ -1,0 +1,107 @@
+//! The controlled-channel attack, end to end: first against a vanilla
+//! SGX enclave (the secret leaks), then against an Autarky enclave (the
+//! attack is detected and nothing leaks).
+//!
+//! The victim renders secret text with the FreeType-style glyph renderer;
+//! the attacker traces code-page accesses and matches glyph signatures —
+//! Xu et al.'s published attack.
+//!
+//! ```text
+//! cargo run --release --example attack_demo
+//! ```
+
+use autarky::os::{Attacker, Os};
+use autarky::prelude::*;
+use autarky::workloads::font::{glyph_code_pages, recover_text_from_trace, FontRenderer};
+use autarky::workloads::EncHeap;
+use autarky::{Profile, SystemBuilder};
+
+const SECRET: &str = "meetmeatdawn";
+
+fn victim_render(world: &mut World, heap: &mut EncHeap) -> Result<(), RtError> {
+    let mut font = FontRenderer::new(world, heap, 32)?;
+    font.render_text(world, heap, SECRET)
+}
+
+/// The attacker's oracle input: turn the fault trace (page numbers) into
+/// code-region offsets.
+fn trace_offsets(os: &Os, eid: EnclaveId, trace: &[Vpn]) -> Vec<u64> {
+    let code_start = os.image(eid).expect("image").code_start().0;
+    trace.iter().map(|vpn| vpn.0 - code_start).collect()
+}
+
+fn main() {
+    let alphabet: Vec<char> = ('a'..='z').collect();
+
+    // ------------------------------------------------------------
+    // Round 1: vanilla SGX. The OS unmaps the renderer's code pages and
+    // silently resumes after each fault — the enclave never notices.
+    // ------------------------------------------------------------
+    println!("=== Round 1: vanilla SGX enclave ===");
+    let (mut world, mut heap) = SystemBuilder::new("victim-legacy", Profile::Unprotected)
+        .epc_mib(4)
+        .code_pages(24)
+        .heap_pages(64)
+        .build()
+        .expect("system");
+    let code_pages: Vec<Vpn> = world.image.code_range().collect();
+    world
+        .os
+        .arm_fault_tracer(world.eid, code_pages.iter().copied())
+        .expect("arm");
+    victim_render(&mut world, &mut heap).expect("render succeeds — the victim suspects nothing");
+
+    if let Attacker::FaultTracer(t) = world.os.disarm_attacker() {
+        let offsets = trace_offsets(&world.os, world.eid, &t.trace);
+        let recovered = recover_text_from_trace(&offsets, &alphabet);
+        println!(
+            "attacker's code-page trace: {} faults observed",
+            t.trace.len()
+        );
+        println!("secret text   : {SECRET}");
+        println!("RECOVERED text: {recovered}");
+        assert_eq!(
+            recovered, SECRET,
+            "the published attack works on vanilla SGX"
+        );
+    }
+
+    // ------------------------------------------------------------
+    // Round 2: Autarky. Same attack; the fault reports are masked, the
+    // pending-exception flag forces the trusted handler to run, and the
+    // handler terminates the enclave on the first unexpected fault.
+    // ------------------------------------------------------------
+    println!("\n=== Round 2: Autarky self-paging enclave ===");
+    let (mut world, mut heap) = SystemBuilder::new("victim-autarky", Profile::PinAll)
+        .epc_mib(4)
+        .code_pages(24)
+        .heap_pages(64)
+        .build()
+        .expect("system");
+    let code_pages: Vec<Vpn> = world.image.code_range().collect();
+    world
+        .os
+        .arm_fault_tracer(world.eid, code_pages.iter().copied())
+        .expect("arm");
+    match victim_render(&mut world, &mut heap) {
+        Err(RtError::AttackDetected { vpn, why }) => {
+            println!("handler verdict: attack on {vpn} — {why}");
+            println!("enclave terminated before rendering anything");
+        }
+        other => panic!("expected detection, got {other:?}"),
+    }
+    if let Attacker::FaultTracer(t) = world.os.disarm_attacker() {
+        let offsets = trace_offsets(&world.os, world.eid, &t.trace);
+        let recovered = recover_text_from_trace(&offsets, &alphabet);
+        println!("attacker's attributable trace: {:?}", t.trace);
+        println!("masked faults (enclave base only): {}", t.masked_faults);
+        println!("RECOVERED text: {recovered:?} (nothing)");
+        assert!(recovered.is_empty(), "Autarky leaks nothing attributable");
+    }
+
+    // Sanity: one glyph's signature so readers see what leaked in round 1.
+    println!(
+        "\n(for reference, glyph 'm' executes code pages {:?})",
+        glyph_code_pages('m')
+    );
+}

@@ -1,0 +1,68 @@
+//! A key-value store served from an enclave under the strongest policy:
+//! cached ORAM (the paper's §5.2.2 scheme, evaluated in Figure 8).
+//!
+//! The adversary watching memory sees only uniformly random PathORAM
+//! paths — zero correlation with which keys are hot.
+//!
+//! ```text
+//! cargo run --release --example secure_kv
+//! ```
+
+use autarky::prelude::*;
+use autarky::workloads::kvstore::{ItemClustering, KvStore};
+use autarky::workloads::ycsb::{Distribution, KeyGenerator};
+use autarky::{Profile, SystemBuilder};
+
+fn main() {
+    let (mut world, mut heap) = SystemBuilder::new(
+        "secure-kv",
+        Profile::CachedOram {
+            capacity_pages: 2048,
+            cache_pages: 256,
+        },
+    )
+    .epc_mib(8)
+    .heap_pages(64)
+    .build()
+    .expect("system");
+    assert!(heap.is_oram(), "the builder returned the ORAM data path");
+
+    let mut store =
+        KvStore::new(&mut world, &mut heap, 1000, 512, ItemClustering::None).expect("store");
+    store
+        .load(&mut world, &mut heap, 1000)
+        .expect("load 1000 items");
+    println!(
+        "loaded {} items of {} B over cached ORAM",
+        store.len(),
+        store.value_size()
+    );
+
+    // Serve a skewed workload; verify every value.
+    let mut generator = KeyGenerator::new(1000, Distribution::Zipfian { theta: 0.99 }, 3);
+    let t0 = world.now();
+    let requests = 500;
+    for _ in 0..requests {
+        let key = generator.next_key();
+        let value = store
+            .get(&mut world, &mut heap, key)
+            .expect("get")
+            .expect("loaded key present");
+        assert_eq!(value, KvStore::value_for(key, 512), "integrity holds");
+    }
+    let cycles = world.now() - t0;
+    println!(
+        "served {requests} GETs at {:.0} req/s (simulated)",
+        requests as f64 / (cycles as f64 / CLOCK_HZ as f64)
+    );
+
+    let stats = heap.oram_stats();
+    println!(
+        "ORAM: {} accesses, {} bucket reads, {} bucket writes, {:.1}% cache hit rate",
+        stats.accesses,
+        stats.bucket_reads,
+        stats.bucket_writes,
+        100.0 * stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64,
+    );
+    println!("adversary's view: one uniformly random tree path per miss — no key correlation");
+}

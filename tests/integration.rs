@@ -1,0 +1,188 @@
+//! Cross-crate integration tests: full systems assembled through the
+//! public `autarky` API, exercising hardware + OS + runtime + workloads
+//! together.
+
+use autarky::prelude::*;
+use autarky::workloads::nbench;
+use autarky::workloads::uthash::EncHashTable;
+use autarky::{Profile, SystemBuilder};
+
+#[test]
+fn every_profile_runs_a_real_workload() {
+    // The same hash-table workload must produce identical results under
+    // every protection profile.
+    let profiles = [
+        ("unprotected", Profile::Unprotected),
+        ("pin-all", Profile::PinAll),
+        (
+            "clusters",
+            Profile::Clusters {
+                pages_per_cluster: 4,
+            },
+        ),
+        (
+            "rate-limited",
+            Profile::RateLimited {
+                max_faults_per_progress: 1e9,
+                burst: 1 << 40,
+            },
+        ),
+        (
+            "cached-oram",
+            Profile::CachedOram {
+                capacity_pages: 512,
+                cache_pages: 64,
+            },
+        ),
+    ];
+    let mut reference: Option<Vec<Option<Vec<u8>>>> = None;
+    for (name, profile) in profiles {
+        let (mut world, mut heap) = SystemBuilder::new(name, profile)
+            .epc_pages(2048)
+            .heap_pages(512)
+            .budget_pages(if matches!(profile, Profile::Clusters { .. }) {
+                128
+            } else {
+                0
+            })
+            .build()
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        let mut table = EncHashTable::new(&mut world, &mut heap, 64, 32, 10)
+            .unwrap_or_else(|e| panic!("{name}: {e}"));
+        for key in 0..200u64 {
+            let value = vec![(key % 251) as u8; 32];
+            table
+                .insert(&mut world, &mut heap, key, &value)
+                .expect("insert");
+        }
+        let results: Vec<Option<Vec<u8>>> = (0..210u64)
+            .map(|key| table.get(&mut world, &mut heap, key).expect("get"))
+            .collect();
+        match &reference {
+            None => reference = Some(results),
+            Some(expected) => assert_eq!(expected, &results, "{name} diverged"),
+        }
+        assert!(
+            !world.rt.is_terminated(),
+            "{name}: benign run must not terminate"
+        );
+    }
+}
+
+#[test]
+fn attestation_distinguishes_protection_modes() {
+    let (world_a, _) = SystemBuilder::new("prot", Profile::PinAll)
+        .build()
+        .expect("build");
+    let (world_b, _) = SystemBuilder::new("prot", Profile::Unprotected)
+        .build()
+        .expect("build");
+    let ra = world_a
+        .os
+        .machine
+        .ereport(world_a.eid, [1; 64])
+        .expect("report");
+    let rb = world_b
+        .os
+        .machine
+        .ereport(world_b.eid, [1; 64])
+        .expect("report");
+    assert!(ra.attributes.self_paging);
+    assert!(!rb.attributes.self_paging);
+    assert_ne!(
+        ra.mrenclave, rb.mrenclave,
+        "the mode is part of the measured identity"
+    );
+    assert!(autarky::sgx::attest::verify_report(
+        world_a.os.machine.platform_key(),
+        &ra
+    ));
+}
+
+#[test]
+fn nbench_kernels_agree_across_modes() {
+    // A compute kernel must produce the same checksum whether or not the
+    // Autarky hardware checks are active.
+    for kernel in nbench::all_kernels().iter().take(3) {
+        let mut results = Vec::new();
+        for profile in [Profile::Unprotected, Profile::PinAll] {
+            let (mut world, mut heap) = SystemBuilder::new("nbench-int", profile)
+                .epc_pages(8192)
+                .heap_pages(4096)
+                .build()
+                .expect("system");
+            results.push((kernel.run)(&mut world, &mut heap, 1).expect("kernel"));
+        }
+        assert_eq!(
+            results[0], results[1],
+            "{} diverged across modes",
+            kernel.name
+        );
+    }
+}
+
+#[test]
+fn multiple_enclaves_share_epc() {
+    // Two enclaves under one OS compete for EPC; both must finish and the
+    // pinned pages of the protected one must survive the other's pressure.
+    let mut os = Os::new(MachineConfig {
+        epc_frames: 256,
+        ..Default::default()
+    });
+
+    let mut img1 = EnclaveImage::named("tenant-a");
+    img1.heap_pages = 64;
+    let eid1 = os.load_enclave(&img1).expect("load a");
+    let mut rt1 =
+        autarky::rt::Runtime::attach(&mut os, eid1, RuntimeConfig::default()).expect("attach");
+
+    let mut img2 = EnclaveImage::named("tenant-b");
+    img2.base = Va(0x9000_0000);
+    img2.self_paging = false;
+    img2.heap_pages = 200;
+    let eid2 = os.load_enclave(&img2).expect("load b");
+    let mut rt2 =
+        autarky::rt::Runtime::attach(&mut os, eid2, RuntimeConfig::default()).expect("attach");
+
+    // Tenant A writes through pinned pages.
+    let a_ptr = rt1.malloc(&mut os, 16 * PAGE_SIZE).expect("a alloc");
+    rt1.write(&mut os, a_ptr, &[0xAA; 64]).expect("a write");
+    // Tenant B (legacy) allocates enough to pressure the EPC.
+    let b_ptr = rt2.malloc(&mut os, 180 * PAGE_SIZE).expect("b alloc");
+    for i in 0..180u64 {
+        rt2.write(&mut os, Va(b_ptr.0 + i * PAGE_SIZE as u64), &[i as u8; 8])
+            .expect("b write");
+    }
+    // Tenant A's pinned data is untouched and still resident.
+    let mut buf = [0u8; 64];
+    rt1.read(&mut os, a_ptr, &mut buf).expect("a read");
+    assert_eq!(buf, [0xAA; 64]);
+    assert_eq!(rt1.stats.faults_handled, 0, "pinned pages never fault");
+}
+
+#[test]
+fn terminated_enclave_cannot_be_restarted_in_place() {
+    let (mut world, _heap) = SystemBuilder::new("kill", Profile::PinAll)
+        .build()
+        .expect("system");
+    world.os.machine.terminate(world.eid).expect("terminate");
+    assert!(matches!(
+        world.os.machine.eenter(world.eid, 0),
+        Err(SgxError::Terminated)
+    ));
+    // A restart means a whole new enclave instance that must re-attest;
+    // detecting unusually frequent restarts is the attestation service's
+    // job (§3). The old instance stays dead even as the new one runs.
+    let (world2, _) = SystemBuilder::new("kill", Profile::PinAll)
+        .build()
+        .expect("rebuild");
+    assert!(world.os.machine.is_terminated(world.eid));
+    assert!(!world2.os.machine.is_terminated(world2.eid));
+    world2
+        .os
+        .machine
+        .ereport(world2.eid, [0; 64])
+        .expect("fresh instance attests");
+}
+
+use autarky::sgx::SgxError;

@@ -1,0 +1,161 @@
+//! Property-based tests (proptest) over the core invariants:
+//!
+//! * enclave memory behaves like memory under arbitrary operation
+//!   sequences, for every protection profile;
+//! * the cluster residency invariant survives arbitrary cluster graphs
+//!   and fault/evict orders;
+//! * sealing/ORAM round-trips hold for arbitrary contents;
+//! * fault reports for self-paging enclaves are always fully masked.
+
+use autarky::oram::{buckets_for, MemStorage, PathOram};
+use autarky::os::Observation;
+use autarky::prelude::*;
+use autarky::rt::paging::{sw_open, sw_seal};
+use autarky::{Profile, SystemBuilder};
+use proptest::prelude::*;
+
+#[derive(Debug, Clone)]
+enum MemOp {
+    Write { page: u8, value: u64 },
+    Read { page: u8 },
+    Evict { page: u8 },
+}
+
+fn mem_op() -> impl Strategy<Value = MemOp> {
+    prop_oneof![
+        (0u8..48, any::<u64>()).prop_map(|(page, value)| MemOp::Write { page, value }),
+        (0u8..48).prop_map(|page| MemOp::Read { page }),
+        (0u8..48).prop_map(|page| MemOp::Evict { page }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
+
+    #[test]
+    fn enclave_memory_is_memory(ops in proptest::collection::vec(mem_op(), 1..120),
+                                cluster_pages in 1usize..6) {
+        let (mut world, mut heap) =
+            SystemBuilder::new("prop-mem", Profile::Clusters { pages_per_cluster: cluster_pages })
+                .epc_pages(1024)
+                .heap_pages(128)
+                .budget_pages(60)
+                .build()
+                .expect("system");
+        let ptr = heap.alloc(&mut world, 48 * PAGE_SIZE).expect("alloc");
+        let mut model = [0u64; 48];
+        for op in &ops {
+            match *op {
+                MemOp::Write { page, value } => {
+                    heap.write_u64(&mut world, ptr.offset(page as u64 * PAGE_SIZE as u64), value)
+                        .expect("write");
+                    model[page as usize] = value;
+                }
+                MemOp::Read { page } => {
+                    let got = heap
+                        .read_u64(&mut world, ptr.offset(page as u64 * PAGE_SIZE as u64))
+                        .expect("read");
+                    prop_assert_eq!(got, model[page as usize]);
+                }
+                MemOp::Evict { page } => {
+                    let vpn = Vpn((ptr.0 >> 12) + page as u64);
+                    if world.rt.residency(vpn) == Some(true) {
+                        let set: Vec<Vpn> = world
+                            .rt
+                            .clusters
+                            .evict_set(vpn)
+                            .into_iter()
+                            .filter(|&p| world.rt.residency(p) == Some(true))
+                            .collect();
+                        world.rt.evict_pages(&mut world.os, &set).expect("evict");
+                    }
+                }
+            }
+            prop_assert!(world.rt.cluster_invariant_holds(), "invariant broken by {:?}", op);
+        }
+        // Final sweep: everything still reads back per the model.
+        for page in 0..48u64 {
+            let got = heap
+                .read_u64(&mut world, ptr.offset(page * PAGE_SIZE as u64))
+                .expect("read");
+            prop_assert_eq!(got, model[page as usize]);
+        }
+        prop_assert!(!world.rt.is_terminated(), "benign ops must never look like attacks");
+    }
+
+    #[test]
+    fn fault_reports_always_masked(accesses in proptest::collection::vec(0u8..64, 1..60)) {
+        let (mut world, mut heap) =
+            SystemBuilder::new("prop-mask", Profile::Clusters { pages_per_cluster: 2 })
+                .epc_pages(1024)
+                .heap_pages(96)
+                .budget_pages(50)
+                .build()
+                .expect("system");
+        let ptr = heap.alloc(&mut world, 64 * PAGE_SIZE).expect("alloc");
+        for i in 0..64u64 {
+            heap.write_u64(&mut world, ptr.offset(i * PAGE_SIZE as u64), i).expect("write");
+        }
+        world.os.take_observations();
+        for &page in &accesses {
+            heap.read_u64(&mut world, ptr.offset(page as u64 * PAGE_SIZE as u64)).expect("read");
+        }
+        for obs in world.os.take_observations() {
+            if let Observation::Fault { va, kind, .. } = obs {
+                prop_assert_eq!(va, world.image.base);
+                prop_assert_eq!(kind, AccessKind::Read);
+            }
+        }
+    }
+
+    #[test]
+    fn software_sealing_roundtrip(contents in proptest::collection::vec(any::<u8>(), PAGE_SIZE),
+                                  vpn in 0u64..1_000_000,
+                                  version in 1u64..u64::MAX) {
+        let key = [9u8; 32];
+        let page: [u8; PAGE_SIZE] = contents.clone().try_into().expect("PAGE_SIZE bytes");
+        let blob = sw_seal(&key, Vpn(vpn), version, &page);
+        let opened = sw_open(&key, Vpn(vpn), version, &blob).expect("authentic");
+        prop_assert_eq!(&opened[..], &contents[..]);
+        // Any metadata perturbation must fail.
+        prop_assert!(sw_open(&key, Vpn(vpn + 1), version, &blob).is_none());
+        prop_assert!(sw_open(&key, Vpn(vpn), version ^ 1, &blob).is_none());
+    }
+
+    #[test]
+    fn pathoram_matches_model(ops in proptest::collection::vec((0u64..32, any::<u8>()), 1..80)) {
+        let storage = MemStorage::new(buckets_for(32));
+        let mut oram = PathOram::new(32, 16, 5, [1; 32], storage);
+        let mut model = std::collections::HashMap::new();
+        for (id, byte) in ops {
+            if byte % 2 == 0 {
+                let data = vec![byte; 16];
+                oram.write(id, &data).expect("write");
+                model.insert(id, data);
+            } else {
+                let expected = model.get(&id).cloned().unwrap_or_else(|| vec![0u8; 16]);
+                prop_assert_eq!(oram.read(id).expect("read"), expected);
+            }
+            prop_assert!(oram.stash_len() <= 40, "stash must stay bounded");
+        }
+    }
+
+    #[test]
+    fn measurement_binds_layout(code_pages in 1usize..8, data_pages in 1usize..8) {
+        let build = |code: usize, data: usize| {
+            let (world, _) = SystemBuilder::new("prop-attest", Profile::PinAll)
+                .epc_pages(512)
+                .code_pages(code)
+                .data_pages(data)
+                .heap_pages(16)
+                .build()
+                .expect("system");
+            world.os.machine.secs(world.eid).expect("secs").measurement
+        };
+        let a = build(code_pages, data_pages);
+        let b = build(code_pages, data_pages);
+        prop_assert_eq!(a, b, "measurement is deterministic");
+        let c = build(code_pages + 1, data_pages);
+        prop_assert_ne!(a, c, "layout changes the measurement");
+    }
+}
