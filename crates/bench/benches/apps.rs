@@ -1,8 +1,9 @@
-//! Criterion wrapper for the Table 2 experiments: end-to-end application
+//! Bench-harness wrapper for the Table 2 experiments: end-to-end application
 //! pipelines (small inputs).
 
+use autarky_bench::harness::Criterion;
 use autarky_bench::table2::{run_freetype, run_hunspell, run_libjpeg, Table2Params};
-use criterion::{criterion_group, criterion_main, Criterion};
+use autarky_bench::{criterion_group, criterion_main};
 
 fn tiny_params() -> Table2Params {
     Table2Params {

@@ -1,8 +1,9 @@
-//! Criterion wrapper for the Figure 6 experiment: uthash throughput
+//! Bench-harness wrapper for the Figure 6 experiment: uthash throughput
 //! under cluster sizes and the ORAM paging schemes (small inputs).
 
 use autarky_bench::fig6::{run_cached_oram, run_clusters, run_uncached_oram, Fig6Params};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use autarky_bench::harness::{BenchmarkId, Criterion};
+use autarky_bench::{criterion_group, criterion_main};
 
 fn tiny_params() -> Fig6Params {
     Fig6Params {

@@ -1,9 +1,10 @@
-//! Criterion wrapper for the Figure 8 experiment: Memcached GET
+//! Bench-harness wrapper for the Figure 8 experiment: Memcached GET
 //! throughput per paging policy (uniform distribution, small store).
 
 use autarky::workloads::ycsb::Distribution;
 use autarky_bench::fig8::{measure, Config, Fig8Params};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use autarky_bench::harness::{BenchmarkId, Criterion};
+use autarky_bench::{criterion_group, criterion_main};
 
 fn bench_memcached(c: &mut Criterion) {
     let params = Fig8Params {

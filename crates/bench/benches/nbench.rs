@@ -1,11 +1,12 @@
-//! Criterion wrapper for the nbench overhead experiment (§7,
+//! Bench-harness wrapper for the nbench overhead experiment (§7,
 //! architecture-changes overhead): each kernel under the legacy and
 //! self-paging configurations.
 
 use autarky::workloads::nbench::all_kernels;
 use autarky::workloads::EncHeap;
 use autarky::{Profile, SystemBuilder};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use autarky_bench::harness::{BenchmarkId, Criterion};
+use autarky_bench::{criterion_group, criterion_main};
 
 fn run_kernel(name: &str, protected: bool) -> u64 {
     let kernel = all_kernels()

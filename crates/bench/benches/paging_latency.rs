@@ -1,4 +1,4 @@
-//! Criterion wrapper for the Figure 5 experiment: per-page fault and
+//! Bench-harness wrapper for the Figure 5 experiment: per-page fault and
 //! eviction latency under each paging mechanism.
 //!
 //! The interesting output is the *simulated-cycle* breakdown printed by
@@ -7,7 +7,8 @@
 
 use autarky::rt::PagingMechanism;
 use autarky_bench::fig5::{measure, measure_elided_fault};
-use criterion::{criterion_group, criterion_main, Criterion};
+use autarky_bench::harness::Criterion;
+use autarky_bench::{criterion_group, criterion_main};
 
 fn bench_paging_latency(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig5_paging_latency");

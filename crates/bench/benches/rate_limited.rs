@@ -1,9 +1,10 @@
-//! Criterion wrapper for the Figure 7 experiment: rate-limited paging on
+//! Bench-harness wrapper for the Figure 7 experiment: rate-limited paging on
 //! a representative subset of the Phoenix/PARSEC applications.
 
 use autarky::workloads::apps::fig7_apps;
 use autarky_bench::fig7::{measure_app, Fig7Params};
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use autarky_bench::harness::{BenchmarkId, Criterion};
+use autarky_bench::{criterion_group, criterion_main};
 
 fn bench_rate_limited(c: &mut Criterion) {
     let params = Fig7Params {

@@ -1,0 +1,172 @@
+//! A minimal, dependency-free benchmark harness with a criterion-shaped
+//! API surface.
+//!
+//! The container building this workspace has no network access, so the
+//! benches cannot pull in `criterion`. The interesting output of every
+//! experiment here is the *simulated-cycle* figure printed by the
+//! `fig*`/`table2` binaries anyway; this harness only tracks host-side
+//! wall time so simulator-speed regressions remain visible. It supports
+//! exactly the subset the bench files use: `benchmark_group`,
+//! `sample_size`, `bench_function`, `bench_with_input`, `BenchmarkId`,
+//! and the `criterion_group!`/`criterion_main!` macros.
+
+use std::time::Instant;
+
+/// Top-level harness handle (mirrors `criterion::Criterion`).
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Start a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup {
+        println!("group: {name}");
+        BenchmarkGroup { samples: 10 }
+    }
+}
+
+/// A named benchmark within a group (mirrors `criterion::BenchmarkId`).
+#[derive(Debug)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Compose an id from a function name and a parameter value.
+    pub fn new(name: impl core::fmt::Display, parameter: impl core::fmt::Display) -> Self {
+        Self {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+}
+
+impl core::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str(&self.label)
+    }
+}
+
+/// A group of benchmarks sharing a sample size.
+#[derive(Debug)]
+pub struct BenchmarkGroup {
+    samples: u32,
+}
+
+impl BenchmarkGroup {
+    /// Number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: u32) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Run a benchmark closure and report its median sample time.
+    pub fn bench_function(
+        &mut self,
+        name: impl core::fmt::Display,
+        mut f: impl FnMut(&mut Bencher),
+    ) {
+        self.run(&name.to_string(), &mut f);
+    }
+
+    /// Run a benchmark parameterized by `input`.
+    pub fn bench_with_input<I>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: impl FnMut(&mut Bencher, &I),
+    ) {
+        self.run(&id.to_string(), &mut |b: &mut Bencher| f(b, input));
+    }
+
+    /// Finish the group (printing already happened per benchmark).
+    pub fn finish(&mut self) {}
+
+    fn run(&self, label: &str, f: &mut dyn FnMut(&mut Bencher)) {
+        let mut samples = Vec::with_capacity(self.samples as usize);
+        for _ in 0..self.samples {
+            let mut bencher = Bencher { elapsed_ns: 0 };
+            f(&mut bencher);
+            samples.push(bencher.elapsed_ns);
+        }
+        samples.sort_unstable();
+        let median = samples[samples.len() / 2];
+        println!(
+            "  {label}: median {} µs over {} samples",
+            median / 1_000,
+            self.samples
+        );
+    }
+}
+
+/// Per-sample timing handle (mirrors `criterion::Bencher`).
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed_ns: u128,
+}
+
+impl Bencher {
+    /// Time one execution of `f` (criterion iterates adaptively; one
+    /// iteration per sample is enough for these coarse simulator runs).
+    pub fn iter<R>(&mut self, mut f: impl FnMut() -> R) {
+        let start = Instant::now();
+        std::hint::black_box(f());
+        self.elapsed_ns += start.elapsed().as_nanos();
+    }
+}
+
+/// Collect benchmark functions under one entry point
+/// (mirrors `criterion::criterion_group!`).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::harness::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Produce `main` for a bench binary (mirrors `criterion::criterion_main!`).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_sample() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(3);
+        let mut runs = 0;
+        group.bench_function("counted", |b| {
+            b.iter(|| {
+                runs += 1;
+            });
+        });
+        assert_eq!(runs, 3);
+    }
+
+    #[test]
+    fn bench_with_input_passes_input() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("test");
+        group.sample_size(2);
+        let mut seen = 0u64;
+        group.bench_with_input(BenchmarkId::new("id", 7), &21u64, |b, &x| {
+            b.iter(|| {
+                seen = x;
+            });
+        });
+        assert_eq!(seen, 21);
+        group.finish();
+    }
+}

@@ -23,6 +23,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig8;
+pub mod harness;
 pub mod nbench_ov;
 pub mod table2;
 pub mod util;

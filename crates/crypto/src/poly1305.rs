@@ -97,7 +97,6 @@ impl Poly1305 {
 
         // Carry propagation.
         let mut c: u64;
-        let d0 = d0;
         let mut d1 = d1;
         let mut d2 = d2;
         let mut d3 = d3;

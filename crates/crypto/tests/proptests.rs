@@ -1,91 +1,117 @@
-//! Property-based tests for the crypto primitives: streaming/one-shot
+//! Randomized property tests for the crypto primitives: streaming/one-shot
 //! agreement under arbitrary chunkings, AEAD round-trips and tamper
 //! rejection for arbitrary inputs.
+//!
+//! Inputs are drawn from the deterministic [`SimRng`] (seeded per test),
+//! so every run exercises the same cases and failures are reproducible.
 
 use autarky_crypto::{aead, hmac_sha256, sha256, ChaCha20, HmacSha256, Sha256};
-use proptest::prelude::*;
+use autarky_prng::SimRng;
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 64, .. ProptestConfig::default() })]
+const CASES: usize = 64;
 
-    #[test]
-    fn sha256_streaming_agrees_with_oneshot(
-        data in proptest::collection::vec(any::<u8>(), 0..2048),
-        splits in proptest::collection::vec(0usize..2048, 0..8),
-    ) {
-        let mut hasher = Sha256::new();
-        let mut cuts: Vec<usize> = splits.into_iter().map(|s| s % (data.len() + 1)).collect();
+fn random_vec(rng: &mut SimRng, range: core::ops::Range<usize>) -> Vec<u8> {
+    let len = rng.gen_range_usize(range);
+    let mut buf = vec![0u8; len];
+    rng.fill_bytes(&mut buf);
+    buf
+}
+
+#[test]
+fn sha256_streaming_agrees_with_oneshot() {
+    let mut rng = SimRng::seed_from_u64(0x5a01);
+    for _ in 0..CASES {
+        let data = random_vec(&mut rng, 0..2048);
+        let n_splits = rng.gen_range_usize(0..8);
+        let mut cuts: Vec<usize> = (0..n_splits)
+            .map(|_| rng.gen_range_usize(0..data.len() + 1))
+            .collect();
         cuts.sort_unstable();
+        let mut hasher = Sha256::new();
         let mut prev = 0;
         for cut in cuts {
             hasher.update(&data[prev..cut]);
             prev = cut;
         }
         hasher.update(&data[prev..]);
-        prop_assert_eq!(hasher.finalize(), sha256(&data));
+        assert_eq!(hasher.finalize(), sha256(&data));
     }
+}
 
-    #[test]
-    fn hmac_streaming_agrees_with_oneshot(
-        key in proptest::collection::vec(any::<u8>(), 0..200),
-        data in proptest::collection::vec(any::<u8>(), 0..1024),
-        cut in 0usize..1024,
-    ) {
-        let cut = cut % (data.len() + 1);
+#[test]
+fn hmac_streaming_agrees_with_oneshot() {
+    let mut rng = SimRng::seed_from_u64(0x5a02);
+    for _ in 0..CASES {
+        let key = random_vec(&mut rng, 0..200);
+        let data = random_vec(&mut rng, 0..1024);
+        let cut = rng.gen_range_usize(0..data.len() + 1);
         let mut mac = HmacSha256::new(&key);
         mac.update(&data[..cut]);
         mac.update(&data[cut..]);
-        prop_assert_eq!(mac.finalize(), hmac_sha256(&key, &data));
+        assert_eq!(mac.finalize(), hmac_sha256(&key, &data));
     }
+}
 
-    #[test]
-    fn chacha20_is_an_involution(
-        key in proptest::array::uniform32(any::<u8>()),
-        nonce in proptest::array::uniform12(any::<u8>()),
-        counter in any::<u32>(),
-        data in proptest::collection::vec(any::<u8>(), 0..1024),
-    ) {
+#[test]
+fn chacha20_is_an_involution() {
+    let mut rng = SimRng::seed_from_u64(0x5a03);
+    for _ in 0..CASES {
+        let mut key = [0u8; 32];
+        let mut nonce = [0u8; 12];
+        rng.fill_bytes(&mut key);
+        rng.fill_bytes(&mut nonce);
+        let counter = rng.next_u32();
+        let data = random_vec(&mut rng, 0..1024);
         let mut buf = data.clone();
         ChaCha20::new(&key, &nonce, counter).apply_keystream(&mut buf);
         ChaCha20::new(&key, &nonce, counter).apply_keystream(&mut buf);
-        prop_assert_eq!(buf, data);
+        assert_eq!(buf, data);
     }
+}
 
-    #[test]
-    fn aead_roundtrip_and_tamper(
-        key in proptest::array::uniform32(any::<u8>()),
-        nonce in proptest::array::uniform12(any::<u8>()),
-        aad in proptest::collection::vec(any::<u8>(), 0..64),
-        data in proptest::collection::vec(any::<u8>(), 1..1024),
-        flip in any::<usize>(),
-    ) {
+#[test]
+fn aead_roundtrip_and_tamper() {
+    let mut rng = SimRng::seed_from_u64(0x5a04);
+    for _ in 0..CASES {
+        let mut key = [0u8; 32];
+        let mut nonce = [0u8; 12];
+        rng.fill_bytes(&mut key);
+        rng.fill_bytes(&mut nonce);
+        let aad = random_vec(&mut rng, 0..64);
+        let data = random_vec(&mut rng, 1..1024);
+        let flip = rng.next_u64() as usize;
+
         let original = data.clone();
         let mut buf = data;
         let tag = aead::seal(&key, &nonce, &aad, &mut buf);
         // Round-trips.
         let mut plain = buf.clone();
         aead::open(&key, &nonce, &aad, &mut plain, &tag).expect("authentic");
-        prop_assert_eq!(&plain, &original);
+        assert_eq!(&plain, &original);
         // A single flipped ciphertext bit must be rejected.
         let mut corrupt = buf.clone();
         let idx = flip % corrupt.len();
         corrupt[idx] ^= 1;
-        prop_assert!(aead::open(&key, &nonce, &aad, &mut corrupt, &tag).is_err());
+        assert!(aead::open(&key, &nonce, &aad, &mut corrupt, &tag).is_err());
         // A flipped AAD byte must be rejected.
         if !aad.is_empty() {
             let mut bad_aad = aad.clone();
             bad_aad[flip % aad.len()] ^= 1;
             let mut ct = buf.clone();
-            prop_assert!(aead::open(&key, &nonce, &bad_aad, &mut ct, &tag).is_err());
+            assert!(aead::open(&key, &nonce, &bad_aad, &mut ct, &tag).is_err());
         }
     }
+}
 
-    #[test]
-    fn distinct_keys_give_distinct_digests(
-        a in proptest::collection::vec(any::<u8>(), 1..128),
-        b in proptest::collection::vec(any::<u8>(), 1..128),
-    ) {
-        prop_assume!(a != b);
-        prop_assert_ne!(sha256(&a), sha256(&b));
+#[test]
+fn distinct_inputs_give_distinct_digests() {
+    let mut rng = SimRng::seed_from_u64(0x5a05);
+    for _ in 0..CASES {
+        let a = random_vec(&mut rng, 1..128);
+        let b = random_vec(&mut rng, 1..128);
+        if a == b {
+            continue;
+        }
+        assert_ne!(sha256(&a), sha256(&b));
     }
 }

@@ -268,17 +268,16 @@ mod tests {
 
     #[test]
     fn model_check_with_small_cache() {
-        use rand::rngs::StdRng;
-        use rand::{Rng, SeedableRng};
+        use autarky_prng::SimRng;
         use std::collections::HashMap;
         let mut c = cached(32, 3);
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
-        let mut rng = StdRng::seed_from_u64(77);
+        let mut rng = SimRng::seed_from_u64(77);
         for _ in 0..1500 {
-            let id = rng.gen_range(0..32u64);
+            let id = rng.gen_range(0..32);
             if rng.gen_bool(0.4) {
                 let mut data = vec![0u8; 8];
-                rng.fill(&mut data[..]);
+                rng.fill_bytes(&mut data[..]);
                 c.write(id, &data).expect("write");
                 model.insert(id, data);
             } else {

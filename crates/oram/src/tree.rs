@@ -19,8 +19,7 @@
 //!   slower. We account those scans in
 //!   [`OramStats::oblivious_scan_bytes`].
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autarky_prng::SimRng;
 
 use crate::stats::OramStats;
 use crate::storage::{BucketSealer, BucketStorage};
@@ -77,7 +76,7 @@ pub struct PathOram<S: BucketStorage> {
     position: Vec<u32>,
     stash: Vec<(u64, Vec<u8>)>,
     stash_capacity: usize,
-    rng: StdRng,
+    rng: SimRng,
     /// Event counters (public: read by the cycle-charging adapters).
     pub stats: OramStats,
     uncached_metadata: bool,
@@ -93,7 +92,7 @@ fn height_for(capacity: u64) -> u32 {
     // Leaves >= ceil(capacity / Z) keeps utilization ~Z/2 per bucket on a
     // path, comfortably below overflow risk for Z=4.
     let needed_leaves = capacity.div_ceil(BUCKET_Z as u64).max(2);
-    64 - (needed_leaves - 1).leading_zeros() as u32
+    64 - (needed_leaves - 1).leading_zeros()
 }
 
 impl<S: BucketStorage> PathOram<S> {
@@ -105,7 +104,7 @@ impl<S: BucketStorage> PathOram<S> {
     pub fn new(capacity: u64, block_size: usize, seed: u64, key: [u8; 32], storage: S) -> Self {
         let height = height_for(capacity);
         let num_leaves = 1u64 << height;
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = SimRng::seed_from_u64(seed);
         let position = (0..capacity)
             .map(|_| rng.gen_range(0..num_leaves) as u32)
             .collect();
@@ -339,12 +338,12 @@ mod tests {
     fn matches_reference_model_under_random_ops() {
         let mut o = oram(64, 16);
         let mut model: HashMap<u64, Vec<u8>> = HashMap::new();
-        let mut rng = StdRng::seed_from_u64(7);
+        let mut rng = SimRng::seed_from_u64(7);
         for step in 0..2000u32 {
-            let id = rng.gen_range(0..64u64);
+            let id = rng.gen_range(0..64);
             if rng.gen_bool(0.5) {
                 let mut data = vec![0u8; 16];
-                rng.fill(&mut data[..]);
+                rng.fill_bytes(&mut data[..]);
                 o.write(id, &data).expect("write");
                 model.insert(id, data);
             } else {
@@ -357,12 +356,12 @@ mod tests {
     #[test]
     fn stash_stays_bounded() {
         let mut o = oram(256, 8);
-        let mut rng = StdRng::seed_from_u64(9);
+        let mut rng = SimRng::seed_from_u64(9);
         for i in 0..256u64 {
             o.write(i, &[i as u8; 8]).expect("fill");
         }
         for _ in 0..5000 {
-            let id = rng.gen_range(0..256u64);
+            let id = rng.gen_range(0..256);
             o.read(id).expect("read");
             assert!(o.stash_len() <= 60, "stash grew to {}", o.stash_len());
         }

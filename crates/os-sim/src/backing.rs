@@ -14,6 +14,10 @@ use autarky_sgx_sim::{EnclaveId, SealedPage, Vpn};
 #[derive(Default)]
 pub struct BackingStore {
     sealed: HashMap<(EnclaveId, Vpn), SealedPage>,
+    /// Superseded sealed blobs. An honest OS would discard these; a
+    /// hostile one (the fault injector) keeps them around to mount
+    /// replay attacks.
+    stale: HashMap<(EnclaveId, Vpn), SealedPage>,
     blobs: HashMap<u64, Vec<u8>>,
 }
 
@@ -24,8 +28,12 @@ impl BackingStore {
     }
 
     /// Store an `EWB` blob for `(eid, vpn)`, replacing any previous one.
+    /// The replaced blob, if any, is retained as a stale copy.
     pub fn put_sealed(&mut self, sealed: SealedPage) {
-        self.sealed.insert((sealed.eid, sealed.vpn), sealed);
+        let key = (sealed.eid, sealed.vpn);
+        if let Some(old) = self.sealed.insert(key, sealed) {
+            self.stale.insert(key, old);
+        }
     }
 
     /// Look up the current blob for a page.
@@ -46,6 +54,38 @@ impl BackingStore {
     /// Number of sealed pages held.
     pub fn sealed_count(&self) -> usize {
         self.sealed.len()
+    }
+
+    /// Whether a superseded (stale) blob is retained for the page.
+    pub fn has_stale(&self, eid: EnclaveId, vpn: Vpn) -> bool {
+        self.stale.contains_key(&(eid, vpn))
+    }
+
+    /// Hostile tampering: flip one byte of the current sealed blob for
+    /// the page. Returns whether a blob was present to corrupt.
+    pub fn corrupt_sealed(&mut self, eid: EnclaveId, vpn: Vpn) -> bool {
+        match self.sealed.get_mut(&(eid, vpn)) {
+            Some(blob) => {
+                match blob.ciphertext.first_mut() {
+                    Some(byte) => *byte ^= 0x01,
+                    None => blob.tag[0] ^= 0x01,
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Hostile replay: replace the current sealed blob with the retained
+    /// stale copy. Returns whether a stale copy existed to replay.
+    pub fn replay_sealed(&mut self, eid: EnclaveId, vpn: Vpn) -> bool {
+        match self.stale.remove(&(eid, vpn)) {
+            Some(old) => {
+                self.sealed.insert((eid, vpn), old);
+                true
+            }
+            None => false,
+        }
     }
 
     /// Raw untrusted buffer write (runtime software-sealing path, ORAM

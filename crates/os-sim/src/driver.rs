@@ -5,10 +5,19 @@
 //! *untrusted OS*, so their arguments (page lists!) are adversary-visible;
 //! every call is logged to the observation stream. The calls are batched
 //! by design "to minimize system calls and enclave crossing overhead".
+//!
+//! When a [`crate::fault::FaultPlan`] is armed, every entry point first
+//! consults the injector (one decision per call) and may fail
+//! transiently, complete only a prefix of its batch, lie in its reply,
+//! or tamper with backing state — see [`crate::fault`]. Batch calls that
+//! fail mid-loop leave a *prefix* of the batch processed: callers must
+//! treat any error as "some pages may have been processed" and reconcile
+//! against architectural state before retrying.
 
 use autarky_sgx_sim::pagetable::Pte;
 use autarky_sgx_sim::{EnclaveId, Perms, Vpn};
 
+use crate::fault::{FaultKind, InjectedFault, SyscallKind};
 use crate::kernel::{Observation, Os, OsError};
 
 impl Os {
@@ -17,17 +26,27 @@ impl Os {
     /// initialize its tracking (and page in what it needs).
     ///
     /// Enclave-managed resident pages are pinned: the OS will not evict
-    /// them while the enclave is runnable.
+    /// them while the enclave is runnable. The reply travels through
+    /// untrusted memory, so a hostile OS can lie in it (and the armed
+    /// injector sometimes does): the runtime must verify the answers
+    /// against architecturally-authenticated state.
     pub fn ay_set_enclave_managed(
         &mut self,
         eid: EnclaveId,
         pages: &[Vpn],
     ) -> Result<Vec<(Vpn, bool)>, OsError> {
         self.charge_syscall();
+        self.resume_injected_suspend()?;
         self.observe(Observation::SetEnclaveManaged {
             eid,
             pages: pages.to_vec(),
         });
+        let decision = self.inject_decide(SyscallKind::SetEnclaveManaged, pages.len());
+        match decision {
+            Some(FaultKind::Delay) => self.apply_injected_delay(eid),
+            Some(FaultKind::Suspend) => return Err(self.apply_injected_suspend(eid, 0)),
+            _ => {}
+        }
         let machine_resident: Vec<bool> = pages
             .iter()
             .map(|&vpn| self.machine.is_resident(eid, vpn))
@@ -40,6 +59,11 @@ impl Os {
             proc.eviction.forget(vpn);
             out.push((vpn, resident));
         }
+        if decision == Some(FaultKind::WrongResidence) {
+            let index = self.inject_pick_index(out.len());
+            out[index].1 = !out[index].1;
+            self.record_injection(eid, InjectedFault::WrongResidence { index });
+        }
         Ok(out)
     }
 
@@ -47,10 +71,16 @@ impl Os {
     /// may from now on evict them at will.
     pub fn ay_set_os_managed(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
         self.charge_syscall();
+        self.resume_injected_suspend()?;
         self.observe(Observation::SetOsManaged {
             eid,
             pages: pages.to_vec(),
         });
+        match self.inject_decide(SyscallKind::SetOsManaged, pages.len()) {
+            Some(FaultKind::Delay) => self.apply_injected_delay(eid),
+            Some(FaultKind::Suspend) => return Err(self.apply_injected_suspend(eid, 0)),
+            _ => {}
+        }
         let machine_resident: Vec<bool> = pages
             .iter()
             .map(|&vpn| self.machine.is_resident(eid, vpn))
@@ -71,13 +101,78 @@ impl Os {
     /// store (batched). Pages that are already resident but unmapped are
     /// remapped (this also serves the forwarding path for faults on
     /// OS-managed pages).
+    ///
+    /// On error a prefix of the batch may already be fetched; the caller
+    /// must re-check residency rather than assume all-or-nothing.
     pub fn ay_fetch_pages(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
         self.charge_syscall();
+        self.resume_injected_suspend()?;
         self.observe(Observation::FetchSyscall {
             eid,
             pages: pages.to_vec(),
         });
-        for &vpn in pages {
+        let decision = self.inject_decide(SyscallKind::Fetch, pages.len());
+        // Faults that shape the whole call.
+        let mut stop_after = usize::MAX; // PartialBatch / Suspend prefix
+        let mut dropped = usize::MAX; // DropPage index
+        match decision {
+            Some(FaultKind::Delay) => self.apply_injected_delay(eid),
+            Some(FaultKind::TransientNoMemory) => {
+                self.record_injection(eid, InjectedFault::TransientNoMemory);
+                return Err(OsError::NoMemory);
+            }
+            Some(FaultKind::PartialBatch) => {
+                stop_after = self.inject_pick_index(pages.len());
+            }
+            Some(FaultKind::Suspend) => {
+                let completed = if pages.is_empty() {
+                    0
+                } else {
+                    self.inject_pick_index(pages.len())
+                };
+                stop_after = completed;
+            }
+            Some(FaultKind::DropPage) => {
+                dropped = self.inject_pick_index(pages.len());
+            }
+            Some(FaultKind::SpuriousEvict) => {
+                self.apply_spurious_evict(eid)?;
+            }
+            Some(FaultKind::CorruptBacking) => {
+                if let Some(&vpn) = pages.iter().find(|&&vpn| {
+                    !self.machine.is_resident(eid, vpn) && self.backing.has_sealed(eid, vpn)
+                }) {
+                    self.backing.corrupt_sealed(eid, vpn);
+                    self.record_injection(eid, InjectedFault::CorruptBacking { vpn });
+                }
+            }
+            Some(FaultKind::ReplayBacking) => {
+                if let Some(&vpn) = pages.iter().find(|&&vpn| {
+                    !self.machine.is_resident(eid, vpn) && self.backing.has_stale(eid, vpn)
+                }) {
+                    self.backing.replay_sealed(eid, vpn);
+                    self.record_injection(eid, InjectedFault::ReplayBacking { vpn });
+                }
+            }
+            _ => {}
+        }
+        for (i, &vpn) in pages.iter().enumerate() {
+            if i >= stop_after {
+                match decision {
+                    Some(FaultKind::PartialBatch) => {
+                        self.record_injection(eid, InjectedFault::PartialBatch { completed: i });
+                        return Err(OsError::NoMemory);
+                    }
+                    Some(FaultKind::Suspend) => {
+                        return Err(self.apply_injected_suspend(eid, i));
+                    }
+                    _ => unreachable!("stop_after set only for partial/suspend"),
+                }
+            }
+            if i == dropped {
+                self.record_injection(eid, InjectedFault::DropPage { index: i });
+                continue;
+            }
             if self.machine.is_resident(eid, vpn) {
                 // Restore the mapping (with preset A/D) if it was broken.
                 let frame = self.machine.frame_of(eid, vpn)?;
@@ -114,36 +209,114 @@ impl Os {
                 proc.eviction.on_resident(vpn);
             }
         }
+        // A suspend drawn against the full batch length fires after the
+        // loop when its prefix covered every page.
+        if decision == Some(FaultKind::Suspend) {
+            return Err(self.apply_injected_suspend(eid, pages.len()));
+        }
         Ok(())
     }
 
     /// `ay_evict_pages`: securely write `pages` out to the backing store
     /// (batched `EBLOCK`/`ETRACK`/`EWB`).
+    ///
+    /// On error a prefix of the batch may already be evicted; retrying
+    /// the same list verbatim will then fail with `BadRequest` on the
+    /// already-evicted prefix — callers must re-check residency first.
     pub fn ay_evict_pages(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
         self.charge_syscall();
+        self.resume_injected_suspend()?;
         self.observe(Observation::EvictSyscall {
             eid,
             pages: pages.to_vec(),
         });
-        for &vpn in pages {
+        let decision = self.inject_decide(SyscallKind::Evict, pages.len());
+        let mut stop_after = usize::MAX;
+        match decision {
+            Some(FaultKind::Delay) => self.apply_injected_delay(eid),
+            Some(FaultKind::TransientNoMemory) => {
+                self.record_injection(eid, InjectedFault::TransientNoMemory);
+                return Err(OsError::NoMemory);
+            }
+            Some(FaultKind::PartialBatch) | Some(FaultKind::Suspend) => {
+                stop_after = if pages.is_empty() {
+                    0
+                } else {
+                    self.inject_pick_index(pages.len())
+                };
+            }
+            Some(FaultKind::SpuriousEvict) => {
+                self.apply_spurious_evict(eid)?;
+            }
+            _ => {}
+        }
+        for (i, &vpn) in pages.iter().enumerate() {
+            if i >= stop_after {
+                match decision {
+                    Some(FaultKind::PartialBatch) => {
+                        self.record_injection(eid, InjectedFault::PartialBatch { completed: i });
+                        return Err(OsError::NoMemory);
+                    }
+                    Some(FaultKind::Suspend) => {
+                        return Err(self.apply_injected_suspend(eid, i));
+                    }
+                    _ => unreachable!("stop_after set only for partial/suspend"),
+                }
+            }
             if !self.machine.is_resident(eid, vpn) {
                 return Err(OsError::BadRequest("evict of non-resident page"));
             }
             self.evict_page_ewb(eid, vpn)?;
             self.proc_mut(eid)?.eviction.forget(vpn);
         }
+        if decision == Some(FaultKind::Suspend) {
+            return Err(self.apply_injected_suspend(eid, pages.len()));
+        }
         Ok(())
     }
 
     /// `ay_alloc_pages`: lazily allocate fresh zeroed pages (`EAUG`). The
     /// runtime must `EACCEPT` each page before use.
+    ///
+    /// On error a prefix of the batch may already be allocated; a retry
+    /// must skip pages that are now resident (`BadRequest` otherwise).
     pub fn ay_alloc_pages(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
         self.charge_syscall();
+        self.resume_injected_suspend()?;
         self.observe(Observation::AllocSyscall {
             eid,
             pages: pages.to_vec(),
         });
-        for &vpn in pages {
+        let decision = self.inject_decide(SyscallKind::Alloc, pages.len());
+        let mut stop_after = usize::MAX;
+        match decision {
+            Some(FaultKind::Delay) => self.apply_injected_delay(eid),
+            Some(FaultKind::TransientNoMemory) => {
+                self.record_injection(eid, InjectedFault::TransientNoMemory);
+                return Err(OsError::NoMemory);
+            }
+            Some(FaultKind::PartialBatch) | Some(FaultKind::Suspend) => {
+                stop_after = if pages.is_empty() {
+                    0
+                } else {
+                    self.inject_pick_index(pages.len())
+                };
+            }
+            _ => {}
+        }
+        for (i, &vpn) in pages.iter().enumerate() {
+            if i >= stop_after {
+                match decision {
+                    Some(FaultKind::PartialBatch) => {
+                        self.record_injection(eid, InjectedFault::PartialBatch { completed: i });
+                        return Err(OsError::NoMemory);
+                    }
+                    Some(FaultKind::Suspend) => {
+                        return Err(self.apply_injected_suspend(eid, i));
+                    }
+                    _ => unreachable!("stop_after set only for partial/suspend"),
+                }
+            }
             if self.machine.is_resident(eid, vpn) {
                 return Err(OsError::BadRequest("alloc of resident page"));
             }
@@ -171,6 +344,9 @@ impl Os {
                 proc.eviction.on_resident(vpn);
             }
         }
+        if decision == Some(FaultKind::Suspend) {
+            return Err(self.apply_injected_suspend(eid, pages.len()));
+        }
         Ok(())
     }
 
@@ -184,6 +360,10 @@ impl Os {
         perms: Perms,
     ) -> Result<(), OsError> {
         self.charge_syscall();
+        self.resume_injected_suspend()?;
+        if let Some(FaultKind::Delay) = self.inject_decide(SyscallKind::Protect, pages.len()) {
+            self.apply_injected_delay(eid);
+        }
         for &vpn in pages {
             let pt = self.machine.page_table_mut(eid)?;
             if let Some(pte) = pt.get_mut(vpn) {
@@ -201,6 +381,10 @@ impl Os {
     /// enclave has already `EACCEPT`ed as trimmed, freeing their frames.
     pub fn ay_remove_pages(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
         self.charge_syscall();
+        self.resume_injected_suspend()?;
+        if let Some(FaultKind::Delay) = self.inject_decide(SyscallKind::Remove, pages.len()) {
+            self.apply_injected_delay(eid);
+        }
         for &vpn in pages {
             self.machine.eremove(eid, vpn)?;
             self.machine.page_table_mut(eid)?.unmap(vpn);
@@ -215,6 +399,10 @@ impl Os {
     /// access itself are all adversary-visible.
     pub fn sys_untrusted_write(&mut self, key: u64, data: Vec<u8>) {
         self.charge_syscall();
+        if let Some(FaultKind::Delay) = self.inject_decide(SyscallKind::Untrusted, 0) {
+            let eid = EnclaveId(0);
+            self.apply_injected_delay(eid);
+        }
         self.observe(Observation::UntrustedAccess { key, write: true });
         self.backing.put_blob(key, data);
     }
@@ -222,6 +410,10 @@ impl Os {
     /// Untrusted-memory read on behalf of the enclave.
     pub fn sys_untrusted_read(&mut self, key: u64) -> Option<Vec<u8>> {
         self.charge_syscall();
+        if let Some(FaultKind::Delay) = self.inject_decide(SyscallKind::Untrusted, 0) {
+            let eid = EnclaveId(0);
+            self.apply_injected_delay(eid);
+        }
         self.observe(Observation::UntrustedAccess { key, write: false });
         self.backing.get_blob(key).map(|b| b.to_vec())
     }

@@ -1,0 +1,439 @@
+//! Deterministic hostile-OS fault injection (robustness harness).
+//!
+//! In the paper's threat model (§3) the OS is the adversary, but the
+//! attacks of [`crate::attack`] are *targeted* information-leak attacks.
+//! This module models the complementary hostile behaviours a self-paging
+//! runtime must also survive: flaky resource management (transient
+//! failures, partial batches, spurious suspensions), lying driver replies
+//! (wrong residence answers, silently dropped pages), contract violations
+//! (eviction of pinned pages), and tampering with the untrusted backing
+//! store (corruption, replay).
+//!
+//! A [`FaultPlan`] gives a per-kind probability schedule; an armed
+//! [`FaultInjector`] draws **exactly one decision per `ay_*` syscall**
+//! from a dedicated [`SimRng`] stream, so a fixed `(seed, plan, workload)`
+//! triple produces a bit-for-bit identical injection schedule, observation
+//! stream, and final cycle count. Every injected fault is recorded in the
+//! adversary-visible observation log as
+//! [`crate::kernel::Observation::FaultInjected`].
+
+use autarky_prng::SimRng;
+use autarky_sgx_sim::EnclaveId;
+
+/// Which driver entry point a fault decision is being made for.
+///
+/// Not every fault kind makes sense for every syscall; the injector only
+/// considers the kinds applicable to the entry point (see
+/// [`FaultKind::applies_to`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyscallKind {
+    /// `ay_set_enclave_managed`.
+    SetEnclaveManaged,
+    /// `ay_set_os_managed`.
+    SetOsManaged,
+    /// `ay_fetch_pages`.
+    Fetch,
+    /// `ay_evict_pages`.
+    Evict,
+    /// `ay_alloc_pages`.
+    Alloc,
+    /// `ay_protect_pages`.
+    Protect,
+    /// `ay_remove_pages`.
+    Remove,
+    /// `sys_untrusted_read` / `sys_untrusted_write`.
+    Untrusted,
+}
+
+/// The kinds of hostile-OS behaviour the injector can produce.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// Fail the whole call with a transient `OsError::NoMemory`.
+    TransientNoMemory,
+    /// Process only a prefix of the batch, then fail with `NoMemory`.
+    PartialBatch,
+    /// Flip one residence answer in the `ay_set_enclave_managed` reply.
+    WrongResidence,
+    /// Silently skip one page of a fetch batch but still return `Ok`.
+    DropPage,
+    /// Evict one pinned enclave-managed page (contract violation),
+    /// then service the call normally.
+    SpuriousEvict,
+    /// Flip a ciphertext byte of a sealed backing-store blob about to be
+    /// fetched.
+    CorruptBacking,
+    /// Swap a sealed backing-store blob for a stale (older-version) copy.
+    ReplayBacking,
+    /// Charge extra cycles to the machine clock (scheduling delay),
+    /// then service the call normally.
+    Delay,
+    /// Suspend the whole enclave mid-batch (`OsError::Suspended`); the
+    /// injector resumes it at the next syscall entry.
+    Suspend,
+}
+
+impl FaultKind {
+    /// All kinds, in the fixed order used for the cumulative draw.
+    pub const ALL: [FaultKind; 9] = [
+        FaultKind::Delay,
+        FaultKind::TransientNoMemory,
+        FaultKind::PartialBatch,
+        FaultKind::Suspend,
+        FaultKind::WrongResidence,
+        FaultKind::DropPage,
+        FaultKind::SpuriousEvict,
+        FaultKind::CorruptBacking,
+        FaultKind::ReplayBacking,
+    ];
+
+    /// Whether this kind can be injected into the given entry point.
+    pub fn applies_to(self, syscall: SyscallKind) -> bool {
+        use FaultKind::*;
+        use SyscallKind::*;
+        match self {
+            Delay => true,
+            TransientNoMemory => matches!(syscall, Fetch | Alloc | Evict),
+            PartialBatch => matches!(syscall, Fetch | Alloc | Evict),
+            Suspend => matches!(
+                syscall,
+                SetEnclaveManaged | SetOsManaged | Fetch | Evict | Alloc
+            ),
+            WrongResidence => matches!(syscall, SetEnclaveManaged),
+            DropPage => matches!(syscall, Fetch),
+            SpuriousEvict => matches!(syscall, Fetch | Evict),
+            CorruptBacking => matches!(syscall, Fetch),
+            ReplayBacking => matches!(syscall, Fetch),
+        }
+    }
+}
+
+/// A seeded per-syscall fault schedule.
+///
+/// Each field is the probability (per applicable syscall) of injecting
+/// that fault kind. The probabilities of the kinds applicable to one
+/// syscall must sum to at most 1.0; at most one fault fires per call.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Seed for the dedicated injection RNG stream.
+    pub seed: u64,
+    /// P(whole-call transient `NoMemory`).
+    pub transient_no_memory: f64,
+    /// P(batch stops after a prefix, with transient `NoMemory`).
+    pub partial_batch: f64,
+    /// P(one flipped residence answer).
+    pub wrong_residence: f64,
+    /// P(one silently dropped page per fetch).
+    pub drop_page: f64,
+    /// P(one pinned page spuriously evicted).
+    pub spurious_evict: f64,
+    /// P(sealed blob corrupted before fetch).
+    pub corrupt_backing: f64,
+    /// P(sealed blob replayed from a stale copy before fetch).
+    pub replay_backing: f64,
+    /// P(extra scheduling delay charged to the clock).
+    pub delay: f64,
+    /// Cycles charged per injected delay.
+    pub delay_cycles: u64,
+    /// P(whole-enclave suspend mid-batch).
+    pub suspend: f64,
+    /// Stop injecting after this many faults (`None` = unbounded).
+    pub max_injections: Option<u64>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (useful as a baseline).
+    pub fn quiescent(seed: u64) -> Self {
+        Self {
+            seed,
+            transient_no_memory: 0.0,
+            partial_batch: 0.0,
+            wrong_residence: 0.0,
+            drop_page: 0.0,
+            spurious_evict: 0.0,
+            corrupt_backing: 0.0,
+            replay_backing: 0.0,
+            delay: 0.0,
+            delay_cycles: 0,
+            suspend: 0.0,
+            max_injections: None,
+        }
+    }
+
+    /// A plan of only *transient* faults (delays, whole-call `NoMemory`,
+    /// partial batches, suspensions) at the given per-syscall rate each.
+    /// A hardened runtime must absorb these with retries — they must
+    /// never escalate to `AttackDetected`.
+    pub fn transient_only(seed: u64, rate: f64) -> Self {
+        Self {
+            transient_no_memory: rate,
+            partial_batch: rate,
+            delay: rate,
+            delay_cycles: 2_000,
+            suspend: rate / 4.0,
+            ..Self::quiescent(seed)
+        }
+    }
+
+    /// A plan that also lies and tampers (wrong residence answers,
+    /// dropped pages, pinned-page eviction, backing-store corruption and
+    /// replay) at the given per-syscall rate each.
+    pub fn hostile(seed: u64, rate: f64) -> Self {
+        Self {
+            wrong_residence: rate,
+            drop_page: rate,
+            spurious_evict: rate,
+            corrupt_backing: rate,
+            replay_backing: rate,
+            ..Self::transient_only(seed, rate)
+        }
+    }
+
+    fn rate_of(&self, kind: FaultKind) -> f64 {
+        match kind {
+            FaultKind::TransientNoMemory => self.transient_no_memory,
+            FaultKind::PartialBatch => self.partial_batch,
+            FaultKind::WrongResidence => self.wrong_residence,
+            FaultKind::DropPage => self.drop_page,
+            FaultKind::SpuriousEvict => self.spurious_evict,
+            FaultKind::CorruptBacking => self.corrupt_backing,
+            FaultKind::ReplayBacking => self.replay_backing,
+            FaultKind::Delay => self.delay,
+            FaultKind::Suspend => self.suspend,
+        }
+    }
+}
+
+/// One injected fault, as applied (recorded in the observation stream).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum InjectedFault {
+    /// The call failed with transient `NoMemory` before doing anything.
+    TransientNoMemory,
+    /// Only the first `completed` batch entries were processed.
+    PartialBatch {
+        /// Number of leading batch entries that were processed.
+        completed: usize,
+    },
+    /// The residence answer at batch index `index` was flipped.
+    WrongResidence {
+        /// Index into the syscall's page list.
+        index: usize,
+    },
+    /// The page at batch index `index` was skipped but reported fetched.
+    DropPage {
+        /// Index into the syscall's page list.
+        index: usize,
+    },
+    /// A pinned enclave-managed page was evicted behind the runtime's
+    /// back.
+    SpuriousEvict {
+        /// The victim page.
+        vpn: autarky_sgx_sim::Vpn,
+    },
+    /// A sealed blob's ciphertext was corrupted.
+    CorruptBacking {
+        /// The tampered page.
+        vpn: autarky_sgx_sim::Vpn,
+    },
+    /// A sealed blob was replaced by a stale copy.
+    ReplayBacking {
+        /// The replayed page.
+        vpn: autarky_sgx_sim::Vpn,
+    },
+    /// Extra cycles were charged to the clock.
+    Delay {
+        /// Cycles charged.
+        cycles: u64,
+    },
+    /// The enclave was suspended after `completed` batch entries.
+    Suspend {
+        /// Number of leading batch entries that were processed.
+        completed: usize,
+    },
+}
+
+/// The armed injector: plan + dedicated RNG stream + bookkeeping.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    plan: FaultPlan,
+    rng: SimRng,
+    injected: u64,
+    /// Enclave suspended by an injected [`FaultKind::Suspend`], to be
+    /// resumed transparently at the next syscall entry.
+    pending_resume: Option<EnclaveId>,
+}
+
+impl FaultInjector {
+    /// Arm an injector for `plan`.
+    pub fn new(plan: FaultPlan) -> Self {
+        let rng = SimRng::seed_from_u64(plan.seed);
+        Self {
+            plan,
+            rng,
+            injected: 0,
+            pending_resume: None,
+        }
+    }
+
+    /// The plan this injector runs.
+    pub fn plan(&self) -> &FaultPlan {
+        &self.plan
+    }
+
+    /// Faults injected so far.
+    pub fn injected(&self) -> u64 {
+        self.injected
+    }
+
+    /// Decide the fault (if any) for one syscall over a batch of
+    /// `batch_len` pages. Exactly one uniform draw is consumed per call;
+    /// secondary draws (victim index, prefix length) happen only when a
+    /// fault fires, so the schedule stays deterministic for a fixed
+    /// syscall sequence.
+    pub fn decide(&mut self, syscall: SyscallKind, batch_len: usize) -> Option<FaultKind> {
+        let u = self.rng.gen_f64();
+        if let Some(max) = self.plan.max_injections {
+            if self.injected >= max {
+                return None;
+            }
+        }
+        let mut cum = 0.0;
+        for kind in FaultKind::ALL {
+            if !kind.applies_to(syscall) {
+                continue;
+            }
+            cum += self.plan.rate_of(kind);
+            if u < cum {
+                // Batch-shaping faults need a non-trivial batch.
+                let needs_batch = matches!(
+                    kind,
+                    FaultKind::PartialBatch | FaultKind::WrongResidence | FaultKind::DropPage
+                );
+                if needs_batch && batch_len == 0 {
+                    return None;
+                }
+                return Some(kind);
+            }
+        }
+        None
+    }
+
+    /// Record that a decided fault was actually applied.
+    pub(crate) fn record(&mut self) {
+        self.injected += 1;
+    }
+
+    /// Draw an index into a batch of `len` pages (used by batch-shaping
+    /// faults once a kind has fired).
+    pub(crate) fn pick_index(&mut self, len: usize) -> usize {
+        debug_assert!(len > 0);
+        self.rng.gen_range_usize(0..len)
+    }
+
+    /// Extra cycles for an injected delay.
+    pub(crate) fn delay_cycles(&self) -> u64 {
+        self.plan.delay_cycles
+    }
+
+    /// Mark `eid` as suspended-by-injection.
+    pub(crate) fn set_pending_resume(&mut self, eid: EnclaveId) {
+        self.pending_resume = Some(eid);
+    }
+
+    /// The enclave suspended by injection, if any (without clearing).
+    pub(crate) fn peek_pending_resume(&self) -> Option<EnclaveId> {
+        self.pending_resume
+    }
+
+    /// Take the pending injected suspension, if any.
+    pub(crate) fn take_pending_resume(&mut self) -> Option<EnclaveId> {
+        self.pending_resume.take()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quiescent_plan_never_fires() {
+        let mut inj = FaultInjector::new(FaultPlan::quiescent(1));
+        for _ in 0..1000 {
+            assert_eq!(inj.decide(SyscallKind::Fetch, 4), None);
+        }
+    }
+
+    #[test]
+    fn same_seed_same_schedule() {
+        let mk = || FaultInjector::new(FaultPlan::hostile(42, 0.05));
+        let (mut a, mut b) = (mk(), mk());
+        for i in 0..2000 {
+            let kind = [
+                SyscallKind::Fetch,
+                SyscallKind::Evict,
+                SyscallKind::Alloc,
+                SyscallKind::SetEnclaveManaged,
+            ][i % 4];
+            assert_eq!(a.decide(kind, 3), b.decide(kind, 3), "call {i}");
+        }
+    }
+
+    #[test]
+    fn rates_roughly_respected() {
+        let mut inj = FaultInjector::new(FaultPlan::transient_only(7, 0.1));
+        let fired = (0..10_000)
+            .filter(|_| inj.decide(SyscallKind::Fetch, 4).is_some())
+            .count();
+        // delay + no_memory + partial + suspend/4 = 0.325 expected.
+        assert!((2800..3700).contains(&fired), "fired {fired}");
+    }
+
+    #[test]
+    fn kinds_respect_applicability() {
+        let mut inj = FaultInjector::new(FaultPlan::hostile(3, 0.08));
+        for _ in 0..5000 {
+            if let Some(kind) = inj.decide(SyscallKind::Protect, 2) {
+                assert_eq!(kind, FaultKind::Delay, "only delay applies to protect");
+            }
+            if let Some(kind) = inj.decide(SyscallKind::SetEnclaveManaged, 2) {
+                assert!(
+                    matches!(
+                        kind,
+                        FaultKind::Delay | FaultKind::Suspend | FaultKind::WrongResidence
+                    ),
+                    "unexpected {kind:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn max_injections_caps_schedule() {
+        let plan = FaultPlan {
+            max_injections: Some(3),
+            ..FaultPlan::transient_only(5, 0.5)
+        };
+        let mut inj = FaultInjector::new(plan);
+        let mut applied = 0;
+        for _ in 0..1000 {
+            if inj.decide(SyscallKind::Fetch, 4).is_some() {
+                inj.record();
+                applied += 1;
+            }
+        }
+        assert_eq!(applied, 3);
+    }
+
+    #[test]
+    fn batch_shaping_faults_skip_empty_batches() {
+        let plan = FaultPlan {
+            partial_batch: 1.0,
+            ..FaultPlan::quiescent(9)
+        };
+        let mut inj = FaultInjector::new(plan);
+        assert_eq!(inj.decide(SyscallKind::Fetch, 0), None);
+        assert_eq!(
+            inj.decide(SyscallKind::Fetch, 4),
+            Some(FaultKind::PartialBatch)
+        );
+    }
+}

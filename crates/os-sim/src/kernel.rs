@@ -16,6 +16,7 @@ use autarky_sgx_sim::{
 use crate::attack::Attacker;
 use crate::backing::BackingStore;
 use crate::eviction::{EvictionPolicy, EvictionState};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan, InjectedFault, SyscallKind};
 use crate::image::EnclaveImage;
 
 /// Errors surfaced by OS operations.
@@ -52,7 +53,15 @@ impl core::fmt::Display for OsError {
     }
 }
 
-impl std::error::Error for OsError {}
+impl std::error::Error for OsError {
+    /// The architectural error that caused this one, when there is one.
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            OsError::Sgx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 /// One adversary-visible event. The attack oracles consume only this
 /// stream (plus direct page-table inspection) — never enclave-internal
@@ -127,6 +136,13 @@ pub enum Observation {
         /// Whether the dirty bit (vs just accessed) was set.
         dirty: bool,
     },
+    /// The fault injector perturbed a driver call (robustness harness).
+    FaultInjected {
+        /// Enclave whose call was perturbed.
+        eid: EnclaveId,
+        /// What was injected, as applied.
+        fault: InjectedFault,
+    },
 }
 
 /// What `Os::on_fault` decided.
@@ -166,6 +182,8 @@ pub struct Os {
     observations: Vec<Observation>,
     /// Use exitless calls for enclave syscalls (Graphene/Eleos style).
     pub exitless: bool,
+    /// Armed fault injector (robustness harness), if any.
+    pub(crate) injector: Option<FaultInjector>,
 }
 
 impl Os {
@@ -178,6 +196,132 @@ impl Os {
             attacker: Attacker::None,
             observations: Vec::new(),
             exitless: true,
+            injector: None,
+        }
+    }
+
+    // ----------------------------------------------------------------
+    // Fault injection (robustness harness).
+    // ----------------------------------------------------------------
+
+    /// Arm the hostile-OS fault injector with `plan`. Subsequent driver
+    /// calls are perturbed per the plan's seeded schedule; every injected
+    /// fault is recorded as [`Observation::FaultInjected`].
+    pub fn arm_fault_plan(&mut self, plan: FaultPlan) {
+        self.injector = Some(FaultInjector::new(plan));
+    }
+
+    /// Disarm the injector, returning how many faults it injected.
+    pub fn disarm_fault_plan(&mut self) -> u64 {
+        self.injector.take().map(|i| i.injected()).unwrap_or(0)
+    }
+
+    /// Faults injected so far by the armed injector.
+    pub fn injected_fault_count(&self) -> u64 {
+        self.injector.as_ref().map(|i| i.injected()).unwrap_or(0)
+    }
+
+    /// Whether an injected suspend is awaiting its transparent resume
+    /// (exposed so the fault path can model the OS resuming the enclave
+    /// before the next entry, as the syscall-entry hook would).
+    pub fn has_pending_injected_resume(&self) -> bool {
+        self.injector
+            .as_ref()
+            .and_then(|inj| inj.peek_pending_resume())
+            .is_some()
+    }
+
+    /// Syscall-entry hook: transparently resume an enclave that an
+    /// injected [`FaultKind::Suspend`] put to sleep. The OS decided to
+    /// swap the enclave out; by the time the runtime retries, it has
+    /// decided to bring it back. The pending marker is only cleared once
+    /// resumption succeeds, so a transient resume failure (EPC pressure)
+    /// is retried at the next syscall entry.
+    pub fn resume_injected_suspend(&mut self) -> Result<(), OsError> {
+        let pending = self
+            .injector
+            .as_ref()
+            .and_then(|inj| inj.peek_pending_resume());
+        if let Some(suspended) = pending {
+            if self.is_suspended(suspended) {
+                self.resume_enclave(suspended)?;
+            }
+            if let Some(inj) = self.injector.as_mut() {
+                inj.take_pending_resume();
+            }
+        }
+        Ok(())
+    }
+
+    /// Draw the fault decision for one driver call (one RNG draw).
+    pub(crate) fn inject_decide(
+        &mut self,
+        syscall: SyscallKind,
+        batch_len: usize,
+    ) -> Option<FaultKind> {
+        self.injector
+            .as_mut()
+            .and_then(|inj| inj.decide(syscall, batch_len))
+    }
+
+    /// Record an applied fault in the log and the injector's count.
+    pub(crate) fn record_injection(&mut self, eid: EnclaveId, fault: InjectedFault) {
+        if let Some(inj) = self.injector.as_mut() {
+            inj.record();
+        }
+        self.observe(Observation::FaultInjected { eid, fault });
+    }
+
+    /// Apply an injected whole-enclave suspension after `completed` batch
+    /// entries: evict everything, remember to resume at the next syscall
+    /// entry, and return the error the current call must fail with.
+    pub(crate) fn apply_injected_suspend(&mut self, eid: EnclaveId, completed: usize) -> OsError {
+        if let Err(e) = self.suspend_enclave(eid) {
+            return e;
+        }
+        if let Some(inj) = self.injector.as_mut() {
+            inj.set_pending_resume(eid);
+        }
+        self.record_injection(eid, InjectedFault::Suspend { completed });
+        OsError::Suspended(eid)
+    }
+
+    /// Apply an injected delay: charge the cycle model and log it.
+    pub(crate) fn apply_injected_delay(&mut self, eid: EnclaveId) {
+        let cycles = self
+            .injector
+            .as_ref()
+            .map(|inj| inj.delay_cycles())
+            .unwrap_or(0);
+        self.machine.clock.charge(cycles);
+        self.record_injection(eid, InjectedFault::Delay { cycles });
+    }
+
+    /// Pick a batch index for a batch-shaping fault.
+    pub(crate) fn inject_pick_index(&mut self, len: usize) -> usize {
+        self.injector
+            .as_mut()
+            .map(|inj| inj.pick_index(len))
+            .unwrap_or(0)
+    }
+
+    /// Apply an injected spurious eviction: evict the lowest-numbered
+    /// pinned (enclave-managed, resident) page, violating the pin
+    /// contract. Returns whether a victim existed.
+    pub(crate) fn apply_spurious_evict(&mut self, eid: EnclaveId) -> Result<bool, OsError> {
+        let victim = self
+            .proc(eid)?
+            .enclave_managed
+            .iter()
+            .copied()
+            .find(|&vpn| self.machine.is_resident(eid, vpn));
+        match victim {
+            Some(vpn) => {
+                self.evict_page_ewb(eid, vpn)?;
+                self.record_injection(eid, InjectedFault::SpuriousEvict { vpn });
+                Ok(true)
+            }
+            None => Ok(false),
         }
     }
 

@@ -15,6 +15,8 @@
 //! * [`attack`] — the published controlled-channel attacks (page-fault
 //!   tracing, A/D-bit monitoring) as OS-resident machinery;
 //! * [`backing`] — untrusted swap storage;
+//! * [`fault`] — deterministic, seeded hostile-OS fault injection
+//!   threaded through every driver entry point;
 //! * [`image`] — enclave image descriptions for the loader;
 //! * [`eviction`] — clock and FIFO victim selection.
 //!
@@ -24,11 +26,15 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// The simulated OS must stay runnable under every injected fault
+// schedule: fallible paths return `OsError`, they do not abort.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod attack;
 pub mod backing;
 pub mod driver;
 pub mod eviction;
+pub mod fault;
 pub mod hypervisor;
 pub mod image;
 pub mod kernel;
@@ -36,6 +42,7 @@ pub mod kernel;
 pub use attack::{AdMonitor, Attacker, FaultTracer, TraceMode};
 pub use backing::BackingStore;
 pub use eviction::{EvictionPolicy, EvictionState};
+pub use fault::{FaultInjector, FaultKind, FaultPlan, InjectedFault, SyscallKind};
 pub use hypervisor::{BalloonOutcome, Hypervisor, VmId};
 pub use image::EnclaveImage;
 pub use kernel::{FaultDisposition, Observation, Os, OsError};

@@ -6,7 +6,9 @@
 //! *defense* — are tested in `autarky-runtime` and the workspace-level
 //! `tests/attack_defense.rs`.)
 
-use autarky_os_sim::{EnclaveImage, FaultDisposition, Observation, Os, OsError};
+use autarky_os_sim::{
+    EnclaveImage, FaultDisposition, FaultPlan, InjectedFault, Observation, Os, OsError,
+};
 use autarky_sgx_sim::machine::MachineConfig;
 use autarky_sgx_sim::{AccessError, EnclaveId, SgxError, Va, Vpn};
 
@@ -366,6 +368,222 @@ fn self_paging_enclave_fault_forces_reentry() {
     // We are now "inside" the handler; the trusted side sees real info.
     let info = os.machine.ssa_exinfo(eid, 0).expect("tcs").expect("exinfo");
     assert_eq!(info.va, page.base());
+}
+
+/// The `completed` prefix length of the first injected partial batch in
+/// an observation stream, if any.
+fn partial_fault_completed(obs: &[Observation]) -> Option<usize> {
+    obs.iter().find_map(|o| match o {
+        Observation::FaultInjected {
+            fault: InjectedFault::PartialBatch { completed },
+            ..
+        } => Some(*completed),
+        _ => None,
+    })
+}
+
+/// `ay_evict_pages` documents that on error a prefix of the batch may
+/// already be evicted and a verbatim retry then fails with `BadRequest`;
+/// callers must reconcile against residency first. The partial-batch
+/// injector exercises exactly that contract.
+#[test]
+fn partial_batch_evict_prefix_semantics_and_reconciled_retry() {
+    // Scan seeds for an interior split (0 < completed) so the processed
+    // prefix is non-empty; the prefix index is a seeded secondary draw.
+    for seed in 0..64 {
+        let mut os = os_with_frames(128);
+        let img = small_image("pb-evict", true);
+        let eid = os.load_enclave(&img).expect("load");
+        let pages: Vec<Vpn> = (img.data_start().0..img.stack_start().0).map(Vpn).collect();
+        os.ay_set_enclave_managed(eid, &pages).expect("claim");
+        os.take_observations();
+        os.arm_fault_plan(FaultPlan {
+            partial_batch: 1.0,
+            max_injections: Some(1),
+            ..FaultPlan::quiescent(seed)
+        });
+        let err = os
+            .ay_evict_pages(eid, &pages)
+            .expect_err("partial batch fails");
+        assert_eq!(err, OsError::NoMemory, "surfaces as transient NoMemory");
+        let completed =
+            partial_fault_completed(&os.take_observations()).expect("fault observed in log");
+        // Documented state: pages[..completed] out, pages[completed..]
+        // untouched.
+        for (i, &vpn) in pages.iter().enumerate() {
+            assert_eq!(os.machine.is_resident(eid, vpn), i >= completed, "page {i}");
+        }
+        if completed == 0 {
+            continue;
+        }
+        // A verbatim retry trips over the already-evicted prefix.
+        assert!(matches!(
+            os.ay_evict_pages(eid, &pages),
+            Err(OsError::BadRequest(_))
+        ));
+        // Reconciling against residency completes the batch.
+        let remaining: Vec<Vpn> = pages
+            .iter()
+            .copied()
+            .filter(|&vpn| os.machine.is_resident(eid, vpn))
+            .collect();
+        os.ay_evict_pages(eid, &remaining)
+            .expect("reconciled retry");
+        assert!(pages.iter().all(|&vpn| !os.machine.is_resident(eid, vpn)));
+        return;
+    }
+    panic!("no seed in 0..64 produced a non-empty evicted prefix");
+}
+
+/// `ay_alloc_pages` documents the mirror contract: after a partial batch
+/// the allocated prefix is resident, a verbatim retry is rejected with
+/// `BadRequest("alloc of resident page")`, and the retry must skip pages
+/// that are now resident.
+#[test]
+fn partial_batch_alloc_retry_must_skip_resident_prefix() {
+    for seed in 0..64 {
+        let mut os = os_with_frames(128);
+        let img = small_image("pb-alloc", true);
+        let eid = os.load_enclave(&img).expect("load");
+        let heap: Vec<Vpn> = img.heap_range().take(8).collect();
+        os.take_observations();
+        os.arm_fault_plan(FaultPlan {
+            partial_batch: 1.0,
+            max_injections: Some(1),
+            ..FaultPlan::quiescent(seed)
+        });
+        let err = os
+            .ay_alloc_pages(eid, &heap)
+            .expect_err("partial alloc fails");
+        assert_eq!(err, OsError::NoMemory);
+        let completed =
+            partial_fault_completed(&os.take_observations()).expect("fault observed in log");
+        for (i, &vpn) in heap.iter().enumerate() {
+            assert_eq!(os.machine.is_resident(eid, vpn), i < completed, "page {i}");
+        }
+        if completed == 0 {
+            continue;
+        }
+        assert!(matches!(
+            os.ay_alloc_pages(eid, &heap),
+            Err(OsError::BadRequest(_))
+        ));
+        let missing: Vec<Vpn> = heap
+            .iter()
+            .copied()
+            .filter(|&vpn| !os.machine.is_resident(eid, vpn))
+            .collect();
+        os.ay_alloc_pages(eid, &missing).expect("reconciled retry");
+        assert!(heap.iter().all(|&vpn| os.machine.is_resident(eid, vpn)));
+        return;
+    }
+    panic!("no seed in 0..64 produced a non-empty allocated prefix");
+}
+
+/// Fetch of an already-resident page is an idempotent remap, so — unlike
+/// evict and alloc — a fetch batch that failed part-way may be retried
+/// verbatim.
+#[test]
+fn partial_batch_fetch_is_retry_safe_verbatim() {
+    for seed in 0..64 {
+        let mut os = os_with_frames(128);
+        let img = small_image("pb-fetch", true);
+        let eid = os.load_enclave(&img).expect("load");
+        let pages: Vec<Vpn> = (img.data_start().0..img.stack_start().0).map(Vpn).collect();
+        os.ay_set_enclave_managed(eid, &pages).expect("claim");
+        os.ay_evict_pages(eid, &pages).expect("evict all");
+        os.take_observations();
+        os.arm_fault_plan(FaultPlan {
+            partial_batch: 1.0,
+            max_injections: Some(1),
+            ..FaultPlan::quiescent(seed)
+        });
+        let err = os
+            .ay_fetch_pages(eid, &pages)
+            .expect_err("partial fetch fails");
+        assert_eq!(err, OsError::NoMemory);
+        let completed =
+            partial_fault_completed(&os.take_observations()).expect("fault observed in log");
+        for (i, &vpn) in pages.iter().enumerate() {
+            assert_eq!(os.machine.is_resident(eid, vpn), i < completed, "page {i}");
+        }
+        if completed == 0 {
+            continue;
+        }
+        os.ay_fetch_pages(eid, &pages)
+            .expect("verbatim retry is safe for fetch");
+        assert!(pages.iter().all(|&vpn| os.machine.is_resident(eid, vpn)));
+        return;
+    }
+    panic!("no seed in 0..64 produced a non-empty fetched prefix");
+}
+
+/// An injected whole-enclave suspension fails the in-flight call with
+/// `Suspended`, and the next driver entry transparently resumes the
+/// enclave (as a real kernel's syscall-entry hook would) before
+/// servicing the call.
+#[test]
+fn injected_suspend_surfaces_then_auto_resumes() {
+    let mut os = os_with_frames(128);
+    let img = small_image("pb-susp", true);
+    let eid = os.load_enclave(&img).expect("load");
+    let pages: Vec<Vpn> = (img.data_start().0..img.stack_start().0).map(Vpn).collect();
+    os.ay_set_enclave_managed(eid, &pages).expect("claim");
+    os.arm_fault_plan(FaultPlan {
+        suspend: 1.0,
+        max_injections: Some(1),
+        ..FaultPlan::quiescent(11)
+    });
+    let err = os
+        .ay_evict_pages(eid, &pages)
+        .expect_err("injected suspend");
+    assert_eq!(err, OsError::Suspended(eid));
+    assert!(os.is_suspended(eid), "whole enclave swapped out");
+    assert_eq!(os.machine.epc_frames_of(eid), 0);
+    // Resume restores every sealed page, so the verbatim list is fully
+    // resident again and the retried evict completes.
+    os.ay_evict_pages(eid, &pages)
+        .expect("auto-resume then evict");
+    assert!(!os.is_suspended(eid));
+    assert!(pages.iter().all(|&vpn| !os.machine.is_resident(eid, vpn)));
+}
+
+/// A fixed (seed, plan, workload) triple yields a bit-for-bit identical
+/// outcome sequence, observation stream, final cycle count, and injected
+/// fault tally.
+#[test]
+fn injector_schedule_is_deterministic() {
+    let run = |seed: u64| {
+        let mut os = os_with_frames(64);
+        let img = small_image("det", true);
+        let eid = os.load_enclave(&img).expect("load");
+        let pages: Vec<Vpn> = (img.data_start().0..img.stack_start().0).map(Vpn).collect();
+        os.ay_set_enclave_managed(eid, &pages).expect("claim");
+        os.arm_fault_plan(FaultPlan::hostile(seed, 0.2));
+        let mut outcomes = Vec::new();
+        for round in 0..50 {
+            let result = if round % 2 == 0 {
+                os.ay_evict_pages(eid, &pages)
+            } else {
+                os.ay_fetch_pages(eid, &pages)
+            };
+            outcomes.push(result);
+        }
+        (
+            outcomes,
+            os.take_observations(),
+            os.machine.clock.now(),
+            os.disarm_fault_plan(),
+        )
+    };
+    let a = run(1234);
+    let b = run(1234);
+    assert_eq!(a, b, "same seed + plan => identical replay");
+    let c = run(4321);
+    assert!(
+        a.1 != c.1 || a.2 != c.2,
+        "different seed perturbs the schedule"
+    );
 }
 
 #[test]

@@ -132,28 +132,41 @@ impl ClusterMap {
     /// joins the currently-filling auto-cluster; when it reaches the
     /// configured size, a new one is started. Returns the page's cluster,
     /// or `None` when auto-clustering is disabled.
-    pub fn auto_assign(&mut self, page: Vpn) -> Option<ClusterId> {
+    ///
+    /// Fails with [`RtError::BadCluster`] only if the registry is
+    /// inconsistent (e.g. the current auto-cluster was released out from
+    /// under the allocator) — callers on the allocation path propagate
+    /// this instead of panicking.
+    pub fn auto_assign(&mut self, page: Vpn) -> Result<Option<ClusterId>, RtError> {
         if self.auto_size == 0 {
-            return None;
+            return Ok(None);
         }
         let id = match self.auto_current {
-            Some(id) if self.cluster_len(id) < self.auto_size => id,
+            Some(id)
+                if self.clusters.contains_key(&id) && self.cluster_len(id) < self.auto_size =>
+            {
+                id
+            }
             _ => {
                 let id = self.new_cluster();
                 self.auto_current = Some(id);
                 id
             }
         };
-        self.ay_add_page(id, page).expect("auto cluster exists");
-        Some(id)
+        self.ay_add_page(id, page)?;
+        Ok(Some(id))
     }
 
     /// On `free`, merge under-full auto clusters so they stay near-full
     /// (the paper's allocator extension). Returns the id everything was
     /// merged into, if a merge happened.
-    pub fn merge_underfull(&mut self) -> Option<ClusterId> {
+    ///
+    /// Fails with [`RtError::BadCluster`] only on registry inconsistency
+    /// (a page listed by a cluster that does not contain it); the error is
+    /// typed so the allocator's `free` path stays panic-free.
+    pub fn merge_underfull(&mut self) -> Result<Option<ClusterId>, RtError> {
         if self.auto_size == 0 {
-            return None;
+            return Ok(None);
         }
         let mut underfull: Vec<ClusterId> = self
             .clusters
@@ -163,7 +176,7 @@ impl ClusterMap {
             .collect();
         underfull.sort_unstable();
         if underfull.len() < 2 {
-            return None;
+            return Ok(None);
         }
         let target = underfull[0];
         for &src in &underfull[1..] {
@@ -175,11 +188,11 @@ impl ClusterMap {
                 if self.cluster_len(target) >= self.auto_size {
                     break;
                 }
-                self.ay_remove_page(src, page).expect("page listed");
-                self.ay_add_page(target, page).expect("target exists");
+                self.ay_remove_page(src, page)?;
+                self.ay_add_page(target, page)?;
             }
         }
-        Some(target)
+        Ok(Some(target))
     }
 
     /// The fetch set for a fault on `page`: the union of pages of the
@@ -342,7 +355,11 @@ mod tests {
         map.ay_init_clusters(0, 3);
         let mut ids = Vec::new();
         for n in 0..7u64 {
-            ids.push(map.auto_assign(Vpn(n)).expect("auto enabled"));
+            ids.push(
+                map.auto_assign(Vpn(n))
+                    .expect("add ok")
+                    .expect("auto enabled"),
+            );
         }
         assert_eq!(ids[0], ids[1]);
         assert_eq!(ids[1], ids[2]);
@@ -354,7 +371,7 @@ mod tests {
     #[test]
     fn auto_disabled_returns_none() {
         let mut map = ClusterMap::default();
-        assert!(map.auto_assign(Vpn(1)).is_none());
+        assert!(map.auto_assign(Vpn(1)).expect("add ok").is_none());
     }
 
     #[test]
@@ -363,13 +380,16 @@ mod tests {
         map.ay_init_clusters(0, 4);
         // id0 fills with pages 0-3, id1 gets 4-5.
         for n in 0..6u64 {
-            map.auto_assign(Vpn(n));
+            map.auto_assign(Vpn(n)).expect("add ok");
         }
         // Freeing pages 2 and 3 leaves id0 under-full alongside id1.
         let id0 = map.ay_get_cluster_ids(Vpn(0))[0];
         map.ay_remove_page(id0, Vpn(2)).expect("rm");
         map.ay_remove_page(id0, Vpn(3)).expect("rm");
-        let merged = map.merge_underfull().expect("two underfull clusters");
+        let merged = map
+            .merge_underfull()
+            .expect("merge ok")
+            .expect("two underfull clusters");
         assert_eq!(map.cluster_len(merged), 4, "merged cluster full again");
     }
 

@@ -41,6 +41,38 @@ pub enum RtError {
     SealBroken(Vpn),
 }
 
+impl RtError {
+    /// Whether the error is *transient*: an honest OS under memory
+    /// pressure (or a scheduler suspending the enclave) produces these,
+    /// and retrying after backoff is sound. Everything else is either a
+    /// policy decision (`AttackDetected`, `RateLimitExceeded`, budget or
+    /// heap exhaustion) or evidence of OS misbehaviour (`BadRequest`,
+    /// broken seals, replays) and must not be blindly retried.
+    #[must_use]
+    pub fn is_transient(&self) -> bool {
+        matches!(
+            self,
+            RtError::Os(OsError::NoMemory) | RtError::Os(OsError::Suspended(_))
+        )
+    }
+
+    /// Whether the error is evidence of a *hostile* OS rather than
+    /// resource pressure: refused or nonsensical replies, tampered or
+    /// replayed backing store contents. These feed the runtime's
+    /// misbehaviour budget (DESIGN.md, "Threat model under OS
+    /// misbehavior").
+    #[must_use]
+    pub fn is_hostile(&self) -> bool {
+        matches!(
+            self,
+            RtError::Os(OsError::BadRequest(_))
+                | RtError::Os(OsError::Sgx(SgxError::SealBroken | SgxError::Replay(_)))
+                | RtError::Sgx(SgxError::SealBroken | SgxError::Replay(_))
+                | RtError::SealBroken(_)
+        )
+    }
+}
+
 impl From<OsError> for RtError {
     fn from(err: OsError) -> Self {
         RtError::Os(err)
@@ -73,7 +105,17 @@ impl core::fmt::Display for RtError {
     }
 }
 
-impl std::error::Error for RtError {}
+impl std::error::Error for RtError {
+    /// The wrapped OS or architectural error, when one caused this error
+    /// (so `anyhow`-style cause chains do not end at the wrapper).
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RtError::Os(e) => Some(e),
+            RtError::Sgx(e) => Some(e),
+            _ => None,
+        }
+    }
+}
 
 #[cfg(test)]
 mod tests {
@@ -96,5 +138,35 @@ mod tests {
         assert!(matches!(rt, RtError::Sgx(SgxError::EpcFull)));
         let rt: RtError = OsError::NoMemory.into();
         assert!(matches!(rt, RtError::Os(OsError::NoMemory)));
+    }
+
+    #[test]
+    fn source_exposes_cause_chain() {
+        use std::error::Error as _;
+        let rt = RtError::Os(OsError::Sgx(SgxError::SealBroken));
+        let os = rt.source().expect("OS cause");
+        assert_eq!(
+            os.to_string(),
+            OsError::Sgx(SgxError::SealBroken).to_string()
+        );
+        let sgx = os.source().expect("SGX cause");
+        assert_eq!(sgx.to_string(), SgxError::SealBroken.to_string());
+        assert!(RtError::OutOfMemory.source().is_none());
+    }
+
+    #[test]
+    fn transient_vs_hostile_taxonomy() {
+        use autarky_sgx_sim::EnclaveId;
+        assert!(RtError::Os(OsError::NoMemory).is_transient());
+        assert!(RtError::Os(OsError::Suspended(EnclaveId(1))).is_transient());
+        assert!(!RtError::Os(OsError::NoMemory).is_hostile());
+        assert!(RtError::Os(OsError::BadRequest("nonsense")).is_hostile());
+        assert!(RtError::Os(OsError::Sgx(SgxError::Replay(Vpn(3)))).is_hostile());
+        assert!(RtError::SealBroken(Vpn(9)).is_hostile());
+        let attack = RtError::AttackDetected {
+            vpn: Vpn(1),
+            why: "test",
+        };
+        assert!(!attack.is_transient() && !attack.is_hostile());
     }
 }

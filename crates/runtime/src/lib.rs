@@ -22,6 +22,10 @@
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
+// Trusted code must degrade gracefully, never abort: every fallible path
+// returns a typed `RtError` (see DESIGN.md, "Threat model under OS
+// misbehavior").
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod cluster;
 pub mod error;
@@ -32,4 +36,4 @@ pub mod runtime;
 pub use cluster::{ClusterId, ClusterMap};
 pub use error::RtError;
 pub use ratelimit::{RateLimit, RateLimiter};
-pub use runtime::{PagingMechanism, PolicyMode, RtStats, Runtime, RuntimeConfig};
+pub use runtime::{HardenConfig, PagingMechanism, PolicyMode, RtStats, Runtime, RuntimeConfig};

@@ -49,11 +49,9 @@ pub fn sw_open(
     let nonce = sw_nonce(vpn, version);
     let aad = sw_aad(vpn, version);
     aead::open(key, &nonce, &aad, &mut ciphertext, &tag).ok()?;
-    ciphertext.try_into().ok().map(|b: Vec<u8>| {
-        let mut page = [0u8; PAGE_SIZE];
-        page.copy_from_slice(&b);
-        page
-    })
+    let mut page = [0u8; PAGE_SIZE];
+    page.copy_from_slice(&ciphertext);
+    Some(page)
 }
 
 fn sw_nonce(vpn: Vpn, version: u64) -> [u8; NONCE_LEN] {

@@ -21,7 +21,7 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use autarky_os_sim::{FaultDisposition, Os};
+use autarky_os_sim::{FaultDisposition, Os, OsError};
 use autarky_sgx_sim::{AccessError, EnclaveId, FaultCause, Perms, SgxError, Va, Vpn, PAGE_SIZE};
 
 use crate::cluster::ClusterMap;
@@ -69,6 +69,8 @@ pub struct RuntimeConfig {
     pub auto_cluster_size: usize,
     /// Put all code pages into one per-library cluster at attach time.
     pub cluster_code: bool,
+    /// Hostile-OS hardening knobs (retry, verification, degradation).
+    pub harden: HardenConfig,
 }
 
 impl Default for RuntimeConfig {
@@ -80,6 +82,57 @@ impl Default for RuntimeConfig {
             budget: 0,
             auto_cluster_size: 0,
             cluster_code: true,
+            harden: HardenConfig::default(),
+        }
+    }
+}
+
+/// How the runtime survives an OS that fails, lies, or stalls
+/// (see DESIGN.md, "Threat model under OS misbehavior & fault
+/// injection").
+///
+/// Driver errors are split into two classes. *Transient* errors
+/// (`NoMemory`, `Suspended`) are what an honest OS produces under memory
+/// pressure or scheduling; the runtime absorbs them with bounded,
+/// backoff-charged retries and — under sustained pressure — by shrinking
+/// its own resident budget (the ballooning path, §5.4). *Hostile*
+/// evidence (wrong answers, silently dropped pages, diverging batches) is
+/// counted against a misbehaviour budget; exceeding it escalates to
+/// `AttackDetected` and termination, exactly like a controlled-channel
+/// signal.
+#[derive(Debug, Clone)]
+pub struct HardenConfig {
+    /// Transient driver failures tolerated per operation before the
+    /// (typed) error propagates to the caller.
+    pub max_retries: u32,
+    /// Base of the exponential backoff charged to the simulated clock
+    /// between retries; doubles with each attempt.
+    pub backoff_base_cycles: u64,
+    /// Anomalies (lies, dropped pages, diverged batches) tolerated over
+    /// the enclave's lifetime before the runtime terminates it with
+    /// `AttackDetected`.
+    pub misbehavior_budget: u32,
+    /// Re-verify architectural residency after every fetch-style call,
+    /// catching an OS that claims success without doing the work.
+    pub verify_fetches: bool,
+    /// Under sustained `NoMemory`, cooperatively shrink the resident
+    /// budget (ballooning, §5.4) to relieve EPC pressure instead of
+    /// failing fast. Never applied under `PolicyMode::PinAll`, where
+    /// evicting would turn later legitimate faults into false attacks.
+    pub degrade_on_pressure: bool,
+    /// Floor below which degradation never shrinks the budget.
+    pub degrade_floor: usize,
+}
+
+impl Default for HardenConfig {
+    fn default() -> Self {
+        Self {
+            max_retries: 6,
+            backoff_base_cycles: 2_000,
+            misbehavior_budget: 8,
+            verify_fetches: true,
+            degrade_on_pressure: true,
+            degrade_floor: 8,
         }
     }
 }
@@ -105,6 +158,13 @@ pub struct RtStats {
     pub pages_allocated: u64,
     /// Allocations served.
     pub allocs: u64,
+    /// Transient driver errors absorbed by bounded retry.
+    pub retries: u64,
+    /// OS-misbehaviour anomalies recorded (each is one step toward the
+    /// misbehaviour budget and `AttackDetected`).
+    pub misbehavior: u64,
+    /// Times the runtime shrank its own budget under sustained pressure.
+    pub degradations: u64,
 }
 
 /// The trusted runtime instance for one enclave.
@@ -132,6 +192,8 @@ pub struct Runtime {
     heap: Heap,
     /// Event counters.
     pub stats: RtStats,
+    /// Lifetime anomaly count toward `harden.misbehavior_budget`.
+    misbehavior: u32,
     terminated: bool,
 }
 
@@ -171,6 +233,7 @@ impl Runtime {
                 allocated_until: image.heap_start().0,
             },
             stats: RtStats::default(),
+            misbehavior: 0,
             config,
             terminated: false,
         };
@@ -183,8 +246,16 @@ impl Runtime {
             let pages: Vec<Vpn> = (image.code_start().0..image.heap_start().0)
                 .map(Vpn)
                 .collect();
-            let status = os.ay_set_enclave_managed(eid, &pages)?;
-            for (vpn, resident) in status {
+            let status =
+                rt.with_retries(os, false, |os, eid| os.ay_set_enclave_managed(eid, &pages))?;
+            for (vpn, reported) in status {
+                // The reply travels through untrusted memory; never seed
+                // the tracking (which decides attack-vs-legitimate for
+                // every future fault) from an unverified answer.
+                let resident = os.machine.is_resident(eid, vpn);
+                if reported != resident {
+                    rt.note_misbehavior(os, vpn, "driver lied about residence at attach")?;
+                }
                 let state = if resident {
                     PageState::Resident
                 } else {
@@ -332,9 +403,19 @@ impl Runtime {
                 outcome
             }
             AccessError::Fault(ev) => {
-                match os.on_fault(ev)? {
-                    FaultDisposition::Resumed => Ok(()), // legacy silent path
-                    FaultDisposition::HandlerRequired => {
+                match os.on_fault(ev) {
+                    Err(OsError::Suspended(_)) if os.has_pending_injected_resume() => {
+                        // An injected whole-enclave suspend landed between
+                        // the access and the fault report. The OS resumes
+                        // suspended enclaves at its next convenience (the
+                        // driver does so on syscall entry); model that
+                        // resume here and let the access loop retry.
+                        os.resume_injected_suspend()?;
+                        Ok(())
+                    }
+                    Err(e) => Err(e.into()),
+                    Ok(FaultDisposition::Resumed) => Ok(()), // legacy silent path
+                    Ok(FaultDisposition::HandlerRequired) => {
                         let outcome = self.handle_fault(os);
                         if outcome.is_ok() {
                             if os.machine.elide_handler_invocation() {
@@ -385,7 +466,22 @@ impl Runtime {
                 if !self.limiter.on_fault() {
                     return self.kill_rate_limited(os);
                 }
-                os.ay_fetch_pages(self.eid, &[vpn])?;
+                // A silently dropped fetch would otherwise spin
+                // fault→fetch→fault forever, so verify the result.
+                let mut rounds = 0u32;
+                loop {
+                    self.with_retries(os, true, |os, eid| os.ay_fetch_pages(eid, &[vpn]))?;
+                    if !self.config.harden.verify_fetches || os.machine.is_resident(self.eid, vpn) {
+                        break;
+                    }
+                    rounds += 1;
+                    if rounds > self.config.harden.max_retries {
+                        return Err(RtError::Os(OsError::BadRequest(
+                            "forwarded fetch never became resident",
+                        )));
+                    }
+                    self.note_misbehavior(os, vpn, "forwarded fetch silently dropped")?;
+                }
                 self.stats.forwarded += 1;
                 Ok(())
             }
@@ -469,108 +565,307 @@ impl Runtime {
 
     /// Evict `pages` now (used by the policy and exposed for the paging
     /// microbenchmarks).
+    ///
+    /// Tracking is reconciled against architectural residency afterwards
+    /// even on failure, so a partially-completed batch never leaves the
+    /// runtime believing an evicted page is resident (which would turn
+    /// the next legitimate fault on it into a false `AttackDetected`).
     pub fn evict_pages(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
         if pages.is_empty() {
             return Ok(());
         }
-        match self.config.mechanism {
-            PagingMechanism::Sgx1 => {
-                os.ay_evict_pages(self.eid, pages)?;
-            }
-            PagingMechanism::Sgx2 => {
-                for &vpn in pages {
-                    // Remember the page's permissions so the refetch can
-                    // restore them (code pages must come back executable).
-                    let original = os
-                        .machine
-                        .page_table(self.eid)?
-                        .get(vpn)
-                        .map(|pte| pte.perms)
-                        .unwrap_or(Perms::RW);
-                    self.sw_perms.insert(vpn, original);
-                    // Restrict to read-only so concurrent writes cannot race
-                    // the copy-out, per §6.
-                    os.machine.emodpr(self.eid, vpn, Perms::R)?;
-                    os.machine.eaccept(self.eid, vpn)?;
-                    let contents = os.machine.read_own_page(self.eid, vpn)?;
-                    let version = {
-                        let v = self.sw_versions.entry(vpn).or_insert(0);
-                        *v += 1;
-                        *v
-                    };
-                    os.machine
-                        .clock
-                        .charge(os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64);
-                    let blob = sw_seal(&self.sealing_key, vpn, version, &contents);
-                    os.sys_untrusted_write(blob_key(self.eid.0, vpn), blob);
-                    os.machine.emodt_trim(self.eid, vpn)?;
-                    os.machine.eaccept(self.eid, vpn)?;
-                    os.ay_remove_pages(self.eid, &[vpn])?;
-                }
-            }
-        }
-        for &vpn in pages {
-            if let Some(state) = self.tracked.get_mut(&vpn) {
-                if *state == PageState::Resident {
-                    *state = PageState::Evicted;
-                    self.resident_count -= 1;
-                }
-            }
-            // Lazy FIFO: stale entries are skipped at pop time.
-        }
+        let result = match self.config.mechanism {
+            PagingMechanism::Sgx1 => self.hw_evict(os, pages),
+            PagingMechanism::Sgx2 => self.sw_evict(os, pages),
+        };
+        self.sync_tracking(os, pages);
+        result?;
         self.stats.pages_evicted += pages.len() as u64;
         Ok(())
     }
 
     /// Fetch `pages` now (used by the policy and exposed for the paging
-    /// microbenchmarks).
+    /// microbenchmarks). Like [`Runtime::evict_pages`], tracking is
+    /// reconciled against architectural residency on both success and
+    /// failure.
     pub fn fetch_pages(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
         if pages.is_empty() {
             return Ok(());
         }
-        match self.config.mechanism {
-            PagingMechanism::Sgx1 => {
-                os.ay_fetch_pages(self.eid, pages)?;
-            }
-            PagingMechanism::Sgx2 => {
-                for &vpn in pages {
-                    let key = blob_key(self.eid.0, vpn);
-                    let blob = os.sys_untrusted_read(key).ok_or(RtError::SealBroken(vpn))?;
-                    let version = *self.sw_versions.get(&vpn).unwrap_or(&0);
-                    os.machine
-                        .clock
-                        .charge(os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64);
-                    let contents = sw_open(&self.sealing_key, vpn, version, &blob)
-                        .ok_or(RtError::SealBroken(vpn))?;
-                    os.ay_alloc_pages(self.eid, &[vpn])?;
-                    let perms = self.sw_perms.get(&vpn).copied().unwrap_or(Perms::RW);
-                    os.machine.eacceptcopy(self.eid, vpn, &contents, perms)?;
-                    if perms != Perms::RW {
-                        // Restore the original mapping permissions (code
-                        // pages must come back executable).
-                        os.ay_protect_pages(self.eid, &[vpn], perms)?;
-                    }
-                }
-            }
-        }
-        for &vpn in pages {
-            if let Some(state) = self.tracked.get_mut(&vpn) {
-                if *state == PageState::Evicted {
-                    *state = PageState::Resident;
-                    self.resident_count += 1;
-                    self.fifo.push_back(vpn);
-                }
-            }
-        }
+        let result = match self.config.mechanism {
+            PagingMechanism::Sgx1 => self.hw_fetch(os, pages),
+            PagingMechanism::Sgx2 => self.sw_fetch(os, pages),
+        };
+        self.sync_tracking(os, pages);
+        result?;
         self.stats.pages_fetched += pages.len() as u64;
         Ok(())
+    }
+
+    /// SGXv1 eviction (driver `EWB` batch), hardened against prefix
+    /// failures: the driver may evict only part of the batch before
+    /// erroring, and an injected suspend/resume can bring evicted pages
+    /// *back*, so the request is re-derived from architectural residency
+    /// before every attempt. Retrying a stale list verbatim would hit
+    /// `BadRequest` on its already-evicted prefix.
+    fn hw_evict(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
+        let mut attempts = 0u32;
+        loop {
+            let remaining: Vec<Vpn> = pages
+                .iter()
+                .copied()
+                .filter(|&v| os.machine.is_resident(self.eid, v))
+                .collect();
+            if remaining.is_empty() {
+                return Ok(());
+            }
+            match os.ay_evict_pages(self.eid, &remaining) {
+                Ok(()) => continue, // re-check: a resume may reload pages
+                Err(e @ (OsError::NoMemory | OsError::Suspended(_)))
+                    if attempts < self.config.harden.max_retries =>
+                {
+                    let _ = e;
+                    attempts += 1;
+                    self.stats.retries += 1;
+                    self.charge_backoff(os, attempts);
+                }
+                Err(OsError::BadRequest(_)) if attempts < self.config.harden.max_retries => {
+                    // A page vanished between our residency check and the
+                    // OS processing the batch: something is evicting our
+                    // pinned pages under our feet.
+                    attempts += 1;
+                    self.note_misbehavior(os, remaining[0], "evict batch diverged from residency")?;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// SGXv1 fetch (driver `ELDU` batch) with transient retry and result
+    /// verification: the fetch list is re-derived from architectural
+    /// residency each round (fetch of a resident page is an idempotent
+    /// remap, so bounded retry inside a round is safe), and after an `Ok`
+    /// the runtime confirms the pages actually arrived — an OS that
+    /// silently drops pages is counted against the misbehaviour budget.
+    fn hw_fetch(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
+        let mut rounds = 0u32;
+        loop {
+            let missing: Vec<Vpn> = pages
+                .iter()
+                .copied()
+                .filter(|&v| !os.machine.is_resident(self.eid, v))
+                .collect();
+            if missing.is_empty() {
+                return Ok(());
+            }
+            if rounds > self.config.harden.max_retries {
+                return Err(RtError::Os(OsError::BadRequest(
+                    "fetched pages never became resident",
+                )));
+            }
+            if rounds > 0 {
+                self.note_misbehavior(os, missing[0], "fetch completed but pages not resident")?;
+            }
+            rounds += 1;
+            self.with_retries(os, true, |os, eid| os.ay_fetch_pages(eid, &missing))?;
+            if !self.config.harden.verify_fetches {
+                return Ok(());
+            }
+        }
+    }
+
+    /// SGXv2 software eviction: seal in-enclave, write the blob to
+    /// untrusted memory, trim the page.
+    fn sw_evict(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
+        for &vpn in pages {
+            if !os.machine.is_resident(self.eid, vpn) {
+                // Already out (e.g. a hostile eviction beat us to it);
+                // the caller's tracking sync will record it as evicted.
+                continue;
+            }
+            // Remember the page's permissions so the refetch can
+            // restore them (code pages must come back executable).
+            let original = os
+                .machine
+                .page_table(self.eid)?
+                .get(vpn)
+                .map(|pte| pte.perms)
+                .unwrap_or(Perms::RW);
+            self.sw_perms.insert(vpn, original);
+            // Restrict to read-only so concurrent writes cannot race
+            // the copy-out, per §6.
+            os.machine.emodpr(self.eid, vpn, Perms::R)?;
+            os.machine.eaccept(self.eid, vpn)?;
+            let contents = os.machine.read_own_page(self.eid, vpn)?;
+            let version = {
+                let v = self.sw_versions.entry(vpn).or_insert(0);
+                *v += 1;
+                *v
+            };
+            os.machine
+                .clock
+                .charge(os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64);
+            let blob = sw_seal(&self.sealing_key, vpn, version, &contents);
+            os.sys_untrusted_write(blob_key(self.eid.0, vpn), blob);
+            os.machine.emodt_trim(self.eid, vpn)?;
+            os.machine.eaccept(self.eid, vpn)?;
+            os.ay_remove_pages(self.eid, &[vpn])?;
+        }
+        Ok(())
+    }
+
+    /// SGXv2 software fetch: read the sealed blob from untrusted memory,
+    /// authenticate it in-enclave (version-bound, so replay of an older
+    /// blob fails), `EAUG` a fresh page and `EACCEPTCOPY` the contents
+    /// in. The allocation syscall is retried through the transient path
+    /// with a residency guard, since a retried `ay_alloc_pages` of an
+    /// already-allocated page is refused with `BadRequest`.
+    fn sw_fetch(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
+        for &vpn in pages {
+            if os.machine.is_resident(self.eid, vpn) {
+                continue; // reconcile: e.g. a suspend/resume reloaded it
+            }
+            let key = blob_key(self.eid.0, vpn);
+            let blob = os.sys_untrusted_read(key).ok_or(RtError::SealBroken(vpn))?;
+            let version = *self.sw_versions.get(&vpn).unwrap_or(&0);
+            os.machine
+                .clock
+                .charge(os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64);
+            let contents =
+                sw_open(&self.sealing_key, vpn, version, &blob).ok_or(RtError::SealBroken(vpn))?;
+            self.with_retries(os, true, |os, eid| {
+                if os.machine.is_resident(eid, vpn) {
+                    return Ok(());
+                }
+                os.ay_alloc_pages(eid, &[vpn])
+            })?;
+            let perms = self.sw_perms.get(&vpn).copied().unwrap_or(Perms::RW);
+            os.machine.eacceptcopy(self.eid, vpn, &contents, perms)?;
+            if perms != Perms::RW {
+                // Restore the original mapping permissions (code
+                // pages must come back executable).
+                os.ay_protect_pages(self.eid, &[vpn], perms)?;
+            }
+        }
+        Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Hostile-OS hardening: retry, verification, degradation.
+    // ----------------------------------------------------------------
+
+    /// Run a driver call, absorbing *transient* failures (`NoMemory`,
+    /// `Suspended`) with bounded exponential backoff charged to the
+    /// simulated clock. With `allow_degrade`, sustained `NoMemory` also
+    /// triggers cooperative budget shrinking (never on eviction paths,
+    /// which degradation itself uses). Any other error — and a transient
+    /// one that outlives the retry budget — propagates typed.
+    fn with_retries<T>(
+        &mut self,
+        os: &mut Os,
+        allow_degrade: bool,
+        mut op: impl FnMut(&mut Os, EnclaveId) -> Result<T, OsError>,
+    ) -> Result<T, RtError> {
+        let mut attempt = 0u32;
+        loop {
+            match op(os, self.eid) {
+                Ok(v) => return Ok(v),
+                Err(e @ (OsError::NoMemory | OsError::Suspended(_)))
+                    if attempt < self.config.harden.max_retries =>
+                {
+                    attempt += 1;
+                    self.stats.retries += 1;
+                    self.charge_backoff(os, attempt);
+                    if allow_degrade && matches!(e, OsError::NoMemory) && attempt >= 2 {
+                        self.degrade(os)?;
+                    }
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+    }
+
+    /// Charge the exponential retry backoff to the simulated clock.
+    fn charge_backoff(&self, os: &mut Os, attempt: u32) {
+        let shift = (attempt - 1).min(10);
+        os.machine
+            .clock
+            .charge(self.config.harden.backoff_base_cycles << shift);
+    }
+
+    /// The degradation ladder: under sustained EPC pressure, shrink our
+    /// own resident budget by a quarter (down to the configured floor)
+    /// and evict down to it immediately through the ballooning path
+    /// (§5.4), freeing pinned frames for whoever needs them. Disabled
+    /// under `PinAll`, where evicting would make later legitimate faults
+    /// indistinguishable from attacks.
+    fn degrade(&mut self, os: &mut Os) -> Result<(), RtError> {
+        if !self.config.harden.degrade_on_pressure || self.config.mode == PolicyMode::PinAll {
+            return Ok(());
+        }
+        let floor = self.config.harden.degrade_floor.max(1);
+        let current = if self.config.budget == 0 {
+            self.resident_count
+        } else {
+            self.config.budget
+        };
+        let target = current.saturating_sub((current / 4).max(1)).max(floor);
+        if current == 0 || target >= current {
+            return Ok(());
+        }
+        self.stats.degradations += 1;
+        self.shrink_budget(os, target)
+    }
+
+    /// Record one piece of evidence of OS misbehaviour (a lie, a dropped
+    /// page, a diverged batch). Within the budget the runtime heals and
+    /// continues; past it, the accumulated pattern is treated exactly
+    /// like a controlled-channel signal: terminate with `AttackDetected`.
+    fn note_misbehavior(
+        &mut self,
+        os: &mut Os,
+        vpn: Vpn,
+        why: &'static str,
+    ) -> Result<(), RtError> {
+        self.misbehavior += 1;
+        self.stats.misbehavior += 1;
+        if self.misbehavior > self.config.harden.misbehavior_budget {
+            return self.attack(os, vpn, why);
+        }
+        Ok(())
+    }
+
+    /// Reconcile tracking for `pages` against architectural residency
+    /// (the ground truth the OS cannot fake). Called after every batch
+    /// operation, including failed ones, so partial completion never
+    /// strands the tracking in a state where a legitimate fault looks
+    /// like an attack — or an attack like a legitimate fault.
+    fn sync_tracking(&mut self, os: &Os, pages: &[Vpn]) {
+        for &vpn in pages {
+            let actual = os.machine.is_resident(self.eid, vpn);
+            if let Some(state) = self.tracked.get_mut(&vpn) {
+                match (*state, actual) {
+                    (PageState::Evicted, true) => {
+                        *state = PageState::Resident;
+                        self.resident_count += 1;
+                        self.fifo.push_back(vpn);
+                    }
+                    (PageState::Resident, false) => {
+                        *state = PageState::Evicted;
+                        self.resident_count -= 1;
+                        // Lazy FIFO: the stale entry is skipped at pop time.
+                    }
+                    _ => {}
+                }
+            }
+        }
     }
 
     /// Hand pages back to OS management (the §7.3 libjpeg flow: buffers
     /// whose access pattern is insensitive can use flexible OS paging).
     /// The pages leave the runtime's tracking and any clusters.
     pub fn release_to_os(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
-        os.ay_set_os_managed(self.eid, pages)?;
+        self.with_retries(os, false, |os, eid| os.ay_set_os_managed(eid, pages))?;
         for &vpn in pages {
             if self.tracked.remove(&vpn) == Some(PageState::Resident) {
                 self.resident_count -= 1;
@@ -649,13 +944,21 @@ impl Runtime {
             if self.self_paging {
                 self.make_room(os, 1)?;
             }
-            os.ay_alloc_pages(self.eid, &[page])?;
+            // Retried with a residency guard: a retry after a transient
+            // failure must skip the page if the first attempt allocated
+            // it (`ay_alloc_pages` refuses resident pages).
+            self.with_retries(os, self.self_paging, |os, eid| {
+                if os.machine.is_resident(eid, page) {
+                    return Ok(());
+                }
+                os.ay_alloc_pages(eid, &[page])
+            })?;
             os.machine.eaccept(self.eid, page)?;
             if self.self_paging {
                 self.tracked.insert(page, PageState::Resident);
                 self.resident_count += 1;
                 self.fifo.push_back(page);
-                self.clusters.auto_assign(page);
+                self.clusters.auto_assign(page)?;
             }
             self.stats.pages_allocated += 1;
         }

@@ -490,7 +490,8 @@ fn sgx2_paging_preserves_code_page_permissions() {
     });
     let img = image("rt-test");
     let code_page = img.code_start();
-    rt.exec(&mut os, code_page.base()).expect("code runs while resident");
+    rt.exec(&mut os, code_page.base())
+        .expect("code runs while resident");
     // Evict the whole code cluster via the software path.
     let code: Vec<Vpn> = img.code_range().collect();
     rt.evict_pages(&mut os, &code).expect("sw evict code");

@@ -813,7 +813,7 @@ impl Machine {
             t.ssa.push(SsaFrame {
                 exinfo: Some(SsaExInfo { va, kind, cause }),
             });
-            if self_paging && !(elide && self_paging) {
+            if self_paging && !elide {
                 t.pending_exception = true;
             }
         }
@@ -991,7 +991,7 @@ mod tests {
         let eid = build_enclave(&mut machine, false, 4);
         let va = Va(0x100010);
         machine
-            .write_bytes(eid, 0, va, &mut [1, 2, 3, 4].to_vec())
+            .write_bytes(eid, 0, va, &[1, 2, 3, 4])
             .expect("write");
         let mut buf = [0u8; 4];
         machine.read_bytes(eid, 0, va, &mut buf).expect("read");
@@ -1003,9 +1003,9 @@ mod tests {
         let mut machine = Machine::new(MachineConfig::default());
         let eid = build_enclave(&mut machine, false, 4);
         let va = Va(0x100000 + PAGE_SIZE as u64 - 2);
-        let mut data = vec![9u8, 8, 7, 6];
+        let data = [9u8, 8, 7, 6];
         machine
-            .write_bytes(eid, 0, va, &mut data)
+            .write_bytes(eid, 0, va, &data)
             .expect("write spans pages");
         let mut buf = [0u8; 4];
         machine
@@ -1047,7 +1047,7 @@ mod tests {
             .clear_present(Vpn(0x102));
         machine.tlb_shootdown(eid, Vpn(0x102));
         let err = machine
-            .write_bytes(eid, 0, Va(0x102abc), &mut [0u8; 1])
+            .write_bytes(eid, 0, Va(0x102abc), &[0u8; 1])
             .expect_err("must fault");
         match err {
             AccessError::Fault(f) => {
@@ -1138,9 +1138,7 @@ mod tests {
         let mut machine = Machine::new(MachineConfig::default());
         let eid = build_enclave(&mut machine, true, 4);
         let va = Va(0x101008);
-        machine
-            .write_bytes(eid, 0, va, &mut [0xCC; 8].to_vec())
-            .expect("write");
+        machine.write_bytes(eid, 0, va, &[0xCC; 8]).expect("write");
         // Evict.
         machine.eblock(eid, Vpn(0x101)).expect("eblock");
         machine.etrack(eid).expect("etrack");

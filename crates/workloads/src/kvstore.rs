@@ -239,6 +239,6 @@ mod tests {
         let ids = w.rt.clusters.ay_get_cluster_ids(heap_start);
         assert_eq!(ids.len(), 1, "first item page is clustered");
         let len = w.rt.clusters.cluster_len(ids[0]);
-        assert!(len <= 10 && len >= 2, "cluster of {len} pages");
+        assert!((2..=10).contains(&len), "cluster of {len} pages");
     }
 }

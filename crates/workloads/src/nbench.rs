@@ -214,8 +214,7 @@ pub fn bitfield(world: &mut World, heap: &mut EncHeap, scale: u32) -> Result<u64
         let start = h % nbits;
         let len = 1 + (hash64(h) % 256);
         let mode = h % 3;
-        let mut bit = start;
-        for _ in 0..len {
+        for bit in start..start + len {
             if bit >= nbits {
                 break;
             }
@@ -228,7 +227,6 @@ pub fn bitfield(world: &mut World, heap: &mut EncHeap, scale: u32) -> Result<u64
                 _ => cur ^ mask,
             };
             bits.set(world, heap, word, new)?;
-            bit += 1;
         }
         world.compute(len);
     }
@@ -434,9 +432,9 @@ pub fn assignment(world: &mut World, heap: &mut EncHeap, scale: u32) -> Result<u
     let mut used_cols = vec![false; n];
     let mut assigned = 0u64;
     for r in 0..n {
-        for c in 0..n {
-            if !used_cols[c] && m.get(world, heap, r * n + c)? == 0 {
-                used_cols[c] = true;
+        for (c, used) in used_cols.iter_mut().enumerate() {
+            if !*used && m.get(world, heap, r * n + c)? == 0 {
+                *used = true;
                 assigned += 1;
                 break;
             }
@@ -550,7 +548,7 @@ pub fn huffman(world: &mut World, heap: &mut EncHeap, scale: u32) -> Result<u64,
     for i in (0..len).step_by(256) {
         for (j, b) in chunk.iter_mut().enumerate() {
             let h = hash64((i + j) as u64);
-            *b = if h % 4 != 0 {
+            *b = if !h.is_multiple_of(4) {
                 (h % 4) as u8
             } else {
                 (h % 32) as u8

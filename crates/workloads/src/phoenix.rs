@@ -38,7 +38,7 @@ pub fn kmeans(world: &mut World, heap: &mut EncHeap, pages: usize) -> Result<u64
     let mut assignment_hash = 0u64;
     for _iter in 0..3 {
         let mut sums = vec![0f64; K * D];
-        let mut counts = vec![0u64; K];
+        let mut counts = [0u64; K];
         for p in 0..n {
             let mut pt = [0f64; D];
             for (d, v) in pt.iter_mut().enumerate() {

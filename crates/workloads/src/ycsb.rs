@@ -2,8 +2,7 @@
 //! Memcached evaluation (paper §7.3, Figure 8): uniform, Zipfian with
 //! α = 0.99, and hotspot distributions.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use autarky_prng::SimRng;
 
 /// Request-key distribution.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -30,7 +29,7 @@ pub enum Distribution {
 pub struct KeyGenerator {
     n: u64,
     dist: Distribution,
-    rng: StdRng,
+    rng: SimRng,
     // Zipfian state (Gray et al.'s method, as in YCSB).
     zetan: f64,
     theta: f64,
@@ -55,7 +54,7 @@ impl KeyGenerator {
         Self {
             n,
             dist,
-            rng: StdRng::seed_from_u64(seed),
+            rng: SimRng::seed_from_u64(seed),
             zetan,
             theta,
             alpha,
@@ -73,7 +72,7 @@ impl KeyGenerator {
         match self.dist {
             Distribution::Uniform => self.rng.gen_range(0..self.n),
             Distribution::Zipfian { .. } => {
-                let u: f64 = self.rng.gen();
+                let u: f64 = self.rng.gen_f64();
                 let uz = u * self.zetan;
                 if uz < 1.0 {
                     return 0;
@@ -88,7 +87,7 @@ impl KeyGenerator {
             }
             Distribution::Hotspot { hot_frac, hot_prob } => {
                 let hot_n = ((self.n as f64 * hot_frac) as u64).max(1);
-                if self.rng.gen::<f64>() < hot_prob {
+                if self.rng.gen_f64() < hot_prob {
                     self.rng.gen_range(0..hot_n)
                 } else {
                     hot_n + self.rng.gen_range(0..self.n - hot_n)

@@ -2,7 +2,7 @@
 //! controlled-channel attack variant must succeed against vanilla SGX and
 //! be defeated by Autarky.
 
-use autarky::os::{Attacker, Observation};
+use autarky::os::{Attacker, FaultPlan, Observation};
 use autarky::prelude::*;
 use autarky::workloads::font::{recover_text_from_trace, FontRenderer};
 use autarky::workloads::jpeg;
@@ -16,6 +16,17 @@ fn build(name: &str, profile: Profile) -> (World, EncHeap) {
         .heap_pages(512)
         .build()
         .expect("system")
+}
+
+/// Arm a low-rate transient-only fault plan on a *protected* build: the
+/// defense properties below must keep holding while the OS is
+/// additionally flaky (delays, transient failures, partial batches,
+/// spurious suspensions). Hostile lying/tampering kinds are exercised
+/// separately in `fault_injection.rs`.
+fn arm_transient(world: &mut World, seed: u64) {
+    world
+        .os
+        .arm_fault_plan(FaultPlan::transient_only(seed, 0.05));
 }
 
 // ------------------------------------------------------------------
@@ -51,6 +62,7 @@ fn freetype_attack_succeeds_on_vanilla_sgx() {
 #[test]
 fn freetype_attack_blocked_by_autarky() {
     let (mut world, mut heap) = build("ft-protected", Profile::PinAll);
+    arm_transient(&mut world, 1);
     let code_pages: Vec<Vpn> = world.image.code_range().collect();
     world
         .os
@@ -109,6 +121,7 @@ fn ad_bit_attack_traces_vanilla_and_is_blocked_by_autarky() {
 
     // Autarky: the cleared bit itself faults and the handler terminates.
     let (mut world, mut heap) = build("ad-protected", Profile::PinAll);
+    arm_transient(&mut world, 2);
     let ptr = heap.alloc(&mut world, 8 * PAGE_SIZE).expect("alloc");
     let pages: Vec<Vpn> = (0..8).map(|i| Vpn((ptr.0 >> 12) + i)).collect();
     for &p in &pages {
@@ -205,6 +218,15 @@ fn hunspell_word_signatures_leak_on_vanilla_and_not_under_clusters() {
             pages_per_cluster: 0,
         },
     );
+    // Whole-call transient faults only: batch-shaping kinds would make
+    // the hardened runtime legitimately re-request just the missing
+    // suffix of a cluster, which is exactly what the whole-dictionary
+    // observation check below must not be confused by.
+    world.os.arm_fault_plan(FaultPlan {
+        partial_batch: 0.0,
+        suspend: 0.0,
+        ..FaultPlan::transient_only(3, 0.05)
+    });
     let dict = Dictionary::load(&mut world, &mut heap, "en", 1500).expect("load");
     let cluster = world.rt.clusters.new_cluster();
     for &page in &dict.pages {
@@ -281,6 +303,7 @@ fn libjpeg_flatness_leaks_on_vanilla_and_not_under_pinning() {
     // Autarky, everything pinned: the decoder runs fault-free; the armed
     // tracer kills the enclave on its very first induced fault instead.
     let (mut world, mut heap) = build("jp-protected", Profile::PinAll);
+    arm_transient(&mut world, 4);
     world
         .os
         .arm_fault_tracer(world.eid, [full, dcval])
@@ -304,6 +327,7 @@ fn termination_attack_yields_one_bit() {
     // The OS unmaps a set of pages; if the enclave dies, it learns only
     // that *some* page of the set was accessed — one bit per restart.
     let (mut world, mut heap) = build("term", Profile::PinAll);
+    arm_transient(&mut world, 5);
     let ptr = heap.alloc(&mut world, 4 * PAGE_SIZE).expect("alloc");
     heap.write_u64(&mut world, ptr, 7).expect("touch");
     let pages: Vec<Vpn> = (0..4).map(|i| Vpn((ptr.0 >> 12) + i)).collect();
@@ -376,6 +400,7 @@ fn write_protect_tracer_works_on_vanilla_and_is_blocked() {
     // Autarky: the first induced write-fault on a resident page is an
     // attack; the report carries no page or access-type information.
     let (mut world, mut heap) = build("wp-protected", Profile::PinAll);
+    arm_transient(&mut world, 6);
     let ptr = heap.alloc(&mut world, 6 * PAGE_SIZE).expect("alloc");
     let pages: Vec<Vpn> = (0..6).map(|i| Vpn((ptr.0 >> 12) + i)).collect();
     for &p in &pages {
@@ -404,7 +429,13 @@ fn write_protect_tracer_works_on_vanilla_and_is_blocked() {
 fn tampered_ewb_blob_rejected_on_reload() {
     // The OS corrupts a sealed page in untrusted swap; ELDU must refuse
     // and the enclave must never observe modified contents.
-    let (mut world, mut heap) = build("tamper", Profile::Clusters { pages_per_cluster: 1 });
+    let (mut world, mut heap) = build(
+        "tamper",
+        Profile::Clusters {
+            pages_per_cluster: 1,
+        },
+    );
+    arm_transient(&mut world, 7);
     let ptr = heap.alloc(&mut world, PAGE_SIZE).expect("alloc");
     heap.write_u64(&mut world, ptr, 0xDEAD_BEEF).expect("write");
     let vpn = Vpn(ptr.0 >> 12);
@@ -419,9 +450,16 @@ fn tampered_ewb_blob_rejected_on_reload() {
     sealed.ciphertext[123] ^= 0xFF;
     world.os.backing.put_sealed(sealed);
 
-    let err = heap.read_u64(&mut world, ptr).expect_err("reload must fail");
+    let err = heap
+        .read_u64(&mut world, ptr)
+        .expect_err("reload must fail");
     assert!(
-        matches!(err, RtError::Os(autarky::os::OsError::Sgx(autarky::sgx::SgxError::SealBroken))),
+        matches!(
+            err,
+            RtError::Os(autarky::os::OsError::Sgx(
+                autarky::sgx::SgxError::SealBroken
+            ))
+        ),
         "got {err}"
     );
 }
@@ -431,11 +469,20 @@ fn replayed_ewb_blob_rejected_on_reload() {
     // The OS keeps an old (authentic) version of a page and replays it
     // after the enclave has written a newer one: the version array check
     // must refuse.
-    let (mut world, mut heap) = build("replay", Profile::Clusters { pages_per_cluster: 1 });
+    let (mut world, mut heap) = build(
+        "replay",
+        Profile::Clusters {
+            pages_per_cluster: 1,
+        },
+    );
+    arm_transient(&mut world, 8);
     let ptr = heap.alloc(&mut world, PAGE_SIZE).expect("alloc");
     heap.write_u64(&mut world, ptr, 1).expect("v1");
     let vpn = Vpn(ptr.0 >> 12);
-    world.rt.evict_pages(&mut world.os, &[vpn]).expect("evict v1");
+    world
+        .rt
+        .evict_pages(&mut world.os, &[vpn])
+        .expect("evict v1");
     let stale = world
         .os
         .backing
@@ -445,7 +492,10 @@ fn replayed_ewb_blob_rejected_on_reload() {
     // Legitimate reload + update + re-evict bumps the version.
     heap.read_u64(&mut world, ptr).expect("reload v1");
     heap.write_u64(&mut world, ptr, 2).expect("v2");
-    world.rt.evict_pages(&mut world.os, &[vpn]).expect("evict v2");
+    world
+        .rt
+        .evict_pages(&mut world.os, &[vpn])
+        .expect("evict v2");
     // Replay the stale blob.
     world.os.backing.put_sealed(stale);
     let err = heap.read_u64(&mut world, ptr).expect_err("replay refused");

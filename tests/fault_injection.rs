@@ -1,0 +1,236 @@
+//! Property harness: the hardened self-paging runtime under seeded
+//! hostile-OS fault injection (the robustness half of the threat model —
+//! see DESIGN.md, "Threat model under OS misbehavior").
+//!
+//! Acceptance properties:
+//!
+//! * 100 distinct seeded schedules per protection policy (rate-limit,
+//!   clusters, cached ORAM) run to completion with zero panics; every
+//!   run ends `Ok` or with a typed [`RtError`];
+//! * *transient* faults alone (delays, whole-call `NoMemory`, partial
+//!   batches, whole-enclave suspensions) are absorbed by retries and
+//!   never escalate to a false-positive `AttackDetected`;
+//! * a fixed `(seed, plan, workload)` triple replays to a bit-for-bit
+//!   identical outcome, observation stream, final cycle count, and
+//!   injected-fault tally;
+//! * an armed-but-quiescent plan is behaviorally invisible;
+//! * the published attacks stay detected with injection armed (asserted
+//!   in `attack_defense.rs`, which arms transient plans on every
+//!   protected-profile build).
+
+use autarky::os::{FaultPlan, Observation};
+use autarky::prelude::*;
+use autarky::{Profile, SystemBuilder};
+
+const SEEDS_PER_POLICY: u64 = 100;
+
+/// The three protection policies the harness must cover. The bool is
+/// whether the policy has an evictable paging surface: only fetch/evict
+/// traffic can be hit by the *hostile* fault kinds (dropped pages,
+/// spurious evictions, backing tampering), so only such policies are
+/// required to surface hostile errors. Cached ORAM pins everything — its
+/// driver traffic is allocation-only and all applicable kinds are
+/// transient.
+fn policies() -> [(&'static str, Profile, bool); 3] {
+    [
+        (
+            "rate-limit",
+            Profile::RateLimited {
+                max_faults_per_progress: 16.0,
+                burst: 512,
+            },
+            true,
+        ),
+        (
+            "clusters",
+            Profile::Clusters {
+                pages_per_cluster: 4,
+            },
+            true,
+        ),
+        (
+            "cached-oram",
+            Profile::CachedOram {
+                capacity_pages: 64,
+                cache_pages: 16,
+            },
+            false,
+        ),
+    ]
+}
+
+fn build(name: &str, profile: Profile, seed: u64) -> (World, EncHeap) {
+    SystemBuilder::new(name, profile)
+        .epc_pages(512)
+        .code_pages(8)
+        .heap_pages(256)
+        // Far fewer budgeted frames than the working set, so the
+        // self-paging policies churn through fetch/evict constantly.
+        .budget_pages(16)
+        .seed(seed)
+        .build()
+        .expect("system assembles")
+}
+
+/// A paging-heavy allocate/write/readback workload. Every path is
+/// `?`-propagated so any injected fault the runtime cannot absorb
+/// surfaces as a typed [`RtError`] — never a panic.
+fn drive(world: &mut World, heap: &mut EncHeap) -> Result<u64, RtError> {
+    const SLOTS: usize = 24;
+    let mut ptrs = Vec::with_capacity(SLOTS);
+    for i in 0..SLOTS {
+        let ptr = heap.alloc(world, PAGE_SIZE)?;
+        heap.write_u64(world, ptr, i as u64)?;
+        ptrs.push(ptr);
+    }
+    // Revisit with a stride to force fetch/evict churn under the policy.
+    let mut sum = 0u64;
+    for round in 0..3usize {
+        for i in 0..SLOTS {
+            let j = (i * 7 + round) % SLOTS;
+            let value = heap.read_u64(world, ptrs[j])?;
+            sum = sum.wrapping_add(value);
+            heap.write_u64(world, ptrs[j], value.wrapping_add(round as u64))?;
+        }
+    }
+    // Direct runtime traffic (malloc + access through the trusted
+    // runtime) so even profiles whose data heap bypasses the driver
+    // entirely (the in-enclave ORAM) still exercise the hardened
+    // allocation path.
+    let base = world.rt.malloc(&mut world.os, 16 * PAGE_SIZE)?;
+    for k in 0..16u64 {
+        let va = Va(base.0 + k * PAGE_SIZE as u64);
+        world.rt.write(&mut world.os, va, &k.to_le_bytes())?;
+        let mut buf = [0u8; 8];
+        world.rt.read(&mut world.os, va, &mut buf)?;
+        sum = sum.wrapping_add(u64::from_le_bytes(buf));
+    }
+    Ok(sum)
+}
+
+/// Transient faults are an honest OS under pressure: the hardened
+/// runtime must absorb them (bounded retry + backoff + degradation) and
+/// must never report them as a controlled-channel attack.
+#[test]
+fn transient_schedules_never_false_positive() {
+    for (name, profile, _) in policies() {
+        let mut ok = 0usize;
+        for seed in 0..SEEDS_PER_POLICY {
+            let (mut world, mut heap) = build(name, profile, seed);
+            world
+                .os
+                .arm_fault_plan(FaultPlan::transient_only(seed, 0.08));
+            match drive(&mut world, &mut heap) {
+                Ok(_) => ok += 1,
+                Err(RtError::AttackDetected { vpn, why }) => panic!(
+                    "policy {name} seed {seed}: transient-only injection escalated \
+                     to AttackDetected on {vpn}: {why}"
+                ),
+                Err(_) => {} // typed, non-attack error: acceptable
+            }
+            world.os.disarm_fault_plan();
+        }
+        // The harness must not be vacuous: retries absorb the large
+        // majority of transient schedules.
+        assert!(
+            ok > (SEEDS_PER_POLICY as usize) / 2,
+            "policy {name}: only {ok}/{SEEDS_PER_POLICY} transient schedules absorbed"
+        );
+    }
+}
+
+/// Hostile schedules (lying replies, dropped pages, pinned-page
+/// eviction, backing-store tampering) may legitimately end in a typed
+/// error — including a *true-positive* `AttackDetected` — but must
+/// never panic or wedge.
+#[test]
+fn hostile_schedules_end_ok_or_typed() {
+    for (name, profile, evictable) in policies() {
+        let (mut absorbed, mut surfaced) = (0usize, 0usize);
+        for seed in 0..SEEDS_PER_POLICY {
+            let (mut world, mut heap) = build(name, profile, seed);
+            world.os.arm_fault_plan(FaultPlan::hostile(seed, 0.05));
+            match drive(&mut world, &mut heap) {
+                Ok(_) => absorbed += 1,
+                Err(_) => surfaced += 1,
+            }
+        }
+        // Both sides must be exercised: some schedules are absorbed, and
+        // (where hostile kinds can reach the paging surface at all) some
+        // misbehavior is caught and surfaced.
+        assert!(absorbed > 0, "policy {name}: no hostile schedule absorbed");
+        assert!(
+            !evictable || surfaced > 0,
+            "policy {name}: no hostile schedule ever surfaced an error"
+        );
+    }
+}
+
+/// Determinism: a fixed `(seed, plan, workload)` triple is a replayable
+/// experiment — identical outcome, adversary-visible observation
+/// stream, final cycle count, and injected-fault tally.
+#[test]
+fn same_seed_and_plan_replay_identically() {
+    for (name, profile, _) in policies() {
+        let run = |seed: u64| {
+            let (mut world, mut heap) = build(name, profile, seed);
+            world.os.arm_fault_plan(FaultPlan::hostile(seed, 0.05));
+            let outcome = drive(&mut world, &mut heap);
+            (
+                outcome,
+                world.os.take_observations(),
+                world.os.machine.clock.now(),
+                world.os.disarm_fault_plan(),
+            )
+        };
+        let a = run(42);
+        let b = run(42);
+        assert_eq!(a.0, b.0, "{name}: outcomes diverge");
+        assert_eq!(a.1, b.1, "{name}: observation streams diverge");
+        assert_eq!(a.2, b.2, "{name}: final cycle counts diverge");
+        assert_eq!(a.3, b.3, "{name}: injected-fault tallies diverge");
+        assert!(
+            a.1.iter()
+                .any(|o| matches!(o, Observation::FaultInjected { .. })),
+            "{name}: schedule injected nothing — harness is vacuous"
+        );
+        let c = run(43);
+        assert!(
+            a.1 != c.1 || a.2 != c.2,
+            "{name}: a different seed produced an identical schedule"
+        );
+    }
+}
+
+/// An armed injector whose plan never fires must be invisible: the
+/// plumbing itself (the per-syscall decision draw) must not perturb the
+/// simulation relative to running with no injector at all.
+#[test]
+fn quiescent_plan_is_behaviorally_invisible() {
+    for (name, profile, _) in policies() {
+        let bare = {
+            let (mut world, mut heap) = build(name, profile, 7);
+            let outcome = drive(&mut world, &mut heap);
+            (
+                outcome,
+                world.os.take_observations(),
+                world.os.machine.clock.now(),
+            )
+        };
+        let armed = {
+            let (mut world, mut heap) = build(name, profile, 7);
+            world.os.arm_fault_plan(FaultPlan::quiescent(99));
+            let outcome = drive(&mut world, &mut heap);
+            assert_eq!(world.os.disarm_fault_plan(), 0, "{name}: quiescent fired");
+            (
+                outcome,
+                world.os.take_observations(),
+                world.os.machine.clock.now(),
+            )
+        };
+        assert_eq!(
+            bare, armed,
+            "{name}: armed quiescent plan perturbed the run"
+        );
+    }
+}

@@ -1,4 +1,4 @@
-//! Property-based tests (proptest) over the core invariants:
+//! Randomized property tests over the core invariants:
 //!
 //! * enclave memory behaves like memory under arbitrary operation
 //!   sequences, for every protection profile;
@@ -6,13 +6,18 @@
 //!   and fault/evict orders;
 //! * sealing/ORAM round-trips hold for arbitrary contents;
 //! * fault reports for self-paging enclaves are always fully masked.
+//!
+//! Cases are drawn from the deterministic [`SimRng`] with fixed per-test
+//! seeds, so runs are bit-for-bit reproducible.
 
 use autarky::oram::{buckets_for, MemStorage, PathOram};
 use autarky::os::Observation;
 use autarky::prelude::*;
 use autarky::rt::paging::{sw_open, sw_seal};
 use autarky::{Profile, SystemBuilder};
-use proptest::prelude::*;
+use autarky_prng::SimRng;
+
+const CASES: usize = 24;
 
 #[derive(Debug, Clone)]
 enum MemOp {
@@ -21,41 +26,56 @@ enum MemOp {
     Evict { page: u8 },
 }
 
-fn mem_op() -> impl Strategy<Value = MemOp> {
-    prop_oneof![
-        (0u8..48, any::<u64>()).prop_map(|(page, value)| MemOp::Write { page, value }),
-        (0u8..48).prop_map(|page| MemOp::Read { page }),
-        (0u8..48).prop_map(|page| MemOp::Evict { page }),
-    ]
+fn mem_op(rng: &mut SimRng) -> MemOp {
+    let page = rng.gen_range(0..48) as u8;
+    match rng.gen_range(0..3) {
+        0 => MemOp::Write {
+            page,
+            value: rng.next_u64(),
+        },
+        1 => MemOp::Read { page },
+        _ => MemOp::Evict { page },
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig { cases: 24, .. ProptestConfig::default() })]
-
-    #[test]
-    fn enclave_memory_is_memory(ops in proptest::collection::vec(mem_op(), 1..120),
-                                cluster_pages in 1usize..6) {
-        let (mut world, mut heap) =
-            SystemBuilder::new("prop-mem", Profile::Clusters { pages_per_cluster: cluster_pages })
-                .epc_pages(1024)
-                .heap_pages(128)
-                .budget_pages(60)
-                .build()
-                .expect("system");
+#[test]
+fn enclave_memory_is_memory() {
+    let mut rng = SimRng::seed_from_u64(0xAE01);
+    for case in 0..CASES {
+        let ops: Vec<MemOp> = {
+            let n = rng.gen_range_usize(1..120);
+            (0..n).map(|_| mem_op(&mut rng)).collect()
+        };
+        let cluster_pages = rng.gen_range_usize(1..6);
+        let (mut world, mut heap) = SystemBuilder::new(
+            "prop-mem",
+            Profile::Clusters {
+                pages_per_cluster: cluster_pages,
+            },
+        )
+        .epc_pages(1024)
+        .heap_pages(128)
+        .budget_pages(60)
+        .build()
+        .expect("system");
         let ptr = heap.alloc(&mut world, 48 * PAGE_SIZE).expect("alloc");
         let mut model = [0u64; 48];
         for op in &ops {
             match *op {
                 MemOp::Write { page, value } => {
-                    heap.write_u64(&mut world, ptr.offset(page as u64 * PAGE_SIZE as u64), value)
-                        .expect("write");
+                    heap.write_u64(
+                        &mut world,
+                        ptr.offset(page as u64 * PAGE_SIZE as u64),
+                        value,
+                    )
+                    .expect("write");
                     model[page as usize] = value;
                 }
                 MemOp::Read { page } => {
                     let got = heap
                         .read_u64(&mut world, ptr.offset(page as u64 * PAGE_SIZE as u64))
                         .expect("read");
-                    prop_assert_eq!(got, model[page as usize]);
+                    assert_eq!(got, model[page as usize], "case {case}");
                 }
                 MemOp::Evict { page } => {
                     let vpn = Vpn((ptr.0 >> 12) + page as u64);
@@ -71,59 +91,91 @@ proptest! {
                     }
                 }
             }
-            prop_assert!(world.rt.cluster_invariant_holds(), "invariant broken by {:?}", op);
+            assert!(
+                world.rt.cluster_invariant_holds(),
+                "invariant broken by {op:?} in case {case}"
+            );
         }
         // Final sweep: everything still reads back per the model.
         for page in 0..48u64 {
             let got = heap
                 .read_u64(&mut world, ptr.offset(page * PAGE_SIZE as u64))
                 .expect("read");
-            prop_assert_eq!(got, model[page as usize]);
+            assert_eq!(got, model[page as usize], "case {case}");
         }
-        prop_assert!(!world.rt.is_terminated(), "benign ops must never look like attacks");
+        assert!(
+            !world.rt.is_terminated(),
+            "benign ops must never look like attacks"
+        );
     }
+}
 
-    #[test]
-    fn fault_reports_always_masked(accesses in proptest::collection::vec(0u8..64, 1..60)) {
-        let (mut world, mut heap) =
-            SystemBuilder::new("prop-mask", Profile::Clusters { pages_per_cluster: 2 })
-                .epc_pages(1024)
-                .heap_pages(96)
-                .budget_pages(50)
-                .build()
-                .expect("system");
+#[test]
+fn fault_reports_always_masked() {
+    let mut rng = SimRng::seed_from_u64(0xAE02);
+    for _ in 0..CASES {
+        let accesses: Vec<u8> = {
+            let n = rng.gen_range_usize(1..60);
+            (0..n).map(|_| rng.gen_range(0..64) as u8).collect()
+        };
+        let (mut world, mut heap) = SystemBuilder::new(
+            "prop-mask",
+            Profile::Clusters {
+                pages_per_cluster: 2,
+            },
+        )
+        .epc_pages(1024)
+        .heap_pages(96)
+        .budget_pages(50)
+        .build()
+        .expect("system");
         let ptr = heap.alloc(&mut world, 64 * PAGE_SIZE).expect("alloc");
         for i in 0..64u64 {
-            heap.write_u64(&mut world, ptr.offset(i * PAGE_SIZE as u64), i).expect("write");
+            heap.write_u64(&mut world, ptr.offset(i * PAGE_SIZE as u64), i)
+                .expect("write");
         }
         world.os.take_observations();
         for &page in &accesses {
-            heap.read_u64(&mut world, ptr.offset(page as u64 * PAGE_SIZE as u64)).expect("read");
+            heap.read_u64(&mut world, ptr.offset(page as u64 * PAGE_SIZE as u64))
+                .expect("read");
         }
         for obs in world.os.take_observations() {
             if let Observation::Fault { va, kind, .. } = obs {
-                prop_assert_eq!(va, world.image.base);
-                prop_assert_eq!(kind, AccessKind::Read);
+                assert_eq!(va, world.image.base);
+                assert_eq!(kind, AccessKind::Read);
             }
         }
     }
+}
 
-    #[test]
-    fn software_sealing_roundtrip(contents in proptest::collection::vec(any::<u8>(), PAGE_SIZE),
-                                  vpn in 0u64..1_000_000,
-                                  version in 1u64..u64::MAX) {
+#[test]
+fn software_sealing_roundtrip() {
+    let mut rng = SimRng::seed_from_u64(0xAE03);
+    for _ in 0..CASES {
+        let mut page = [0u8; PAGE_SIZE];
+        rng.fill_bytes(&mut page);
+        let vpn = rng.gen_range(0..1_000_000);
+        let version = rng.gen_range(1..u64::MAX);
         let key = [9u8; 32];
-        let page: [u8; PAGE_SIZE] = contents.clone().try_into().expect("PAGE_SIZE bytes");
         let blob = sw_seal(&key, Vpn(vpn), version, &page);
         let opened = sw_open(&key, Vpn(vpn), version, &blob).expect("authentic");
-        prop_assert_eq!(&opened[..], &contents[..]);
+        assert_eq!(&opened[..], &page[..]);
         // Any metadata perturbation must fail.
-        prop_assert!(sw_open(&key, Vpn(vpn + 1), version, &blob).is_none());
-        prop_assert!(sw_open(&key, Vpn(vpn), version ^ 1, &blob).is_none());
+        assert!(sw_open(&key, Vpn(vpn + 1), version, &blob).is_none());
+        assert!(sw_open(&key, Vpn(vpn), version ^ 1, &blob).is_none());
     }
+}
 
-    #[test]
-    fn pathoram_matches_model(ops in proptest::collection::vec((0u64..32, any::<u8>()), 1..80)) {
+#[test]
+fn pathoram_matches_model() {
+    let mut rng = SimRng::seed_from_u64(0xAE04);
+    for _ in 0..CASES {
+        let ops: Vec<(u64, u8)> = {
+            let n = rng.gen_range_usize(1..80);
+            (0..n)
+                .map(|_| (rng.gen_range(0..32), rng.next_u64() as u8))
+                .collect()
+        };
         let storage = MemStorage::new(buckets_for(32));
         let mut oram = PathOram::new(32, 16, 5, [1; 32], storage);
         let mut model = std::collections::HashMap::new();
@@ -134,14 +186,19 @@ proptest! {
                 model.insert(id, data);
             } else {
                 let expected = model.get(&id).cloned().unwrap_or_else(|| vec![0u8; 16]);
-                prop_assert_eq!(oram.read(id).expect("read"), expected);
+                assert_eq!(oram.read(id).expect("read"), expected);
             }
-            prop_assert!(oram.stash_len() <= 40, "stash must stay bounded");
+            assert!(oram.stash_len() <= 40, "stash must stay bounded");
         }
     }
+}
 
-    #[test]
-    fn measurement_binds_layout(code_pages in 1usize..8, data_pages in 1usize..8) {
+#[test]
+fn measurement_binds_layout() {
+    let mut rng = SimRng::seed_from_u64(0xAE05);
+    for _ in 0..8 {
+        let code_pages = rng.gen_range_usize(1..8);
+        let data_pages = rng.gen_range_usize(1..8);
         let build = |code: usize, data: usize| {
             let (world, _) = SystemBuilder::new("prop-attest", Profile::PinAll)
                 .epc_pages(512)
@@ -154,8 +211,8 @@ proptest! {
         };
         let a = build(code_pages, data_pages);
         let b = build(code_pages, data_pages);
-        prop_assert_eq!(a, b, "measurement is deterministic");
+        assert_eq!(a, b, "measurement is deterministic");
         let c = build(code_pages + 1, data_pages);
-        prop_assert_ne!(a, c, "layout changes the measurement");
+        assert_ne!(a, c, "layout changes the measurement");
     }
 }
