@@ -1,0 +1,685 @@
+//! The leakage audit harness: paired secret runs across the policy ×
+//! workload matrix, distinguishability per cell, and the CI gates.
+//!
+//! For every cell the harness runs K=2 secret classes × N seeds, captures
+//! the adversary view of the secret-dependent phase only (setup —
+//! loading dictionaries, populating stores — is public), and feeds the
+//! traces to [`distinguishability`]. The gates encode the paper's
+//! claims:
+//!
+//! * **baseline** (vanilla SGX + fault tracer): the adversary *must*
+//!   distinguish the secrets — if it can't, the audit itself is broken
+//!   (sanity gate, MI ≥ threshold);
+//! * **cached-oram** (§5.2.2): bucket traffic must be independent of the
+//!   secret (MI ≤ threshold);
+//! * **rate-limit** (§5.2.4): observed faults must stay within the
+//!   configured bound, i.e. measured bits/progress ≤ the ε budget;
+//! * **clusters** (§5.2.3): informational — the report shows how much
+//!   the anonymity sets coarsen the channel, but cluster sizing is a
+//!   policy choice, not a pass/fail.
+
+use autarky::{Profile, SystemBuilder};
+use autarky_runtime::RateLimit;
+use autarky_workloads::{font, jpeg, kvstore, spell, EncHeap, World};
+
+use crate::capture::Capture;
+use crate::metrics::{distinguishability, Distinguishability};
+use crate::trace::Trace;
+
+/// Audit parameters and gate thresholds.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditConfig {
+    /// Seeds (runs) per secret class per cell; ≥ 2.
+    pub seeds: usize,
+    /// The baseline sanity gate: minimum MI (bits/run) the unprotected
+    /// configuration must leak.
+    pub baseline_min_mi: f64,
+    /// The ORAM gate: maximum MI (bits/run) the cached-ORAM
+    /// configuration may leak.
+    pub oram_max_mi: f64,
+}
+
+impl Default for AuditConfig {
+    fn default() -> Self {
+        Self {
+            seeds: 3,
+            baseline_min_mi: 0.9,
+            oram_max_mi: 0.25,
+        }
+    }
+}
+
+/// The audited protection policies.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Policy {
+    Baseline,
+    RateLimit,
+    Clusters,
+    CachedOram,
+}
+
+impl Policy {
+    const ALL: [Policy; 4] = [
+        Policy::Baseline,
+        Policy::RateLimit,
+        Policy::Clusters,
+        Policy::CachedOram,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Policy::Baseline => "baseline",
+            Policy::RateLimit => "rate-limit",
+            Policy::Clusters => "clusters",
+            Policy::CachedOram => "cached-oram",
+        }
+    }
+}
+
+/// The audited workloads (the paper's Table 2 attack victims plus the
+/// Figure 8 store).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Jpeg,
+    Font,
+    Spell,
+    Kvstore,
+}
+
+impl Workload {
+    const ALL: [Workload; 4] = [
+        Workload::Jpeg,
+        Workload::Font,
+        Workload::Spell,
+        Workload::Kvstore,
+    ];
+
+    fn name(self) -> &'static str {
+        match self {
+            Workload::Jpeg => "jpeg",
+            Workload::Font => "font",
+            Workload::Spell => "spell",
+            Workload::Kvstore => "kvstore",
+        }
+    }
+}
+
+/// Per-run bookkeeping the rate gate needs.
+#[derive(Debug, Clone, Copy, Default)]
+struct RunStats {
+    faults: u64,
+    progress: u64,
+    tracked_pages: usize,
+    rate_limit: Option<RateLimit>,
+    terminated: bool,
+}
+
+/// The rate-limit gate evidence for one cell (worst run shown).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RateGate {
+    /// Faults the runtime handled in the worst run.
+    pub faults: u64,
+    /// Forward progress in that run.
+    pub progress: u64,
+    /// Faults the policy would have tolerated at that progress.
+    pub allowed: f64,
+    /// Measured leakage rate: post-burst faults × log2(tracked pages) /
+    /// progress, in bits per unit of progress.
+    pub measured_bits_per_progress: f64,
+    /// The configured ε budget in bits per unit of progress.
+    pub budget_bits_per_progress: f64,
+}
+
+/// Gate outcome for one cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Gate {
+    /// Threshold held.
+    Pass,
+    /// Threshold violated (fails the audit).
+    Fail,
+    /// No threshold applies to this cell.
+    Info,
+}
+
+/// One (policy × workload) cell of the audit matrix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Policy label.
+    pub policy: &'static str,
+    /// Workload label.
+    pub workload: &'static str,
+    /// Distinguishability summary over the captured traces.
+    pub dist: Distinguishability,
+    /// Rate-limit evidence (rate-limit cells only).
+    pub rate: Option<RateGate>,
+    /// Gate outcome.
+    pub gate: Gate,
+    /// Human-readable gate explanation.
+    pub reason: String,
+}
+
+/// The full audit result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditReport {
+    /// Seeds per class the audit ran with.
+    pub seeds: usize,
+    /// All cells, policy-major order.
+    pub cells: Vec<CellResult>,
+    /// Conjunction of every gated cell.
+    pub pass: bool,
+}
+
+/// Run the full audit matrix.
+pub fn run_audit(config: &AuditConfig) -> AuditReport {
+    run_audit_filtered(config, &[])
+}
+
+/// Run a subset of the matrix: `only` holds `policy/workload` labels
+/// (e.g. `cached-oram/spell`); empty runs everything.
+pub fn run_audit_filtered(config: &AuditConfig, only: &[String]) -> AuditReport {
+    assert!(config.seeds >= 2, "need ≥2 seeds per class");
+    let mut cells = Vec::new();
+    for policy in Policy::ALL {
+        for workload in Workload::ALL {
+            let label = format!("{}/{}", policy.name(), workload.name());
+            if only.is_empty() || only.iter().any(|o| o == &label) {
+                cells.push(audit_cell(config, policy, workload));
+            }
+        }
+    }
+    let pass = cells.iter().all(|c| c.gate != Gate::Fail);
+    AuditReport {
+        seeds: config.seeds,
+        cells,
+        pass,
+    }
+}
+
+fn audit_cell(config: &AuditConfig, policy: Policy, workload: Workload) -> CellResult {
+    let mut classes: [Vec<Vec<u64>>; 2] = [Vec::new(), Vec::new()];
+    let mut worst_rate: Option<RateGate> = None;
+    for secret in 0..2u32 {
+        for seed in 0..config.seeds as u64 {
+            let (trace, stats) = run_one(policy, workload, secret, seed);
+            assert!(
+                !stats.terminated,
+                "{}/{} secret {secret} seed {seed}: enclave terminated under audit load",
+                policy.name(),
+                workload.name()
+            );
+            classes[secret as usize].push(trace.symbols());
+            if let Some(limit) = stats.rate_limit {
+                let gate = rate_gate(&stats, limit);
+                let is_worse = worst_rate
+                    .as_ref()
+                    .map(|w| gate.measured_bits_per_progress > w.measured_bits_per_progress)
+                    .unwrap_or(true);
+                if is_worse {
+                    worst_rate = Some(gate);
+                }
+            }
+        }
+    }
+    let dist = distinguishability(&classes[0], &classes[1]);
+
+    let (gate, reason) = match policy {
+        Policy::Baseline => {
+            if dist.mi_bits >= config.baseline_min_mi {
+                (
+                    Gate::Pass,
+                    format!(
+                        "sanity: baseline leaks {:.2} ≥ {:.2} bits/run",
+                        dist.mi_bits, config.baseline_min_mi
+                    ),
+                )
+            } else {
+                (
+                    Gate::Fail,
+                    format!(
+                        "audit broken: baseline leaks only {:.2} < {:.2} bits/run",
+                        dist.mi_bits, config.baseline_min_mi
+                    ),
+                )
+            }
+        }
+        Policy::CachedOram => {
+            if dist.mi_bits <= config.oram_max_mi {
+                (
+                    Gate::Pass,
+                    format!(
+                        "ORAM indistinguishable: {:.2} ≤ {:.2} bits/run",
+                        dist.mi_bits, config.oram_max_mi
+                    ),
+                )
+            } else {
+                (
+                    Gate::Fail,
+                    format!(
+                        "ORAM leaks {:.2} > {:.2} bits/run",
+                        dist.mi_bits, config.oram_max_mi
+                    ),
+                )
+            }
+        }
+        Policy::RateLimit => match &worst_rate {
+            Some(rate) if (rate.faults as f64) <= rate.allowed => (
+                Gate::Pass,
+                format!(
+                    "within budget: {:.3} ≤ {:.3} bits/progress ({} faults / {} progress)",
+                    rate.measured_bits_per_progress,
+                    rate.budget_bits_per_progress,
+                    rate.faults,
+                    rate.progress
+                ),
+            ),
+            Some(rate) => (
+                Gate::Fail,
+                format!(
+                    "over budget: {} faults > {:.1} allowed at progress {}",
+                    rate.faults, rate.allowed, rate.progress
+                ),
+            ),
+            None => (Gate::Fail, "rate-limit run recorded no policy".to_owned()),
+        },
+        Policy::Clusters => (
+            Gate::Info,
+            format!(
+                "anonymity sets: cross-class TV {:.2}, MI {:.2} bits/run",
+                dist.mean_cross_tv, dist.mi_bits
+            ),
+        ),
+    };
+
+    CellResult {
+        policy: policy.name(),
+        workload: workload.name(),
+        dist,
+        rate: worst_rate,
+        gate,
+        reason,
+    }
+}
+
+fn rate_gate(stats: &RunStats, limit: RateLimit) -> RateGate {
+    let bits_per_fault = (stats.tracked_pages.max(2) as f64).log2();
+    let billable = stats.faults.saturating_sub(limit.burst) as f64;
+    let measured = if stats.progress == 0 {
+        // No progress: only the burst allowance applies; any billable
+        // fault is an infinite rate. Surface it as such.
+        if billable > 0.0 {
+            f64::INFINITY
+        } else {
+            0.0
+        }
+    } else {
+        billable * bits_per_fault / stats.progress as f64
+    };
+    RateGate {
+        faults: stats.faults,
+        progress: stats.progress,
+        allowed: limit.allowed_faults(stats.progress),
+        measured_bits_per_progress: measured,
+        budget_bits_per_progress: limit.budget_bits_per_progress(stats.tracked_pages),
+    }
+}
+
+// ----------------------------------------------------------------------
+// Per-run execution.
+// ----------------------------------------------------------------------
+
+/// Self-paging resident budget: small enough that every audited workload
+/// pages under pressure (so the residual channel actually carries
+/// traffic), large enough that no single operation starves.
+const BUDGET_PAGES: usize = 48;
+
+/// Build the world for one audited run. Only the ORAM profile consumes
+/// the seed (position-map randomness); deterministic profiles produce
+/// identical traces across seeds, which the analysis handles (zero
+/// within-class variance).
+fn build_world(policy: Policy, seed: u64) -> (World, EncHeap) {
+    let (profile, budget) = match policy {
+        Policy::Baseline => (Profile::Unprotected, 0),
+        Policy::RateLimit => (
+            Profile::RateLimited {
+                max_faults_per_progress: 64.0,
+                burst: 4096,
+            },
+            BUDGET_PAGES,
+        ),
+        Policy::Clusters => (
+            Profile::Clusters {
+                pages_per_cluster: 10,
+            },
+            BUDGET_PAGES,
+        ),
+        Policy::CachedOram => (
+            Profile::CachedOram {
+                capacity_pages: 512,
+                cache_pages: 24,
+            },
+            0,
+        ),
+    };
+    let (world, heap) = SystemBuilder::new("leakage-audit", profile)
+        .epc_pages(4096)
+        .heap_pages(1024)
+        .code_pages(24)
+        .budget_pages(budget)
+        .seed(0xA0D1_7000 + seed * 7919)
+        .build()
+        .expect("audit world builds");
+    (world, heap)
+}
+
+/// Arm the legacy fault-tracing attacker for the baseline runs: unmap
+/// the given pages so every first touch (and every page transition)
+/// faults with an unmasked address.
+///
+/// Data-page targets are armed at stride 2 (every other page): a data
+/// access that straddles two *armed* pages livelocks the
+/// transition-granular tracer (restoring one page re-protects the other,
+/// so the replayed access never completes — real attacks single-step
+/// across straddles, which the simulator does not model). With no two
+/// armed pages adjacent, an access faults on at most one target and the
+/// victim always makes progress; the audit loses none of its signal
+/// because the secret-dependent page sets remain disjoint.
+fn arm_baseline(world: &mut World, pages: impl Iterator<Item = autarky_sgx_sim::Vpn>) {
+    world
+        .os
+        .arm_fault_tracer(world.eid, pages)
+        .expect("tracer arms");
+}
+
+fn run_one(policy: Policy, workload: Workload, secret: u32, seed: u64) -> (Trace, RunStats) {
+    let (mut world, mut heap) = build_world(policy, seed);
+    let events = match workload {
+        Workload::Jpeg => run_jpeg(policy, secret, &mut world, &mut heap),
+        Workload::Font => run_font(policy, secret, &mut world, &mut heap),
+        Workload::Spell => run_spell(policy, secret, &mut world, &mut heap),
+        Workload::Kvstore => run_kvstore(policy, secret, &mut world, &mut heap),
+    };
+    let meta = world.rt.policy_meta();
+    let stats = RunStats {
+        faults: world.rt.fault_count(),
+        progress: world.rt.progress_total(),
+        tracked_pages: meta.tracked_pages,
+        rate_limit: meta.rate_limit,
+        terminated: world.rt.is_terminated(),
+    };
+    let trace = Trace::new(policy.name(), workload.name(), secret, seed, events);
+    (trace, stats)
+}
+
+fn run_jpeg(
+    policy: Policy,
+    secret: u32,
+    world: &mut World,
+    heap: &mut EncHeap,
+) -> Vec<autarky_os_sim::Observation> {
+    const SIDE: usize = 32;
+    let (img_a, img_b) = jpeg::secret_pair(SIDE);
+    let image = if secret == 0 { img_a } else { img_b };
+    let compressed = jpeg::encode(SIDE, SIDE, &image);
+    let mut decoder = jpeg::Decoder::new(world, heap, SIDE, SIDE).expect("decoder");
+    if policy == Policy::Baseline {
+        // Code fetches touch one page per exec, so adjacent targets are
+        // safe here.
+        let pages: Vec<_> = world.image.code_range().collect();
+        arm_baseline(world, pages.into_iter());
+    }
+    let capture = Capture::begin(&world.os, heap);
+    decoder.decode(world, heap, &compressed).expect("decode");
+    capture.finish(&world.os, heap)
+}
+
+fn run_font(
+    policy: Policy,
+    secret: u32,
+    world: &mut World,
+    heap: &mut EncHeap,
+) -> Vec<autarky_os_sim::Observation> {
+    const LEN: usize = 16;
+    let (text_a, text_b) = font::secret_pair(LEN);
+    let text = if secret == 0 { text_a } else { text_b };
+    let mut renderer = font::FontRenderer::new(world, heap, LEN).expect("renderer");
+    if policy == Policy::Baseline {
+        let pages: Vec<_> = world.image.code_range().collect();
+        arm_baseline(world, pages.into_iter());
+    }
+    let capture = Capture::begin(&world.os, heap);
+    renderer.render_text(world, heap, &text).expect("render");
+    capture.finish(&world.os, heap)
+}
+
+fn run_spell(
+    policy: Policy,
+    secret: u32,
+    world: &mut World,
+    heap: &mut EncHeap,
+) -> Vec<autarky_os_sim::Observation> {
+    const DICT_WORDS: usize = 300;
+    const QUERY_WORDS: usize = 24;
+    let dictionary = spell::Dictionary::load(world, heap, "en", DICT_WORDS).expect("dict");
+    let (text_a, text_b) = spell::secret_pair("en", DICT_WORDS, QUERY_WORDS);
+    let text = if secret == 0 { text_a } else { text_b };
+    if policy == Policy::Baseline {
+        // Stride 2: dictionary nodes straddle page boundaries (see
+        // `arm_baseline`).
+        arm_baseline(world, dictionary.pages.iter().copied().step_by(2));
+    }
+    let capture = Capture::begin(&world.os, heap);
+    for word in &text {
+        dictionary.check(world, heap, word).expect("check");
+    }
+    capture.finish(&world.os, heap)
+}
+
+fn run_kvstore(
+    policy: Policy,
+    secret: u32,
+    world: &mut World,
+    heap: &mut EncHeap,
+) -> Vec<autarky_os_sim::Observation> {
+    const ITEMS: u64 = 128;
+    const VALUE_SIZE: usize = 512;
+    const GETS: usize = 48;
+    let mut store = kvstore::KvStore::new(
+        world,
+        heap,
+        ITEMS,
+        VALUE_SIZE,
+        kvstore::ItemClustering::None,
+    )
+    .expect("store");
+    store.load(world, heap, ITEMS).expect("load");
+    let (keys_a, keys_b) = kvstore::secret_pair(ITEMS, GETS);
+    let keys = if secret == 0 { keys_a } else { keys_b };
+    if policy == Policy::Baseline {
+        // Stride 2: 512-byte values straddle page boundaries (see
+        // `arm_baseline`).
+        let pages: Vec<_> = world.image.heap_range().collect();
+        arm_baseline(world, pages.into_iter().step_by(2));
+    }
+    let capture = Capture::begin(&world.os, heap);
+    for &key in &keys {
+        store.get(world, heap, key).expect("get").expect("present");
+    }
+    capture.finish(&world.os, heap)
+}
+
+// ----------------------------------------------------------------------
+// Report rendering (hand-rolled JSON/markdown; no external deps in the
+// offline build).
+// ----------------------------------------------------------------------
+
+impl AuditReport {
+    /// Serialize the report as JSON (stable key order).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"seeds\": {},\n", self.seeds));
+        out.push_str(&format!("  \"pass\": {},\n", self.pass));
+        out.push_str("  \"cells\": [\n");
+        for (i, cell) in self.cells.iter().enumerate() {
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"policy\": \"{}\",\n", cell.policy));
+            out.push_str(&format!("      \"workload\": \"{}\",\n", cell.workload));
+            out.push_str(&format!(
+                "      \"gate\": \"{}\",\n",
+                match cell.gate {
+                    Gate::Pass => "pass",
+                    Gate::Fail => "fail",
+                    Gate::Info => "info",
+                }
+            ));
+            out.push_str(&format!(
+                "      \"reason\": \"{}\",\n",
+                cell.reason.replace('"', "'")
+            ));
+            let d = &cell.dist;
+            out.push_str(&format!(
+                "      \"mi_bits\": {},\n      \"accuracy\": {},\n      \
+                 \"mean_cross_tv\": {},\n      \"mean_within_tv\": {},\n      \
+                 \"mean_cross_edit\": {},\n      \"mean_symbols\": [{}, {}]",
+                json_f64(d.mi_bits),
+                json_f64(d.accuracy),
+                json_f64(d.mean_cross_tv),
+                json_f64(d.mean_within_tv),
+                json_f64(d.mean_cross_edit),
+                json_f64(d.mean_symbols[0]),
+                json_f64(d.mean_symbols[1]),
+            ));
+            if let Some(rate) = &cell.rate {
+                out.push_str(&format!(
+                    ",\n      \"rate\": {{\"faults\": {}, \"progress\": {}, \
+                     \"allowed\": {}, \"measured_bits_per_progress\": {}, \
+                     \"budget_bits_per_progress\": {}}}",
+                    rate.faults,
+                    rate.progress,
+                    json_f64(rate.allowed),
+                    json_f64(rate.measured_bits_per_progress),
+                    json_f64(rate.budget_bits_per_progress),
+                ));
+            }
+            out.push_str("\n    }");
+            out.push_str(if i + 1 < self.cells.len() {
+                ",\n"
+            } else {
+                "\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Render the report as a markdown table plus gate lines.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::from("# Leakage audit\n\n");
+        out.push_str(&format!(
+            "Seeds per class: {} — overall: **{}**\n\n",
+            self.seeds,
+            if self.pass { "PASS" } else { "FAIL" }
+        ));
+        out.push_str(
+            "| policy | workload | MI (bits/run) | accuracy | cross-TV | within-TV | \
+             cross-edit | symbols (s0/s1) | gate |\n",
+        );
+        out.push_str("|---|---|---|---|---|---|---|---|---|\n");
+        for cell in &self.cells {
+            let d = &cell.dist;
+            out.push_str(&format!(
+                "| {} | {} | {:.3} | {:.3} | {:.3} | {:.3} | {:.3} | {:.0}/{:.0} | {} |\n",
+                cell.policy,
+                cell.workload,
+                d.mi_bits,
+                d.accuracy,
+                d.mean_cross_tv,
+                d.mean_within_tv,
+                d.mean_cross_edit,
+                d.mean_symbols[0],
+                d.mean_symbols[1],
+                match cell.gate {
+                    Gate::Pass => "pass",
+                    Gate::Fail => "**FAIL**",
+                    Gate::Info => "info",
+                },
+            ));
+        }
+        out.push('\n');
+        for cell in &self.cells {
+            out.push_str(&format!(
+                "- `{}/{}`: {}\n",
+                cell.policy, cell.workload, cell.reason
+            ));
+        }
+        out
+    }
+}
+
+fn json_f64(x: f64) -> String {
+    if x.is_finite() {
+        format!("{x}")
+    } else {
+        // JSON has no Infinity; encode as a large sentinel.
+        "1e308".to_owned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn baseline_spell_is_distinguishable() {
+        let config = AuditConfig::default();
+        let cell = audit_cell(&config, Policy::Baseline, Workload::Spell);
+        assert_eq!(cell.gate, Gate::Pass, "{}", cell.reason);
+        assert!(cell.dist.mi_bits >= 0.9, "MI {:.3}", cell.dist.mi_bits);
+        assert!(cell.dist.mean_cross_tv > 0.0);
+    }
+
+    #[test]
+    fn cached_oram_kvstore_is_indistinguishable() {
+        let config = AuditConfig::default();
+        let cell = audit_cell(&config, Policy::CachedOram, Workload::Kvstore);
+        assert_eq!(cell.gate, Gate::Pass, "{}", cell.reason);
+        assert!(cell.dist.mi_bits <= 0.25, "MI {:.3}", cell.dist.mi_bits);
+    }
+
+    #[test]
+    fn rate_limited_font_stays_under_budget() {
+        let config = AuditConfig::default();
+        let cell = audit_cell(&config, Policy::RateLimit, Workload::Font);
+        assert_eq!(cell.gate, Gate::Pass, "{}", cell.reason);
+        let rate = cell.rate.expect("rate evidence recorded");
+        assert!((rate.faults as f64) <= rate.allowed);
+    }
+
+    #[test]
+    fn report_renders_json_and_markdown() {
+        let report = AuditReport {
+            seeds: 2,
+            cells: vec![CellResult {
+                policy: "baseline",
+                workload: "jpeg",
+                dist: Distinguishability {
+                    mean_within_tv: 0.0,
+                    mean_cross_tv: 0.5,
+                    accuracy: 1.0,
+                    mi_bits: 1.0,
+                    mean_cross_edit: 0.7,
+                    mean_symbols: [100.0, 100.0],
+                },
+                rate: None,
+                gate: Gate::Pass,
+                reason: "sanity".to_owned(),
+            }],
+            pass: true,
+        };
+        let json = report.to_json();
+        assert!(json.contains("\"policy\": \"baseline\""));
+        assert!(json.contains("\"pass\": true"));
+        let md = report.to_markdown();
+        assert!(md.contains("| baseline | jpeg |"));
+        assert!(md.contains("PASS"));
+    }
+}

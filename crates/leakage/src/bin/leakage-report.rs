@@ -1,0 +1,78 @@
+//! The CI leakage gate: run the audit matrix, print the markdown
+//! summary, write the JSON artifact, exit non-zero on gate failure.
+//!
+//! ```text
+//! leakage-report [--seeds N] [--out report.json] [--markdown report.md]
+//! ```
+
+use std::process::ExitCode;
+
+use autarky_leakage::audit::run_audit_filtered;
+use autarky_leakage::AuditConfig;
+
+fn main() -> ExitCode {
+    let mut config = AuditConfig::default();
+    let mut json_out: Option<String> = None;
+    let mut markdown_out: Option<String> = None;
+    let mut only: Vec<String> = Vec::new();
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--seeds" => {
+                config.seeds = value("--seeds")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seeds needs an integer ≥ 2"));
+                if config.seeds < 2 {
+                    die("--seeds needs an integer ≥ 2");
+                }
+            }
+            "--out" => json_out = Some(value("--out")),
+            "--markdown" => markdown_out = Some(value("--markdown")),
+            "--only" => only.push(value("--only")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: leakage-report [--seeds N] [--out report.json] \
+                     [--markdown report.md] [--only policy/workload]..."
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let report = run_audit_filtered(&config, &only);
+    let markdown = report.to_markdown();
+    print!("{markdown}");
+
+    if let Some(path) = json_out {
+        if let Err(e) = std::fs::write(&path, report.to_json()) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+    if let Some(path) = markdown_out {
+        if let Err(e) = std::fs::write(&path, &markdown) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        eprintln!("wrote {path}");
+    }
+
+    if report.pass {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("leakage audit FAILED: a gate threshold was violated");
+        ExitCode::FAILURE
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

@@ -1,0 +1,285 @@
+//! Distinguishability analysis over paired secret-class traces.
+//!
+//! The question the audit asks is operational: *given the adversary's
+//! view of a run, can it tell which of two secrets the enclave
+//! processed?* The analysis works on symbol sequences (see
+//! [`Trace::symbols`](crate::Trace::symbols)):
+//!
+//! * normalized symbol histograms and total-variation (statistical)
+//!   distance between them — the distributional view;
+//! * a leave-one-out nearest-centroid classifier whose accuracy, via
+//!   Fano's inequality, lower-bounds the mutual information between the
+//!   secret bit and the observed trace — the operational view;
+//! * a capped, normalized edit distance as a *diagnostic only*: it is
+//!   sensitive to trace length, which differs across secrets even under
+//!   ORAM (the how-many channel is progress/termination leakage, out of
+//!   scope for the which-page channel the paper closes), so it never
+//!   gates.
+//!
+//! Everything is deterministic: no randomness, stable iteration orders.
+
+use std::collections::BTreeMap;
+
+/// Histogram of symbol frequencies, summing to 1 (empty input yields an
+/// empty map).
+pub fn normalized_histogram(symbols: &[u64]) -> BTreeMap<u64, f64> {
+    let mut hist = BTreeMap::new();
+    if symbols.is_empty() {
+        return hist;
+    }
+    let weight = 1.0 / symbols.len() as f64;
+    for &s in symbols {
+        *hist.entry(s).or_insert(0.0) += weight;
+    }
+    hist
+}
+
+/// Total-variation distance between two normalized histograms:
+/// `½ Σ |p(x) − q(x)|`, in `[0, 1]`.
+pub fn tv_distance(p: &BTreeMap<u64, f64>, q: &BTreeMap<u64, f64>) -> f64 {
+    let mut sum = 0.0;
+    for (key, &pv) in p {
+        sum += (pv - q.get(key).copied().unwrap_or(0.0)).abs();
+    }
+    for (key, &qv) in q {
+        if !p.contains_key(key) {
+            sum += qv;
+        }
+    }
+    sum / 2.0
+}
+
+/// Levenshtein distance between two symbol sequences, each truncated to
+/// `cap` symbols, normalized by the longer (truncated) length. In
+/// `[0, 1]`; 0 for two empty sequences.
+pub fn edit_distance_normalized(a: &[u64], b: &[u64], cap: usize) -> f64 {
+    let a = &a[..a.len().min(cap)];
+    let b = &b[..b.len().min(cap)];
+    let longest = a.len().max(b.len());
+    if longest == 0 {
+        return 0.0;
+    }
+    // Rolling single-row DP.
+    let mut row: Vec<usize> = (0..=b.len()).collect();
+    for (i, &ca) in a.iter().enumerate() {
+        let mut diag = row[0];
+        row[0] = i + 1;
+        for (j, &cb) in b.iter().enumerate() {
+            let cost = if ca == cb { diag } else { diag + 1 };
+            diag = row[j + 1];
+            row[j + 1] = cost.min(row[j] + 1).min(row[j + 1] + 1);
+        }
+    }
+    row[b.len()] as f64 / longest as f64
+}
+
+/// Binary entropy `H_b(p)` in bits.
+pub fn binary_entropy(p: f64) -> f64 {
+    if p <= 0.0 || p >= 1.0 {
+        return 0.0;
+    }
+    -(p * p.log2() + (1.0 - p) * (1.0 - p).log2())
+}
+
+/// Empirical mutual information (bits) between the secret bit and the
+/// trace, from classifier accuracy via Fano: `I ≥ 1 − H_b(err)` for a
+/// binary secret. Accuracy at or below chance floors to 0.
+pub fn fano_mi(accuracy: f64) -> f64 {
+    if accuracy <= 0.5 {
+        return 0.0;
+    }
+    (1.0 - binary_entropy(1.0 - accuracy)).max(0.0)
+}
+
+/// The distinguishability summary of one (workload × policy) cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Distinguishability {
+    /// Mean TV distance between same-class trace pairs (sampling noise
+    /// floor; 0 for deterministic policies).
+    pub mean_within_tv: f64,
+    /// Mean TV distance between cross-class trace pairs.
+    pub mean_cross_tv: f64,
+    /// Leave-one-out nearest-centroid accuracy over all traces (ties
+    /// score ½).
+    pub accuracy: f64,
+    /// Fano lower bound on the mutual information, in bits per run.
+    pub mi_bits: f64,
+    /// Mean normalized edit distance between cross-class pairs
+    /// (diagnostic; length-sensitive, never gated on).
+    pub mean_cross_edit: f64,
+    /// Mean trace length (symbols) per class, `[class0, class1]`.
+    pub mean_symbols: [f64; 2],
+}
+
+/// Edit-distance cap: quadratic cost, so long traces are compared on
+/// their first window only.
+const EDIT_CAP: usize = 2000;
+
+/// Analyze two classes of symbol sequences (one sequence per run; at
+/// least two runs per class so leave-one-out centroids are defined).
+pub fn distinguishability(class0: &[Vec<u64>], class1: &[Vec<u64>]) -> Distinguishability {
+    assert!(
+        class0.len() >= 2 && class1.len() >= 2,
+        "need ≥2 runs per class for leave-one-out analysis"
+    );
+    let hists: [Vec<BTreeMap<u64, f64>>; 2] = [
+        class0.iter().map(|s| normalized_histogram(s)).collect(),
+        class1.iter().map(|s| normalized_histogram(s)).collect(),
+    ];
+
+    let mut within = MeanAcc::default();
+    for class in &hists {
+        for (i, hi) in class.iter().enumerate() {
+            for hj in &class[i + 1..] {
+                within.add(tv_distance(hi, hj));
+            }
+        }
+    }
+    let mut cross = MeanAcc::default();
+    for hi in &hists[0] {
+        for hj in &hists[1] {
+            cross.add(tv_distance(hi, hj));
+        }
+    }
+
+    let mut edit = MeanAcc::default();
+    for a in class0 {
+        for b in class1 {
+            edit.add(edit_distance_normalized(a, b, EDIT_CAP));
+        }
+    }
+
+    // Leave-one-out nearest-centroid classification.
+    let mut correct = 0.0;
+    let mut total = 0.0;
+    for (ci, class) in hists.iter().enumerate() {
+        for (i, held_out) in class.iter().enumerate() {
+            let own: Vec<&BTreeMap<u64, f64>> = class
+                .iter()
+                .enumerate()
+                .filter(|&(j, _)| j != i)
+                .map(|(_, h)| h)
+                .collect();
+            let other: Vec<&BTreeMap<u64, f64>> = hists[1 - ci].iter().collect();
+            let d_own = tv_distance(held_out, &centroid(&own));
+            let d_other = tv_distance(held_out, &centroid(&other));
+            total += 1.0;
+            if d_own < d_other {
+                correct += 1.0;
+            } else if d_own == d_other {
+                correct += 0.5;
+            }
+        }
+    }
+    let accuracy = correct / total;
+
+    Distinguishability {
+        mean_within_tv: within.mean(),
+        mean_cross_tv: cross.mean(),
+        accuracy,
+        mi_bits: fano_mi(accuracy),
+        mean_cross_edit: edit.mean(),
+        mean_symbols: [
+            class0.iter().map(|s| s.len() as f64).sum::<f64>() / class0.len() as f64,
+            class1.iter().map(|s| s.len() as f64).sum::<f64>() / class1.len() as f64,
+        ],
+    }
+}
+
+fn centroid(hists: &[&BTreeMap<u64, f64>]) -> BTreeMap<u64, f64> {
+    let mut out: BTreeMap<u64, f64> = BTreeMap::new();
+    if hists.is_empty() {
+        return out;
+    }
+    let weight = 1.0 / hists.len() as f64;
+    for hist in hists {
+        for (&key, &value) in *hist {
+            *out.entry(key).or_insert(0.0) += value * weight;
+        }
+    }
+    out
+}
+
+#[derive(Default)]
+struct MeanAcc {
+    sum: f64,
+    n: u64,
+}
+
+impl MeanAcc {
+    fn add(&mut self, x: f64) {
+        self.sum += x;
+        self.n += 1;
+    }
+    fn mean(&self) -> f64 {
+        if self.n == 0 {
+            0.0
+        } else {
+            self.sum / self.n as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tv_distance_extremes() {
+        let p = normalized_histogram(&[1, 1, 2, 2]);
+        assert_eq!(tv_distance(&p, &p), 0.0);
+        let q = normalized_histogram(&[3, 3, 4, 4]);
+        assert!((tv_distance(&p, &q) - 1.0).abs() < 1e-12, "disjoint → 1");
+        let half = normalized_histogram(&[1, 1, 3, 3]);
+        assert!((tv_distance(&p, &half) - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn edit_distance_basics() {
+        assert_eq!(edit_distance_normalized(&[], &[], 100), 0.0);
+        assert_eq!(edit_distance_normalized(&[1, 2, 3], &[1, 2, 3], 100), 0.0);
+        assert_eq!(edit_distance_normalized(&[1, 2, 3], &[4, 5, 6], 100), 1.0);
+        let d = edit_distance_normalized(&[1, 2, 3, 4], &[1, 2, 9, 4], 100);
+        assert!((d - 0.25).abs() < 1e-12, "one substitution in four");
+        // The cap truncates: identical prefixes within the cap → 0.
+        assert_eq!(edit_distance_normalized(&[1, 2, 7], &[1, 2, 8], 2), 0.0);
+    }
+
+    #[test]
+    fn entropy_and_fano() {
+        assert_eq!(binary_entropy(0.0), 0.0);
+        assert!((binary_entropy(0.5) - 1.0).abs() < 1e-12);
+        assert_eq!(fano_mi(0.5), 0.0, "chance accuracy → 0 bits");
+        assert_eq!(fano_mi(0.3), 0.0, "below chance floors at 0");
+        assert!((fano_mi(1.0) - 1.0).abs() < 1e-12, "perfect → 1 bit");
+        let mid = fano_mi(0.75);
+        assert!(mid > 0.1 && mid < 0.3, "0.75 accuracy ≈ 0.19 bits: {mid}");
+    }
+
+    #[test]
+    fn separable_classes_are_distinguished() {
+        let class0 = vec![vec![1, 2, 3, 4], vec![1, 2, 3, 3], vec![1, 2, 4, 4]];
+        let class1 = vec![vec![7, 8, 9, 10], vec![7, 8, 9, 9], vec![7, 8, 10, 10]];
+        let d = distinguishability(&class0, &class1);
+        assert_eq!(d.accuracy, 1.0);
+        assert_eq!(d.mi_bits, 1.0);
+        assert!(d.mean_cross_tv > d.mean_within_tv);
+        assert!(d.mean_cross_edit > 0.9);
+    }
+
+    #[test]
+    fn identical_classes_are_indistinguishable() {
+        let class0 = vec![vec![1, 2, 3], vec![1, 2, 3]];
+        let class1 = vec![vec![1, 2, 3], vec![1, 2, 3]];
+        let d = distinguishability(&class0, &class1);
+        assert_eq!(d.accuracy, 0.5, "all ties score half");
+        assert_eq!(d.mi_bits, 0.0);
+        assert_eq!(d.mean_cross_tv, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "leave-one-out")]
+    fn single_run_classes_are_rejected() {
+        let _ = distinguishability(&[vec![1]], &[vec![2]]);
+    }
+}

@@ -1,0 +1,241 @@
+//! The serialized adversary trace: what the OS saw, tagged with enough
+//! metadata to replay and regroup it.
+//!
+//! A trace is one run's adversary view — the [`Observation`] stream the
+//! `os-sim` kernel records, plus (for ORAM-paged heaps) the untrusted
+//! bucket traffic folded in as [`Observation::UntrustedAccess`] events.
+//! Serialization reuses the `os-sim` wire grammar, prefixed with one
+//! `trace` header line carrying the run coordinates, so a saved artifact
+//! is self-describing and `from_text(to_text(t)) == t` exactly.
+
+use std::collections::BTreeMap;
+
+use autarky_os_sim::wire::{self, WireError};
+use autarky_os_sim::Observation;
+
+/// Coordinates of one audited run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceMeta {
+    /// Protection policy label (no whitespace; e.g. `baseline`,
+    /// `rate-limit`, `clusters`, `cached-oram`).
+    pub policy: String,
+    /// Workload label (no whitespace; e.g. `jpeg`, `spell`).
+    pub workload: String,
+    /// Which secret class of the pair this run processed (0 or 1).
+    pub secret: u32,
+    /// Seed index of the run (varies ORAM randomness across repeats).
+    pub seed: u64,
+}
+
+/// One run's adversary-visible event stream.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Run coordinates.
+    pub meta: TraceMeta,
+    /// Everything the adversary observed, in order.
+    pub events: Vec<Observation>,
+}
+
+impl Trace {
+    /// Build a trace; labels must be whitespace-free (they live in a
+    /// space-separated header line).
+    pub fn new(
+        policy: &str,
+        workload: &str,
+        secret: u32,
+        seed: u64,
+        events: Vec<Observation>,
+    ) -> Self {
+        assert!(
+            !policy.contains(char::is_whitespace) && !workload.contains(char::is_whitespace),
+            "trace labels must not contain whitespace"
+        );
+        Self {
+            meta: TraceMeta {
+                policy: policy.to_owned(),
+                workload: workload.to_owned(),
+                secret,
+                seed,
+            },
+            events,
+        }
+    }
+
+    /// Serialize: a `trace` header line, then one event per line.
+    pub fn to_text(&self) -> String {
+        let mut out = format!(
+            "trace policy={} workload={} secret={} seed={}\n",
+            self.meta.policy, self.meta.workload, self.meta.secret, self.meta.seed
+        );
+        out.push_str(&wire::encode_observations(&self.events));
+        out
+    }
+
+    /// Deserialize a trace produced by [`Trace::to_text`]. Blank lines
+    /// and `#` comments between events are tolerated.
+    pub fn from_text(text: &str) -> Result<Self, WireError> {
+        let bad = |what: &'static str, line: &str| WireError {
+            what,
+            line: line.to_owned(),
+        };
+        let mut lines = text.lines();
+        let header = lines.next().ok_or_else(|| bad("empty trace", ""))?;
+        let fields: Vec<&str> = header.split_whitespace().collect();
+        let ["trace", kv @ ..] = fields.as_slice() else {
+            return Err(bad("trace header", header));
+        };
+        let mut meta = TraceMeta {
+            policy: String::new(),
+            workload: String::new(),
+            secret: 0,
+            seed: 0,
+        };
+        for field in kv {
+            let (key, value) = field
+                .split_once('=')
+                .ok_or_else(|| bad("header key=value", header))?;
+            match key {
+                "policy" => meta.policy = value.to_owned(),
+                "workload" => meta.workload = value.to_owned(),
+                "secret" => {
+                    meta.secret = value.parse().map_err(|_| bad("secret", header))?;
+                }
+                "seed" => meta.seed = value.parse().map_err(|_| bad("seed", header))?,
+                _ => return Err(bad("header key", header)),
+            }
+        }
+        let body: String = lines.map(|l| format!("{l}\n")).collect();
+        Ok(Self {
+            meta,
+            events: wire::decode_observations(&body)?,
+        })
+    }
+
+    /// Flatten the trace into a symbol sequence for the analysis. Each
+    /// event contributes one symbol per *page-granular thing the
+    /// adversary learned*: a fault contributes its (page, access-kind),
+    /// a fetch/evict batch contributes one symbol per page it names, an
+    /// ORAM access contributes its bucket. Symbols from different event
+    /// types never collide (each type mixes in its own tag).
+    pub fn symbols(&self) -> Vec<u64> {
+        let mut out = Vec::with_capacity(self.events.len());
+        for event in &self.events {
+            match event {
+                Observation::Fault { va, kind, .. } => {
+                    out.push(sym(1, va.0 >> 12, *kind as u64));
+                }
+                Observation::FetchSyscall { pages, .. } => {
+                    out.extend(pages.iter().map(|p| sym(2, p.0, 0)));
+                }
+                Observation::EvictSyscall { pages, .. } => {
+                    out.extend(pages.iter().map(|p| sym(3, p.0, 0)));
+                }
+                Observation::AllocSyscall { pages, .. } => {
+                    out.extend(pages.iter().map(|p| sym(4, p.0, 0)));
+                }
+                Observation::SetEnclaveManaged { pages, .. } => {
+                    out.extend(pages.iter().map(|p| sym(5, p.0, 0)));
+                }
+                Observation::SetOsManaged { pages, .. } => {
+                    out.extend(pages.iter().map(|p| sym(6, p.0, 0)));
+                }
+                Observation::UntrustedAccess { key, write } => {
+                    out.push(sym(7, *key, *write as u64));
+                }
+                Observation::DemandPaging { vpn, .. } => out.push(sym(8, vpn.0, 0)),
+                Observation::AdBitObserved { vpn, dirty, .. } => {
+                    out.push(sym(9, vpn.0, *dirty as u64));
+                }
+                Observation::FaultInjected { .. } => out.push(sym(10, 0, 0)),
+            }
+        }
+        out
+    }
+
+    /// Raw symbol counts (the un-normalized access histogram).
+    pub fn page_histogram(&self) -> BTreeMap<u64, u64> {
+        let mut hist = BTreeMap::new();
+        for s in self.symbols() {
+            *hist.entry(s).or_insert(0) += 1;
+        }
+        hist
+    }
+}
+
+/// Tagged symbol constructor: splitmix64 finalizer over a tag/value/attr
+/// packing, so symbols are well-spread and type-disjoint.
+fn sym(tag: u64, value: u64, attr: u64) -> u64 {
+    let mut x = tag
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(value)
+        .wrapping_add(attr.wrapping_mul(0x2545_F491_4F6C_DD1D));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autarky_sgx_sim::{AccessKind, EnclaveId, Va, Vpn};
+
+    fn sample_events() -> Vec<Observation> {
+        vec![
+            Observation::Fault {
+                eid: EnclaveId(1),
+                va: Va(0x1000_0000 << 12),
+                kind: AccessKind::Read,
+            },
+            Observation::FetchSyscall {
+                eid: EnclaveId(1),
+                pages: vec![Vpn(7), Vpn(8)],
+            },
+            Observation::UntrustedAccess {
+                key: 42,
+                write: true,
+            },
+        ]
+    }
+
+    #[test]
+    fn text_roundtrip_preserves_everything() {
+        let trace = Trace::new("rate-limit", "jpeg", 1, 9, sample_events());
+        let back = Trace::from_text(&trace.to_text()).expect("decode");
+        assert_eq!(back, trace);
+    }
+
+    #[test]
+    fn roundtrip_tolerates_comments_and_blanks() {
+        let trace = Trace::new("baseline", "font", 0, 3, sample_events());
+        let mut text = trace.to_text();
+        text.push_str("\n# trailing comment\n\n");
+        assert_eq!(Trace::from_text(&text).expect("decode"), trace);
+    }
+
+    #[test]
+    fn malformed_headers_are_rejected() {
+        assert!(Trace::from_text("").is_err());
+        assert!(Trace::from_text("notatrace policy=x").is_err());
+        assert!(Trace::from_text("trace policy=x bogus=1").is_err());
+        assert!(Trace::from_text("trace secret=abc").is_err());
+    }
+
+    #[test]
+    fn symbols_expand_batches_per_page() {
+        let trace = Trace::new("baseline", "kv", 0, 0, sample_events());
+        // fault=1, fetch of 2 pages=2, untrusted access=1.
+        assert_eq!(trace.symbols().len(), 4);
+        let unique: std::collections::HashSet<u64> = trace.symbols().into_iter().collect();
+        assert_eq!(unique.len(), 4, "distinct things map to distinct symbols");
+    }
+
+    #[test]
+    fn histogram_counts_repeats() {
+        let mut events = sample_events();
+        events.extend(sample_events());
+        let trace = Trace::new("baseline", "kv", 0, 0, events);
+        assert!(trace.page_histogram().values().all(|&c| c == 2));
+    }
+}

@@ -165,6 +165,17 @@ fn unprotect(os: &mut Os, eid: EnclaveId, vpn: Vpn, mode: TraceMode) {
 impl Os {
     /// Arm a fault-tracing attack: unmap all target pages so the next
     /// access to each faults.
+    ///
+    /// Caveat for *data* pages: the tracer is transition-granular — on a
+    /// fault it restores the faulting page and re-protects the previous
+    /// one. A single data access that straddles two armed pages therefore
+    /// livelocks: the replayed access re-faults on whichever of the pair
+    /// was just re-protected, forever. Real controlled-channel attacks
+    /// single-step across such straddles (Xu et al., S&P 2015); the
+    /// simulator replays the whole access instead. Callers tracing data
+    /// pages should arm non-adjacent targets (e.g. every other page) so
+    /// no access can touch two armed pages at once. Code fetches touch
+    /// exactly one page, so code ranges may be armed at full density.
     pub fn arm_fault_tracer(
         &mut self,
         eid: EnclaveId,

@@ -180,6 +180,10 @@ pub struct Os {
     /// The currently armed attacker (part of the OS).
     pub attacker: Attacker,
     observations: Vec<Observation>,
+    /// Absolute index of `observations[0]` in the all-time event stream
+    /// (advanced by [`Os::take_observations`] so cursor marks stay valid
+    /// across drains).
+    obs_base: u64,
     /// Use exitless calls for enclave syscalls (Graphene/Eleos style).
     pub exitless: bool,
     /// Armed fault injector (robustness harness), if any.
@@ -195,6 +199,7 @@ impl Os {
             backing: BackingStore::new(),
             attacker: Attacker::None,
             observations: Vec::new(),
+            obs_base: 0,
             exitless: true,
             injector: None,
         }
@@ -330,8 +335,27 @@ impl Os {
         &self.observations
     }
 
-    /// Drain the event log.
+    /// A cursor into the all-time observation stream. Pair with
+    /// [`Os::observations_since`] to read events non-destructively, so
+    /// several consumers (attack oracles, leakage capture) can share the
+    /// stream without stealing each other's events.
+    pub fn observation_mark(&self) -> u64 {
+        self.obs_base + self.observations.len() as u64
+    }
+
+    /// Events recorded at or after `mark` (from [`Os::observation_mark`]).
+    /// Events drained by [`Os::take_observations`] before `mark` was read
+    /// are gone; a mark older than the last drain yields what survives.
+    pub fn observations_since(&self, mark: u64) -> &[Observation] {
+        let start = mark.saturating_sub(self.obs_base) as usize;
+        &self.observations[start.min(self.observations.len())..]
+    }
+
+    /// Drain the event log. Prefer the non-draining
+    /// [`Os::observation_mark`] / [`Os::observations_since`] cursor when
+    /// another consumer may also be watching the stream.
     pub fn take_observations(&mut self) -> Vec<Observation> {
+        self.obs_base += self.observations.len() as u64;
         std::mem::take(&mut self.observations)
     }
 

@@ -38,6 +38,7 @@ pub mod fault;
 pub mod hypervisor;
 pub mod image;
 pub mod kernel;
+pub mod wire;
 
 pub use attack::{AdMonitor, Attacker, FaultTracer, TraceMode};
 pub use backing::BackingStore;
@@ -46,3 +47,4 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan, InjectedFault, SyscallKind}
 pub use hypervisor::{BalloonOutcome, Hypervisor, VmId};
 pub use image::EnclaveImage;
 pub use kernel::{FaultDisposition, Observation, Os, OsError};
+pub use wire::WireError;

@@ -1,0 +1,542 @@
+//! Lossless serialization of adversary observations and fault schedules.
+//!
+//! The leakage-audit subsystem persists observation traces to disk and
+//! replays them deterministically; fault schedules travel alongside so a
+//! run is fully described by its artifacts. External crates (serde) are
+//! unavailable in the offline build, so this module hand-rolls a compact
+//! line-oriented text format with the same contract a serde round-trip
+//! would give: `decode(encode(x)) == x` for every value, checked by
+//! randomized round-trip tests over [`SimRng`]-generated values.
+//!
+//! Grammar (one event per line, fields space-separated):
+//!
+//! ```text
+//! fault <eid> <va> <r|w|x>
+//! fetch <eid> <vpn,vpn,...>        ("-" for an empty list)
+//! evict <eid> <vpns>
+//! alloc <eid> <vpns>
+//! semg  <eid> <vpns>               (SetEnclaveManaged)
+//! somg  <eid> <vpns>               (SetOsManaged)
+//! ua    <key> <r|w>                (UntrustedAccess)
+//! dp    <eid> <vpn>                (DemandPaging)
+//! ad    <eid> <vpn> <a|d>          (AdBitObserved)
+//! inj   <eid> <fault...>           (FaultInjected; see encode_injected_fault)
+//! ```
+//!
+//! `f64` rates in [`FaultPlan`] are encoded as IEEE-754 bit patterns in
+//! hex so the round trip is exact, not shortest-decimal approximate.
+
+use autarky_sgx_sim::{AccessKind, EnclaveId, Va, Vpn};
+
+use crate::fault::{FaultKind, FaultPlan, InjectedFault};
+use crate::kernel::Observation;
+
+/// A malformed wire line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WireError {
+    /// What failed to parse.
+    pub what: &'static str,
+    /// The offending input line.
+    pub line: String,
+}
+
+impl core::fmt::Display for WireError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(f, "wire decode error ({}): {:?}", self.what, self.line)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+fn err<T>(what: &'static str, line: &str) -> Result<T, WireError> {
+    Err(WireError {
+        what,
+        line: line.to_owned(),
+    })
+}
+
+fn kind_tag(kind: AccessKind) -> &'static str {
+    match kind {
+        AccessKind::Read => "r",
+        AccessKind::Write => "w",
+        AccessKind::Execute => "x",
+    }
+}
+
+fn parse_kind(tag: &str, line: &str) -> Result<AccessKind, WireError> {
+    match tag {
+        "r" => Ok(AccessKind::Read),
+        "w" => Ok(AccessKind::Write),
+        "x" => Ok(AccessKind::Execute),
+        _ => err("access kind", line),
+    }
+}
+
+fn pages_field(pages: &[Vpn]) -> String {
+    if pages.is_empty() {
+        "-".to_owned()
+    } else {
+        pages
+            .iter()
+            .map(|v| v.0.to_string())
+            .collect::<Vec<_>>()
+            .join(",")
+    }
+}
+
+fn parse_pages(field: &str, line: &str) -> Result<Vec<Vpn>, WireError> {
+    if field == "-" {
+        return Ok(Vec::new());
+    }
+    field
+        .split(',')
+        .map(|p| p.parse::<u64>().map(Vpn).or(err("vpn", line)))
+        .collect()
+}
+
+fn parse_u64(field: &str, line: &str) -> Result<u64, WireError> {
+    field.parse::<u64>().or(err("u64", line))
+}
+
+fn parse_usize(field: &str, line: &str) -> Result<usize, WireError> {
+    field.parse::<usize>().or(err("usize", line))
+}
+
+fn parse_eid(field: &str, line: &str) -> Result<EnclaveId, WireError> {
+    field.parse::<u32>().map(EnclaveId).or(err("eid", line))
+}
+
+/// Encode one observation as a single line (no trailing newline).
+pub fn encode_observation(obs: &Observation) -> String {
+    match obs {
+        Observation::Fault { eid, va, kind } => {
+            format!("fault {} {} {}", eid.0, va.0, kind_tag(*kind))
+        }
+        Observation::FetchSyscall { eid, pages } => {
+            format!("fetch {} {}", eid.0, pages_field(pages))
+        }
+        Observation::EvictSyscall { eid, pages } => {
+            format!("evict {} {}", eid.0, pages_field(pages))
+        }
+        Observation::AllocSyscall { eid, pages } => {
+            format!("alloc {} {}", eid.0, pages_field(pages))
+        }
+        Observation::SetEnclaveManaged { eid, pages } => {
+            format!("semg {} {}", eid.0, pages_field(pages))
+        }
+        Observation::SetOsManaged { eid, pages } => {
+            format!("somg {} {}", eid.0, pages_field(pages))
+        }
+        Observation::UntrustedAccess { key, write } => {
+            format!("ua {} {}", key, if *write { "w" } else { "r" })
+        }
+        Observation::DemandPaging { eid, vpn } => format!("dp {} {}", eid.0, vpn.0),
+        Observation::AdBitObserved { eid, vpn, dirty } => {
+            format!("ad {} {} {}", eid.0, vpn.0, if *dirty { "d" } else { "a" })
+        }
+        Observation::FaultInjected { eid, fault } => {
+            format!("inj {} {}", eid.0, encode_injected_fault(fault))
+        }
+    }
+}
+
+/// Decode one observation line.
+pub fn decode_observation(line: &str) -> Result<Observation, WireError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let [tag, rest @ ..] = fields.as_slice() else {
+        return err("empty line", line);
+    };
+    match (*tag, rest) {
+        ("fault", [eid, va, kind]) => Ok(Observation::Fault {
+            eid: parse_eid(eid, line)?,
+            va: Va(parse_u64(va, line)?),
+            kind: parse_kind(kind, line)?,
+        }),
+        ("fetch", [eid, pages]) => Ok(Observation::FetchSyscall {
+            eid: parse_eid(eid, line)?,
+            pages: parse_pages(pages, line)?,
+        }),
+        ("evict", [eid, pages]) => Ok(Observation::EvictSyscall {
+            eid: parse_eid(eid, line)?,
+            pages: parse_pages(pages, line)?,
+        }),
+        ("alloc", [eid, pages]) => Ok(Observation::AllocSyscall {
+            eid: parse_eid(eid, line)?,
+            pages: parse_pages(pages, line)?,
+        }),
+        ("semg", [eid, pages]) => Ok(Observation::SetEnclaveManaged {
+            eid: parse_eid(eid, line)?,
+            pages: parse_pages(pages, line)?,
+        }),
+        ("somg", [eid, pages]) => Ok(Observation::SetOsManaged {
+            eid: parse_eid(eid, line)?,
+            pages: parse_pages(pages, line)?,
+        }),
+        ("ua", [key, rw]) => Ok(Observation::UntrustedAccess {
+            key: parse_u64(key, line)?,
+            write: match *rw {
+                "w" => true,
+                "r" => false,
+                _ => return err("ua r/w", line),
+            },
+        }),
+        ("dp", [eid, vpn]) => Ok(Observation::DemandPaging {
+            eid: parse_eid(eid, line)?,
+            vpn: Vpn(parse_u64(vpn, line)?),
+        }),
+        ("ad", [eid, vpn, ad]) => Ok(Observation::AdBitObserved {
+            eid: parse_eid(eid, line)?,
+            vpn: Vpn(parse_u64(vpn, line)?),
+            dirty: match *ad {
+                "d" => true,
+                "a" => false,
+                _ => return err("ad a/d", line),
+            },
+        }),
+        ("inj", [eid, fault @ ..]) => Ok(Observation::FaultInjected {
+            eid: parse_eid(eid, line)?,
+            fault: decode_injected_fault_fields(fault, line)?,
+        }),
+        _ => err("observation tag", line),
+    }
+}
+
+/// Encode a whole observation stream, one event per line.
+pub fn encode_observations(stream: &[Observation]) -> String {
+    let mut out = String::new();
+    for obs in stream {
+        out.push_str(&encode_observation(obs));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decode an observation stream (blank lines and `#` comments skipped).
+pub fn decode_observations(text: &str) -> Result<Vec<Observation>, WireError> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(decode_observation)
+        .collect()
+}
+
+/// Encode an injected fault (the payload of `inj` lines, also usable
+/// standalone for fault-schedule artifacts).
+pub fn encode_injected_fault(fault: &InjectedFault) -> String {
+    match fault {
+        InjectedFault::TransientNoMemory => "nomem".to_owned(),
+        InjectedFault::PartialBatch { completed } => format!("partial {completed}"),
+        InjectedFault::WrongResidence { index } => format!("wrongres {index}"),
+        InjectedFault::DropPage { index } => format!("drop {index}"),
+        InjectedFault::SpuriousEvict { vpn } => format!("spurious {}", vpn.0),
+        InjectedFault::CorruptBacking { vpn } => format!("corrupt {}", vpn.0),
+        InjectedFault::ReplayBacking { vpn } => format!("replay {}", vpn.0),
+        InjectedFault::Delay { cycles } => format!("delay {cycles}"),
+        InjectedFault::Suspend { completed } => format!("suspend {completed}"),
+    }
+}
+
+/// Decode an injected fault.
+pub fn decode_injected_fault(text: &str) -> Result<InjectedFault, WireError> {
+    let fields: Vec<&str> = text.split_whitespace().collect();
+    decode_injected_fault_fields(&fields, text)
+}
+
+fn decode_injected_fault_fields(fields: &[&str], line: &str) -> Result<InjectedFault, WireError> {
+    match fields {
+        ["nomem"] => Ok(InjectedFault::TransientNoMemory),
+        ["partial", n] => Ok(InjectedFault::PartialBatch {
+            completed: parse_usize(n, line)?,
+        }),
+        ["wrongres", i] => Ok(InjectedFault::WrongResidence {
+            index: parse_usize(i, line)?,
+        }),
+        ["drop", i] => Ok(InjectedFault::DropPage {
+            index: parse_usize(i, line)?,
+        }),
+        ["spurious", v] => Ok(InjectedFault::SpuriousEvict {
+            vpn: Vpn(parse_u64(v, line)?),
+        }),
+        ["corrupt", v] => Ok(InjectedFault::CorruptBacking {
+            vpn: Vpn(parse_u64(v, line)?),
+        }),
+        ["replay", v] => Ok(InjectedFault::ReplayBacking {
+            vpn: Vpn(parse_u64(v, line)?),
+        }),
+        ["delay", c] => Ok(InjectedFault::Delay {
+            cycles: parse_u64(c, line)?,
+        }),
+        ["suspend", n] => Ok(InjectedFault::Suspend {
+            completed: parse_usize(n, line)?,
+        }),
+        _ => err("injected fault", line),
+    }
+}
+
+/// Encode a fault kind (stable one-word tags).
+pub fn encode_fault_kind(kind: FaultKind) -> &'static str {
+    match kind {
+        FaultKind::TransientNoMemory => "nomem",
+        FaultKind::PartialBatch => "partial",
+        FaultKind::WrongResidence => "wrongres",
+        FaultKind::DropPage => "drop",
+        FaultKind::SpuriousEvict => "spurious",
+        FaultKind::CorruptBacking => "corrupt",
+        FaultKind::ReplayBacking => "replay",
+        FaultKind::Delay => "delay",
+        FaultKind::Suspend => "suspend",
+    }
+}
+
+/// Decode a fault kind tag.
+pub fn decode_fault_kind(tag: &str) -> Result<FaultKind, WireError> {
+    FaultKind::ALL
+        .into_iter()
+        .find(|&k| encode_fault_kind(k) == tag)
+        .ok_or_else(|| WireError {
+            what: "fault kind",
+            line: tag.to_owned(),
+        })
+}
+
+/// Encode a fault plan as one line of `key=value` pairs. Rates are IEEE
+/// bit patterns in hex so the round trip is bit-exact.
+pub fn encode_fault_plan(plan: &FaultPlan) -> String {
+    let max = plan
+        .max_injections
+        .map(|m| m.to_string())
+        .unwrap_or_else(|| "-".to_owned());
+    format!(
+        "plan seed={} nomem={:016x} partial={:016x} wrongres={:016x} drop={:016x} \
+         spurious={:016x} corrupt={:016x} replay={:016x} delay={:016x} delay_cycles={} \
+         suspend={:016x} max={}",
+        plan.seed,
+        plan.transient_no_memory.to_bits(),
+        plan.partial_batch.to_bits(),
+        plan.wrong_residence.to_bits(),
+        plan.drop_page.to_bits(),
+        plan.spurious_evict.to_bits(),
+        plan.corrupt_backing.to_bits(),
+        plan.replay_backing.to_bits(),
+        plan.delay.to_bits(),
+        plan.delay_cycles,
+        plan.suspend.to_bits(),
+        max,
+    )
+}
+
+/// Decode a fault plan line produced by [`encode_fault_plan`].
+pub fn decode_fault_plan(line: &str) -> Result<FaultPlan, WireError> {
+    let mut plan = FaultPlan::quiescent(0);
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    if fields.first() != Some(&"plan") {
+        return err("plan tag", line);
+    }
+    let rate = |v: &str| -> Result<f64, WireError> {
+        u64::from_str_radix(v, 16)
+            .map(f64::from_bits)
+            .or(err("rate bits", line))
+    };
+    for field in &fields[1..] {
+        let (key, value) = field.split_once('=').ok_or(WireError {
+            what: "key=value",
+            line: line.to_owned(),
+        })?;
+        match key {
+            "seed" => plan.seed = parse_u64(value, line)?,
+            "nomem" => plan.transient_no_memory = rate(value)?,
+            "partial" => plan.partial_batch = rate(value)?,
+            "wrongres" => plan.wrong_residence = rate(value)?,
+            "drop" => plan.drop_page = rate(value)?,
+            "spurious" => plan.spurious_evict = rate(value)?,
+            "corrupt" => plan.corrupt_backing = rate(value)?,
+            "replay" => plan.replay_backing = rate(value)?,
+            "delay" => plan.delay = rate(value)?,
+            "delay_cycles" => plan.delay_cycles = parse_u64(value, line)?,
+            "suspend" => plan.suspend = rate(value)?,
+            "max" => {
+                plan.max_injections = if value == "-" {
+                    None
+                } else {
+                    Some(parse_u64(value, line)?)
+                }
+            }
+            _ => return err("plan key", line),
+        }
+    }
+    Ok(plan)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autarky_prng::SimRng;
+
+    fn random_pages(rng: &mut SimRng) -> Vec<Vpn> {
+        let n = rng.gen_range_usize(0..6);
+        (0..n).map(|_| Vpn(rng.gen_range(0..1 << 40))).collect()
+    }
+
+    fn random_injected_fault(rng: &mut SimRng) -> InjectedFault {
+        match rng.gen_range(0..9) {
+            0 => InjectedFault::TransientNoMemory,
+            1 => InjectedFault::PartialBatch {
+                completed: rng.gen_range_usize(0..100),
+            },
+            2 => InjectedFault::WrongResidence {
+                index: rng.gen_range_usize(0..100),
+            },
+            3 => InjectedFault::DropPage {
+                index: rng.gen_range_usize(0..100),
+            },
+            4 => InjectedFault::SpuriousEvict {
+                vpn: Vpn(rng.next_u64() >> 12),
+            },
+            5 => InjectedFault::CorruptBacking {
+                vpn: Vpn(rng.next_u64() >> 12),
+            },
+            6 => InjectedFault::ReplayBacking {
+                vpn: Vpn(rng.next_u64() >> 12),
+            },
+            7 => InjectedFault::Delay {
+                cycles: rng.next_u64() >> 20,
+            },
+            _ => InjectedFault::Suspend {
+                completed: rng.gen_range_usize(0..100),
+            },
+        }
+    }
+
+    fn random_observation(rng: &mut SimRng) -> Observation {
+        let eid = EnclaveId(rng.next_u32() >> 8);
+        match rng.gen_range(0..10) {
+            0 => Observation::Fault {
+                eid,
+                va: Va(rng.next_u64() >> 4),
+                kind: [AccessKind::Read, AccessKind::Write, AccessKind::Execute]
+                    [rng.gen_range_usize(0..3)],
+            },
+            1 => Observation::FetchSyscall {
+                eid,
+                pages: random_pages(rng),
+            },
+            2 => Observation::EvictSyscall {
+                eid,
+                pages: random_pages(rng),
+            },
+            3 => Observation::AllocSyscall {
+                eid,
+                pages: random_pages(rng),
+            },
+            4 => Observation::SetEnclaveManaged {
+                eid,
+                pages: random_pages(rng),
+            },
+            5 => Observation::SetOsManaged {
+                eid,
+                pages: random_pages(rng),
+            },
+            6 => Observation::UntrustedAccess {
+                key: rng.next_u64(),
+                write: rng.gen_bool(0.5),
+            },
+            7 => Observation::DemandPaging {
+                eid,
+                vpn: Vpn(rng.next_u64() >> 12),
+            },
+            8 => Observation::AdBitObserved {
+                eid,
+                vpn: Vpn(rng.next_u64() >> 12),
+                dirty: rng.gen_bool(0.5),
+            },
+            _ => Observation::FaultInjected {
+                eid,
+                fault: random_injected_fault(rng),
+            },
+        }
+    }
+
+    #[test]
+    fn observation_roundtrip_randomized() {
+        let mut rng = SimRng::seed_from_u64(0x11EA_4A6E);
+        for case in 0..2000 {
+            let obs = random_observation(&mut rng);
+            let line = encode_observation(&obs);
+            let back = decode_observation(&line).unwrap_or_else(|e| panic!("case {case}: {e}"));
+            assert_eq!(back, obs, "case {case}: {line}");
+        }
+    }
+
+    #[test]
+    fn stream_roundtrip_with_comments_and_blanks() {
+        let mut rng = SimRng::seed_from_u64(0xC0FF);
+        let stream: Vec<Observation> = (0..50).map(|_| random_observation(&mut rng)).collect();
+        let mut text = String::from("# header comment\n\n");
+        text.push_str(&encode_observations(&stream));
+        assert_eq!(decode_observations(&text).expect("decode"), stream);
+    }
+
+    #[test]
+    fn injected_fault_roundtrip_randomized() {
+        let mut rng = SimRng::seed_from_u64(0xFA17);
+        for _ in 0..1000 {
+            let fault = random_injected_fault(&mut rng);
+            let text = encode_injected_fault(&fault);
+            assert_eq!(decode_injected_fault(&text).expect("decode"), fault);
+        }
+    }
+
+    #[test]
+    fn fault_kind_roundtrip_exhaustive() {
+        for kind in FaultKind::ALL {
+            assert_eq!(
+                decode_fault_kind(encode_fault_kind(kind)).expect("decode"),
+                kind
+            );
+        }
+        assert!(decode_fault_kind("bogus").is_err());
+    }
+
+    #[test]
+    fn fault_plan_roundtrip_is_bit_exact() {
+        let mut rng = SimRng::seed_from_u64(0x9A17);
+        for _ in 0..200 {
+            let plan = FaultPlan {
+                seed: rng.next_u64(),
+                transient_no_memory: rng.gen_f64(),
+                partial_batch: rng.gen_f64() / 3.0,
+                wrong_residence: rng.gen_f64() / 7.0,
+                drop_page: rng.gen_f64() / 11.0,
+                spurious_evict: rng.gen_f64() / 13.0,
+                corrupt_backing: rng.gen_f64() / 17.0,
+                replay_backing: rng.gen_f64() / 19.0,
+                delay: rng.gen_f64() / 23.0,
+                delay_cycles: rng.next_u64() >> 30,
+                suspend: rng.gen_f64() / 29.0,
+                max_injections: if rng.gen_bool(0.5) {
+                    Some(rng.next_u64() >> 40)
+                } else {
+                    None
+                },
+            };
+            let line = encode_fault_plan(&plan);
+            assert_eq!(decode_fault_plan(&line).expect("decode"), plan);
+        }
+    }
+
+    #[test]
+    fn malformed_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "fault",
+            "fault x y z",
+            "fetch 1",
+            "ua 5 q",
+            "inj 1 warp 9",
+            "plan seed=zz",
+            "unknown 1 2 3",
+        ] {
+            assert!(decode_observation(bad).is_err(), "{bad:?} must not decode");
+        }
+    }
+}

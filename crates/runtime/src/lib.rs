@@ -36,4 +36,6 @@ pub mod runtime;
 pub use cluster::{ClusterId, ClusterMap};
 pub use error::RtError;
 pub use ratelimit::{RateLimit, RateLimiter};
-pub use runtime::{HardenConfig, PagingMechanism, PolicyMode, RtStats, Runtime, RuntimeConfig};
+pub use runtime::{
+    HardenConfig, PagingMechanism, PolicyMeta, PolicyMode, RtStats, Runtime, RuntimeConfig,
+};

@@ -27,6 +27,22 @@ impl Default for RateLimit {
     }
 }
 
+impl RateLimit {
+    /// Faults the policy tolerates after `progress` units of forward
+    /// progress (the enforcement line of [`RateLimiter::on_fault`]).
+    pub fn allowed_faults(&self, progress: u64) -> f64 {
+        self.burst as f64 + progress as f64 * self.max_faults_per_progress
+    }
+
+    /// The leakage budget ε in bits per unit of progress: each tolerated
+    /// fault identifies at most one of `tracked_pages` pages, so it leaks
+    /// at most log2(tracked_pages) bits. The burst is a one-time constant,
+    /// not a rate, so it does not appear here.
+    pub fn budget_bits_per_progress(&self, tracked_pages: usize) -> f64 {
+        self.max_faults_per_progress * (tracked_pages.max(2) as f64).log2()
+    }
+}
+
 /// Fault-rate tracking state.
 #[derive(Debug, Default, Clone)]
 pub struct RateLimiter {

@@ -167,6 +167,27 @@ pub struct RtStats {
     pub degradations: u64,
 }
 
+/// A read-only snapshot of the paging policy a runtime enforces, exposed
+/// for external audit tooling (the leakage subsystem checks the measured
+/// fault rate of a run against `rate_limit` and sizes the per-fault
+/// leakage bound by `tracked_pages`).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicyMeta {
+    /// Fault-handling policy.
+    pub mode: PolicyMode,
+    /// Configured fault-rate bound, if any (§5.2.4).
+    pub rate_limit: Option<RateLimit>,
+    /// Paging mechanism.
+    pub mechanism: PagingMechanism,
+    /// Resident-page budget (0 = unlimited).
+    pub budget: usize,
+    /// Automatic data-cluster size (0 = off).
+    pub auto_cluster_size: usize,
+    /// Pages currently under runtime management — the set a page-granular
+    /// adversary could hope to distinguish between.
+    pub tracked_pages: usize,
+}
+
 /// The trusted runtime instance for one enclave.
 pub struct Runtime {
     /// Enclave this runtime manages.
@@ -351,6 +372,23 @@ impl Runtime {
     /// Faults counted by the rate limiter so far.
     pub fn fault_count(&self) -> u64 {
         self.limiter.faults()
+    }
+
+    /// Forward progress recorded so far (rate-limit denominator).
+    pub fn progress_total(&self) -> u64 {
+        self.limiter.progress_total()
+    }
+
+    /// Snapshot of the enforced policy, for audit tooling.
+    pub fn policy_meta(&self) -> PolicyMeta {
+        PolicyMeta {
+            mode: self.config.mode,
+            rate_limit: self.config.rate_limit,
+            mechanism: self.config.mechanism,
+            budget: self.config.budget,
+            auto_cluster_size: self.config.auto_cluster_size,
+            tracked_pages: self.tracked.len(),
+        }
     }
 
     // ----------------------------------------------------------------

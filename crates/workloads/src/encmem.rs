@@ -271,6 +271,19 @@ impl EncHeap {
         world.os.machine.clock.charge(cycles);
     }
 
+    /// The adversary-visible ORAM bucket-access log: `(bucket index,
+    /// was_write)` in access order, straight from the untrusted storage.
+    /// Empty for direct heaps. This is exactly what an OS watching the
+    /// enclave's untrusted memory traffic records, so the leakage audit
+    /// treats it as part of the observation stream.
+    pub fn oram_access_log(&self) -> &[(usize, bool)] {
+        match &self.mode {
+            HeapMode::Direct => &[],
+            HeapMode::CachedOram(cache) => &cache.oram().storage().log,
+            HeapMode::UncachedOram(oram) => &oram.storage().log,
+        }
+    }
+
     /// ORAM statistics (zeroes for direct heaps).
     pub fn oram_stats(&self) -> OramStats {
         match &self.mode {

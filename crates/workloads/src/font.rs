@@ -124,6 +124,28 @@ impl FontRenderer {
     }
 }
 
+/// A secret-input pair for leakage audits: two strings of `len`
+/// characters (equal byte length) whose glyph programs execute different
+/// code-page sequences. Characters are drawn from disjoint halves of the
+/// lowercase alphabet; a final check guarantees the executed page
+/// sequences actually differ (signatures are hash-derived, so two chars
+/// *could* collide).
+pub fn secret_pair(len: usize) -> (String, String) {
+    let half_a: Vec<char> = "acegikmoqsuwy".chars().collect();
+    let half_b: Vec<char> = "bdfhjlnprtvxz".chars().collect();
+    let program = |s: &str| -> Vec<u64> { s.chars().flat_map(glyph_code_pages).collect() };
+    let a: String = (0..len).map(|i| half_a[i % half_a.len()]).collect();
+    for rotation in 0..half_b.len() {
+        let b: String = (0..len)
+            .map(|i| half_b[(i + rotation) % half_b.len()])
+            .collect();
+        if program(&b) != program(&a) {
+            return (a, b);
+        }
+    }
+    unreachable!("13 rotations of a disjoint alphabet half all collide");
+}
+
 /// The attack oracle: given a code-page access trace (page offsets into
 /// the code region), recover the rendered characters by matching glyph
 /// signatures. Works on the *legacy* trace; under Autarky the trace is
@@ -226,6 +248,16 @@ mod tests {
             fills_after > fills_before,
             "code fetches go through the MMU"
         );
+    }
+
+    #[test]
+    fn secret_pair_same_length_different_code_pages() {
+        let (a, b) = secret_pair(12);
+        assert_eq!(a.chars().count(), 12);
+        assert_eq!(a.len(), b.len(), "identical byte length");
+        assert_ne!(a, b);
+        let program = |s: &str| -> Vec<u64> { s.chars().flat_map(glyph_code_pages).collect() };
+        assert_ne!(program(&a), program(&b), "different executed page sets");
     }
 
     #[test]

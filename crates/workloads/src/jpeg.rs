@@ -321,6 +321,26 @@ pub fn synth_image(width: usize, height: usize, seed: u64) -> Vec<u8> {
     pixels
 }
 
+/// A secret-input pair for leakage audits: two images of identical
+/// dimensions and byte length whose decoders execute *different* IDCT
+/// code-page sequences (the disc position — the secret — moves, so the
+/// block flatness maps differ while everything public about the inputs
+/// is equal).
+pub fn secret_pair(side: usize) -> (Vec<u8>, Vec<u8>) {
+    let a = synth_image(side, side, 0x5EC2E7);
+    let map_a = flatness_map(&encode(side, side, &a));
+    // Scan forward from a fixed seed until the block map differs; with a
+    // seed-positioned disc this terminates immediately in practice.
+    let mut seed = 0xB10C;
+    loop {
+        let b = synth_image(side, side, seed);
+        if flatness_map(&encode(side, side, &b)) != map_a {
+            return (a, b);
+        }
+        seed += 1;
+    }
+}
+
 /// Block-level "flatness map" of an image — what the controlled-channel
 /// attack recovers from the decoder's code-page trace.
 pub fn flatness_map(compressed: &Compressed) -> Vec<bool> {
@@ -416,6 +436,17 @@ mod tests {
         dec.invert(&mut w, &mut heap).expect("invert again");
         let after = dec.read_image(&mut w, &mut heap).expect("read");
         assert_eq!(before, after);
+    }
+
+    #[test]
+    fn secret_pair_same_shape_different_block_maps() {
+        let (a, b) = secret_pair(32);
+        assert_eq!(a.len(), b.len(), "identical byte length");
+        assert_ne!(a, b, "contents differ");
+        let map_a = flatness_map(&encode(32, 32, &a));
+        let map_b = flatness_map(&encode(32, 32, &b));
+        assert_eq!(map_a.len(), map_b.len(), "same block count");
+        assert_ne!(map_a, map_b, "the secret shapes the decode path");
     }
 
     #[test]

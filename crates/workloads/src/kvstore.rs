@@ -131,6 +131,17 @@ impl KvStore {
     }
 }
 
+/// A secret-input pair for leakage audits: two GET key streams of
+/// `count` requests each, drawn from disjoint halves of a store of
+/// `items` keys. Request count, value sizes, and timing are identical;
+/// only which items are touched differs.
+pub fn secret_pair(items: u64, count: usize) -> (Vec<u64>, Vec<u64>) {
+    let half = (items / 2).max(1);
+    let a = (0..count).map(|i| i as u64 % half).collect();
+    let b = (0..count).map(|i| i as u64 % half + half).collect();
+    (a, b)
+}
+
 /// Enable cluster registration on a direct heap world: route the runtime
 /// allocator's pages into auto clusters of `pages` pages.
 pub fn enable_item_clusters(world: &mut World, pages: usize) {
@@ -218,6 +229,17 @@ mod tests {
                 .expect("present");
             assert_eq!(got, KvStore::value_for(key, 128));
         }
+    }
+
+    #[test]
+    fn secret_pair_disjoint_key_streams() {
+        let (a, b) = secret_pair(64, 40);
+        assert_eq!(a.len(), 40);
+        assert_eq!(b.len(), 40);
+        let set_a: std::collections::HashSet<u64> = a.iter().copied().collect();
+        let set_b: std::collections::HashSet<u64> = b.iter().copied().collect();
+        assert!(set_a.is_disjoint(&set_b), "key sets are disjoint");
+        assert!(a.iter().chain(&b).all(|&k| k < 64), "all keys loadable");
     }
 
     #[test]

@@ -181,6 +181,41 @@ impl SpellServer {
     }
 }
 
+/// A secret-input pair for leakage audits: two query texts of `count`
+/// words each, equal in word count and in every per-word byte length, but
+/// made of different dictionary words — so the lookups walk different
+/// bucket chains while the public shape of the request stream is
+/// identical.
+///
+/// # Panics
+/// Panics when the wordlist has no two distinct words of equal length
+/// (needs a dictionary of more than a handful of words).
+pub fn secret_pair(lang: &str, dict_words: usize, count: usize) -> (Vec<String>, Vec<String>) {
+    let words = synth_wordlist(lang, dict_words);
+    let mut by_len: std::collections::BTreeMap<usize, Vec<&String>> = Default::default();
+    for word in &words {
+        by_len.entry(word.len()).or_default().push(word);
+    }
+    // Equal-length word pairs, in deterministic order.
+    let mut left = Vec::new();
+    let mut right = Vec::new();
+    for bucket in by_len.values() {
+        for pair in bucket.chunks(2) {
+            if let [a, b] = pair {
+                left.push((*a).clone());
+                right.push((*b).clone());
+            }
+        }
+    }
+    assert!(
+        !left.is_empty(),
+        "no equal-length word pair in a {dict_words}-word list"
+    );
+    let a = (0..count).map(|i| left[i % left.len()].clone()).collect();
+    let b = (0..count).map(|i| right[i % right.len()].clone()).collect();
+    (a, b)
+}
+
 /// Generate a deterministic "book" of `count` words drawn from a
 /// dictionary's word list (the Wizard-of-Oz stand-in; the text is the
 /// secret the attack targets).
@@ -237,6 +272,23 @@ mod tests {
         }
         assert!(!dict.check(&mut w, &mut heap, "zzzzzz").expect("check"));
         assert!(!dict.pages.is_empty(), "dictionary landed on tracked pages");
+    }
+
+    #[test]
+    fn secret_pair_same_shape_different_words() {
+        let (a, b) = secret_pair("en", 300, 24);
+        assert_eq!(a.len(), 24);
+        assert_eq!(b.len(), 24);
+        for (wa, wb) in a.iter().zip(&b) {
+            assert_eq!(wa.len(), wb.len(), "public shape (lengths) identical");
+            assert_ne!(wa, wb, "secret content differs");
+            assert_ne!(word_key(wa), word_key(wb), "different bucket chains");
+        }
+        // Both sides are real dictionary words (lookups succeed).
+        let dict_words: std::collections::HashSet<String> =
+            synth_wordlist("en", 300).into_iter().collect();
+        assert!(a.iter().all(|w| dict_words.contains(w)));
+        assert!(b.iter().all(|w| dict_words.contains(w)));
     }
 
     #[test]

@@ -61,7 +61,7 @@ fn main() {
     );
 
     // What did the OS see? Only whole-cluster fetches.
-    let obs = world.os.take_observations();
+    let obs = world.os.observations();
     let fetches: Vec<usize> = obs
         .iter()
         .filter_map(|o| match o {

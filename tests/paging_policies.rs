@@ -62,7 +62,7 @@ fn cluster_fetches_never_leak_individual_pages() {
     .expect("system");
     let ptr = heap.alloc(&mut world, 200 * PAGE_SIZE).expect("alloc");
     touch_pages(&mut world, &mut heap, ptr, 200);
-    world.os.take_observations();
+    let mark = world.os.observation_mark();
     // Random secret-dependent accesses.
     for i in 0..100u64 {
         let page = autarky::workloads::uthash::hash64(i ^ 0x5EED) % 200;
@@ -71,7 +71,7 @@ fn cluster_fetches_never_leak_individual_pages() {
     }
     // Every fetch the OS observed named a full cluster (8 pages), and
     // every fault report was masked to the enclave base.
-    for obs in world.os.take_observations() {
+    for obs in world.os.observations_since(mark) {
         match obs {
             Observation::FetchSyscall { pages, .. } => {
                 assert!(
@@ -81,8 +81,8 @@ fn cluster_fetches_never_leak_individual_pages() {
                 );
             }
             Observation::Fault { va, kind, .. } => {
-                assert_eq!(va, world.image.base, "fault address masked");
-                assert_eq!(kind, AccessKind::Read, "fault kind masked");
+                assert_eq!(*va, world.image.base, "fault address masked");
+                assert_eq!(*kind, AccessKind::Read, "fault kind masked");
             }
             _ => {}
         }
@@ -162,7 +162,7 @@ fn oram_profile_hides_access_pattern_from_fetch_stream() {
     .expect("system");
     let ptr = heap.alloc(&mut world, 64 * PAGE_SIZE).expect("alloc");
     touch_pages(&mut world, &mut heap, ptr, 64);
-    world.os.take_observations();
+    let mark = world.os.observation_mark();
     // A pathological pattern: hammer one secret page.
     for _ in 0..50 {
         heap.read_u64(&mut world, ptr.offset(13 * PAGE_SIZE as u64))
@@ -174,7 +174,7 @@ fn oram_profile_hides_access_pattern_from_fetch_stream() {
     }
     // The ORAM data path produces no fetch/evict syscalls at all (its
     // bucket traffic is position-randomized and tested in the oram crate).
-    for obs in world.os.take_observations() {
+    for obs in world.os.observations_since(mark) {
         assert!(
             !matches!(
                 obs,

@@ -134,15 +134,15 @@ fn fault_reports_always_masked() {
             heap.write_u64(&mut world, ptr.offset(i * PAGE_SIZE as u64), i)
                 .expect("write");
         }
-        world.os.take_observations();
+        let mark = world.os.observation_mark();
         for &page in &accesses {
             heap.read_u64(&mut world, ptr.offset(page as u64 * PAGE_SIZE as u64))
                 .expect("read");
         }
-        for obs in world.os.take_observations() {
+        for obs in world.os.observations_since(mark) {
             if let Observation::Fault { va, kind, .. } = obs {
-                assert_eq!(va, world.image.base);
-                assert_eq!(kind, AccessKind::Read);
+                assert_eq!(*va, world.image.base);
+                assert_eq!(*kind, AccessKind::Read);
             }
         }
     }
