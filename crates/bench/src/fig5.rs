@@ -13,8 +13,14 @@
 //! latency, SGXv1 instructions beat the SGXv2 software path, and eliding
 //! the AEX would make secure paging faster than today's unprotected
 //! paging.
+//!
+//! The breakdown is *measured*, not modelled: every cycle the simulator
+//! charges carries a [`CostTag`], and each component below is the delta
+//! of the corresponding tag totals across the timed phase. The
+//! components therefore partition the measured total exactly.
 
 use autarky::prelude::*;
+use autarky::sgx::{CostTag, COST_TAGS};
 use autarky::{Profile, SystemBuilder};
 
 /// Batch size used by the Intel driver and by this experiment.
@@ -77,7 +83,6 @@ pub fn measure(mechanism: PagingMechanism, iters: u64) -> (Breakdown, Breakdown)
         PagingMechanism::Sgx1 => "SGX1",
         PagingMechanism::Sgx2 => "SGX2",
     };
-    let costs = world.os.machine.costs.clone();
 
     // Warm up one round.
     world.rt.evict_pages(&mut world.os, &pages).expect("evict");
@@ -86,50 +91,53 @@ pub fn measure(mechanism: PagingMechanism, iters: u64) -> (Breakdown, Breakdown)
             .expect("fetch");
     }
 
-    let mut evict_cycles = 0u64;
-    let mut fault_cycles = 0u64;
+    let mut evict_tags = [0u64; COST_TAGS];
+    let mut fault_tags = [0u64; COST_TAGS];
     for _ in 0..iters {
         // Eviction is batched (the Intel driver's batch of 16).
-        let t0 = world.now();
+        let s0 = world.os.machine.clock.tag_totals();
         world.rt.evict_pages(&mut world.os, &pages).expect("evict");
-        let t1 = world.now();
+        let s1 = world.os.machine.clock.tag_totals();
         // Every page faults individually on its next access.
         for &vpn in &pages {
             heap.read(&mut world, autarky_ptr(vpn), &mut [0u8; 1])
                 .expect("fetch");
         }
-        let t2 = world.now();
-        evict_cycles += t1 - t0;
-        fault_cycles += t2 - t1;
+        let s2 = world.os.machine.clock.tag_totals();
+        for t in 0..COST_TAGS {
+            evict_tags[t] += s1[t] - s0[t];
+            fault_tags[t] += s2[t] - s1[t];
+        }
     }
-    let per_page = |total: u64| total / (iters * BATCH);
-
-    // Transition components are architectural constants charged once per
-    // fault; the remainder is the mechanism-specific paging work.
-    let preemption = costs.preemption();
-    let invocation = costs.handler_invocation();
-    let runtime_overhead = costs.runtime_handler + costs.exitless_call + costs.os_fault_handler;
-    let fault_total = per_page(fault_cycles);
-    let fault = Breakdown {
-        op: "fault",
-        mech,
-        preemption,
-        invocation,
-        runtime_overhead,
-        sgx_paging: fault_total.saturating_sub(preemption + invocation + runtime_overhead),
-    };
-    // Eviction's crossings amortize over the batched driver call.
-    let evict_total = per_page(evict_cycles);
-    let evict_rt = costs.exitless_call / BATCH + costs.runtime_handler / BATCH;
-    let evict = Breakdown {
-        op: "evict",
-        mech,
-        preemption: 0,
-        invocation: 0,
-        runtime_overhead: evict_rt,
-        sgx_paging: evict_total.saturating_sub(evict_rt),
-    };
+    let fault = breakdown_from_tags("fault", mech, &fault_tags, iters * BATCH);
+    let evict = breakdown_from_tags("evict", mech, &evict_tags, iters * BATCH);
     (fault, evict)
+}
+
+/// Convert accumulated per-tag cycle deltas into the figure's four
+/// components, normalized per page. The remainder after the transition
+/// and runtime components is the mechanism's paging work (paging
+/// instructions, crypto, and address translation).
+fn breakdown_from_tags(
+    op: &'static str,
+    mech: &'static str,
+    tags: &[u64; COST_TAGS],
+    pages: u64,
+) -> Breakdown {
+    let preemption = tags[CostTag::Preemption as usize];
+    let invocation = tags[CostTag::HandlerInvocation as usize];
+    let runtime_overhead = tags[CostTag::Runtime as usize]
+        + tags[CostTag::Syscall as usize]
+        + tags[CostTag::OsKernel as usize];
+    let total: u64 = tags.iter().sum();
+    Breakdown {
+        op,
+        mech,
+        preemption: preemption / pages,
+        invocation: invocation / pages,
+        runtime_overhead: runtime_overhead / pages,
+        sgx_paging: total.saturating_sub(preemption + invocation + runtime_overhead) / pages,
+    }
 }
 
 /// Per-page fault latency with the AEX-elision optimization, for the

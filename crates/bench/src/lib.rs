@@ -12,6 +12,7 @@
 //! | [`fig8`] / `fig8` | Figure 8 — Memcached under four paging policies |
 //! | [`table2`] / `table2` | Table 2 — libjpeg / Hunspell / FreeType end-to-end |
 //! | [`nbench_ov`] / `nbench_overhead` | §7 — TLB-fill check overhead on nbench |
+//! | [`perf`] / `telemetry-report` | PR4 perf pipeline — `BENCH_PR4.json` + baseline gate |
 //!
 //! All binaries accept `--scale N` to run sizes closer to the paper's.
 
@@ -25,5 +26,6 @@ pub mod fig7;
 pub mod fig8;
 pub mod harness;
 pub mod nbench_ov;
+pub mod perf;
 pub mod table2;
 pub mod util;

@@ -68,6 +68,9 @@ pub use autarky_workloads as workloads;
 /// Cryptographic primitives (re-export of `autarky-crypto`).
 pub use autarky_crypto as crypto;
 
+/// Enclave-side telemetry (re-export of `autarky-telemetry`).
+pub use autarky_telemetry as telemetry;
+
 /// Commonly used types in one import.
 pub mod prelude {
     pub use crate::builder::{Profile, SystemBuilder};

@@ -99,17 +99,19 @@ impl<S: BucketStorage> CachedOram<S> {
 
     fn load(&mut self, id: u64) -> Result<(), OramError> {
         if self.entries.contains_key(&id) {
-            self.oram.stats.cache_hits += 1;
+            self.oram.stats.add("cache_hits", 1);
             self.touch(id);
             return Ok(());
         }
-        self.oram.stats.cache_misses += 1;
+        self.oram.stats.add("cache_misses", 1);
         if self.entries.len() >= self.capacity {
             self.evict_one()?;
         }
         let data = self.oram.read(id)?;
         // Fetching into the cache is an oblivious copy.
-        self.oram.stats.oblivious_scan_bytes += data.len() as u64;
+        self.oram
+            .stats
+            .add("oblivious_scan_bytes", data.len() as u64);
         self.entries.insert(
             id,
             Entry {
@@ -193,16 +195,16 @@ mod tests {
     fn hit_avoids_oram_traffic() {
         let mut c = cached(64, 8);
         c.write(1, &[1; 8]).expect("write");
-        let reads_before = c.oram().stats.bucket_reads;
+        let reads_before = c.oram().stats.bucket_reads();
         for _ in 0..10 {
             assert_eq!(c.read(1).expect("read"), vec![1; 8]);
         }
         assert_eq!(
-            c.oram().stats.bucket_reads,
+            c.oram().stats.bucket_reads(),
             reads_before,
             "cache hits must not touch the tree"
         );
-        assert!(c.oram().stats.cache_hits >= 10);
+        assert!(c.oram().stats.cache_hits() >= 10);
     }
 
     #[test]
@@ -229,12 +231,16 @@ mod tests {
         c.write(2, &[2; 8]).expect("w2");
         c.read(1).expect("touch 1"); // 2 is now least recent
         c.write(3, &[3; 8]).expect("w3 evicts 2");
-        let misses_before = c.oram().stats.cache_misses;
+        let misses_before = c.oram().stats.cache_misses();
         c.read(1).expect("read 1");
-        assert_eq!(c.oram().stats.cache_misses, misses_before, "1 still cached");
+        assert_eq!(
+            c.oram().stats.cache_misses(),
+            misses_before,
+            "1 still cached"
+        );
         c.read(2).expect("read 2");
         assert_eq!(
-            c.oram().stats.cache_misses,
+            c.oram().stats.cache_misses(),
             misses_before + 1,
             "2 was evicted"
         );

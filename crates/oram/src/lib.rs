@@ -24,6 +24,6 @@ pub mod storage;
 pub mod tree;
 
 pub use cache::CachedOram;
-pub use stats::OramStats;
+pub use stats::{OramStats, ORAM_COUNTERS};
 pub use storage::{BucketStorage, MemStorage};
 pub use tree::{buckets_for, OramError, PathOram, BUCKET_Z};

@@ -17,7 +17,7 @@
 //!   like CoSMIX — every metadata touch must be a full oblivious linear
 //!   scan, which is what makes pre-Autarky ORAM orders of magnitude
 //!   slower. We account those scans in
-//!   [`OramStats::oblivious_scan_bytes`].
+//!   [`OramStats::oblivious_scan_bytes`](crate::stats::OramStats::oblivious_scan_bytes).
 
 use autarky_prng::SimRng;
 
@@ -175,7 +175,7 @@ impl<S: BucketStorage> PathOram<S> {
         if id >= self.capacity {
             return Err(OramError::BadBlock(id));
         }
-        self.stats.accesses += 1;
+        self.stats.add("accesses", 1);
 
         // 1. Position-map lookup + remap. In uncached mode this is a
         // linear oblivious scan; in cached mode the map is pinned in
@@ -184,14 +184,15 @@ impl<S: BucketStorage> PathOram<S> {
         let new_leaf = self.rng.gen_range(0..self.num_leaves);
         self.position[id as usize] = new_leaf as u32;
         if self.uncached_metadata {
-            self.stats.oblivious_scan_bytes += self.position.len() as u64 * 4;
+            self.stats
+                .add("oblivious_scan_bytes", self.position.len() as u64 * 4);
         }
 
         // 2. Read the whole path into the stash.
         for level in 0..=self.height {
             let bucket = self.bucket_index(leaf, level);
             let sealed = self.storage.read(bucket);
-            self.stats.bucket_reads += 1;
+            self.stats.add("bucket_reads", 1);
             if sealed.is_empty() {
                 continue; // never-written bucket: all dummies
             }
@@ -199,7 +200,7 @@ impl<S: BucketStorage> PathOram<S> {
                 .sealer
                 .open(&sealed)
                 .ok_or(OramError::Tampered(bucket))?;
-            self.stats.crypto_bytes += plaintext.len() as u64;
+            self.stats.add("crypto_bytes", plaintext.len() as u64);
             self.parse_bucket(&plaintext);
         }
 
@@ -208,7 +209,10 @@ impl<S: BucketStorage> PathOram<S> {
         // costs almost nothing. Pre-Autarky (uncached mode) the scan must
         // be oblivious over the full stash capacity, CoSMIX-style.
         if self.uncached_metadata {
-            self.stats.oblivious_scan_bytes += (self.stash_capacity * (8 + self.block_size)) as u64;
+            self.stats.add(
+                "oblivious_scan_bytes",
+                (self.stash_capacity * (8 + self.block_size)) as u64,
+            );
         }
         let pos = self.stash.iter().position(|(bid, _)| *bid == id);
         let mut data = match pos {
@@ -248,11 +252,12 @@ impl<S: BucketStorage> PathOram<S> {
                 }
             }
             let plaintext = self.serialize_bucket(&chosen);
-            self.stats.crypto_bytes += plaintext.len() as u64;
+            self.stats.add("crypto_bytes", plaintext.len() as u64);
             let sealed = self.sealer.seal(plaintext);
             self.storage.write(bucket, sealed);
-            self.stats.bucket_writes += 1;
+            self.stats.add("bucket_writes", 1);
         }
+        self.stats.record_stash(self.stash.len() as u64);
         Ok(data)
     }
 
@@ -426,10 +431,10 @@ mod tests {
     fn uncached_metadata_charges_scans() {
         let mut o = oram(64, 8);
         o.read(1).expect("read");
-        let cached_scans = o.stats.oblivious_scan_bytes;
+        let cached_scans = o.stats.oblivious_scan_bytes();
         o.set_uncached_metadata(true);
         o.read(1).expect("read");
-        let uncached_scans = o.stats.oblivious_scan_bytes - cached_scans;
+        let uncached_scans = o.stats.oblivious_scan_bytes() - cached_scans;
         assert!(
             uncached_scans > cached_scans,
             "uncached mode must add position-map scan cost"

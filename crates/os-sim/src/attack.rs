@@ -19,7 +19,7 @@
 
 use std::collections::BTreeSet;
 
-use autarky_sgx_sim::{EnclaveId, FaultEvent, Vpn};
+use autarky_sgx_sim::{AccessKind, EnclaveId, FaultEvent, Vpn};
 
 use crate::kernel::{Observation, Os};
 
@@ -56,6 +56,12 @@ pub struct FaultTracer {
     /// The target page currently left accessible (at most one, so every
     /// transition between target pages faults).
     current: Option<Vpn>,
+    /// The target page most recently re-protected (straddle detection:
+    /// an access spanning two armed pages re-faults here immediately).
+    last_protected: Option<Vpn>,
+    /// An adjacent pair both left open so a straddling access can replay
+    /// through; re-protected when the next unrelated fault arrives.
+    open_pair: Option<(Vpn, Vpn)>,
 }
 
 impl FaultTracer {
@@ -77,6 +83,8 @@ impl FaultTracer {
             trace: Vec::new(),
             masked_faults: 0,
             current: None,
+            last_protected: None,
+            open_pair: None,
         }
     }
 }
@@ -166,16 +174,22 @@ impl Os {
     /// Arm a fault-tracing attack: unmap all target pages so the next
     /// access to each faults.
     ///
-    /// Caveat for *data* pages: the tracer is transition-granular — on a
-    /// fault it restores the faulting page and re-protects the previous
-    /// one. A single data access that straddles two armed pages therefore
-    /// livelocks: the replayed access re-faults on whichever of the pair
-    /// was just re-protected, forever. Real controlled-channel attacks
-    /// single-step across such straddles (Xu et al., S&P 2015); the
-    /// simulator replays the whole access instead. Callers tracing data
-    /// pages should arm non-adjacent targets (e.g. every other page) so
-    /// no access can touch two armed pages at once. Code fetches touch
-    /// exactly one page, so code ranges may be armed at full density.
+    /// The tracer is transition-granular: on a fault it restores the
+    /// faulting page and re-protects the previously restored one. A data
+    /// access that *straddles* two armed pages would make the replayed
+    /// access ping-pong between the pair forever (the simulator replays
+    /// whole accesses where real attacks single-step across the straddle,
+    /// Xu et al., S&P 2015). The tracer detects that pattern — the
+    /// faulting page is the one it just re-protected and the open page is
+    /// its neighbour — and models the single-stepped outcome: both pages
+    /// stay open until the next unrelated fault re-arms them, and no
+    /// spurious transition enters the trace. Targets may therefore be
+    /// armed at full density, data and code alike. Execute faults are
+    /// exempt (an instruction fetch touches exactly one page), so code
+    /// ping-pong traces at full fidelity. Tradeoff: a genuine immediate
+    /// *data* ping-pong between two adjacent armed pages is
+    /// indistinguishable from a straddle and collapses to one recorded
+    /// transition.
     pub fn arm_fault_tracer(
         &mut self,
         eid: EnclaveId,
@@ -257,14 +271,44 @@ impl Os {
                     // faulted, so the trace gains nothing.
                     tracer.masked_faults += 1;
                 } else if tracer.targets.contains(&vpn) {
-                    tracer.trace.push(vpn);
-                    // Restore the faulting page, re-protect the previously
-                    // restored target so the next transition faults too.
                     let mode = tracer.mode;
-                    unprotect(self, ev.eid, vpn, mode);
-                    if let Some(prev) = tracer.current.replace(vpn) {
-                        if prev != vpn {
-                            protect(self, ev.eid, prev, mode);
+                    // Instruction fetches touch exactly one page, so an
+                    // execute fault is always a genuine transition; only
+                    // data accesses can straddle an adjacent pair.
+                    let straddle = ev.reported_kind != AccessKind::Execute
+                        && tracer.last_protected == Some(vpn)
+                        && tracer.current.is_some_and(|cur| cur.0.abs_diff(vpn.0) == 1);
+                    if straddle {
+                        // One access is straddling an adjacent armed pair:
+                        // we just re-protected this page and its neighbour
+                        // is the open one. Leave both open so the replay
+                        // completes (the single-stepped resolution), and
+                        // record no spurious transition — the pair already
+                        // entered the trace when it first faulted.
+                        unprotect(self, ev.eid, vpn, mode);
+                        if let Some(cur) = tracer.current {
+                            tracer.open_pair = Some((vpn, cur));
+                        }
+                        tracer.last_protected = None;
+                    } else {
+                        tracer.trace.push(vpn);
+                        // Restore the faulting page, re-protect the
+                        // previously restored target(s) so the next
+                        // transition faults too.
+                        unprotect(self, ev.eid, vpn, mode);
+                        if let Some((a, b)) = tracer.open_pair.take() {
+                            for p in [a, b] {
+                                if p != vpn {
+                                    protect(self, ev.eid, p, mode);
+                                    tracer.last_protected = Some(p);
+                                }
+                            }
+                            tracer.current = Some(vpn);
+                        } else if let Some(prev) = tracer.current.replace(vpn) {
+                            if prev != vpn {
+                                protect(self, ev.eid, prev, mode);
+                                tracer.last_protected = Some(prev);
+                            }
                         }
                     }
                 }

@@ -10,7 +10,8 @@ use std::collections::{BTreeSet, HashMap};
 use autarky_sgx_sim::machine::MachineConfig;
 use autarky_sgx_sim::pagetable::Pte;
 use autarky_sgx_sim::{
-    AccessKind, Attributes, EnclaveId, FaultEvent, Machine, PageType, Perms, SgxError, Va, Vpn,
+    AccessKind, Attributes, CostTag, EnclaveId, FaultEvent, Machine, PageType, Perms, SgxError, Va,
+    Vpn,
 };
 
 use crate::attack::Attacker;
@@ -298,7 +299,7 @@ impl Os {
             .as_ref()
             .map(|inj| inj.delay_cycles())
             .unwrap_or(0);
-        self.machine.clock.charge(cycles);
+        self.machine.clock.charge_tagged(CostTag::Injected, cycles);
         self.record_injection(eid, InjectedFault::Delay { cycles });
     }
 
@@ -351,9 +352,15 @@ impl Os {
         &self.observations[start.min(self.observations.len())..]
     }
 
-    /// Drain the event log. Prefer the non-draining
-    /// [`Os::observation_mark`] / [`Os::observations_since`] cursor when
-    /// another consumer may also be watching the stream.
+    /// Drain the event log. Deprecated: draining steals events from every
+    /// other consumer of the stream (attack oracles, leakage capture,
+    /// telemetry audits); use the non-draining [`Os::observation_mark`] /
+    /// [`Os::observations_since`] cursor instead.
+    #[deprecated(
+        since = "0.1.0",
+        note = "use the observation_mark/observations_since cursor; draining \
+                steals events from other stream consumers"
+    )]
     pub fn take_observations(&mut self) -> Vec<Observation> {
         self.obs_base += self.observations.len() as u64;
         std::mem::take(&mut self.observations)
@@ -383,7 +390,7 @@ impl Os {
         } else {
             self.machine.costs.syscall
         };
-        self.machine.clock.charge(cost);
+        self.machine.clock.charge_tagged(CostTag::Syscall, cost);
     }
 
     // ----------------------------------------------------------------

@@ -296,11 +296,11 @@ fn syscalls_are_observable() {
     let img = small_image("obs", true);
     let eid = os.load_enclave(&img).expect("load");
     let page = img.data_start();
-    os.take_observations();
+    let mark = os.observation_mark();
     os.ay_set_enclave_managed(eid, &[page]).expect("claim");
     os.ay_evict_pages(eid, &[page]).expect("evict");
     os.ay_fetch_pages(eid, &[page]).expect("fetch");
-    let obs = os.take_observations();
+    let obs = os.observations_since(mark);
     assert!(obs
         .iter()
         .any(|o| matches!(o, Observation::SetEnclaveManaged { pages, .. } if pages == &[page])));
@@ -310,6 +310,34 @@ fn syscalls_are_observable() {
     assert!(obs
         .iter()
         .any(|o| matches!(o, Observation::FetchSyscall { pages, .. } if pages == &[page])));
+}
+
+/// The deprecated drain API keeps its documented semantics while it
+/// lives: draining advances the cursor base, so marks taken before the
+/// drain stay valid and see only post-drain events.
+#[test]
+#[allow(deprecated)]
+fn deprecated_drain_keeps_cursor_marks_valid() {
+    let mut os = os_with_frames(128);
+    let img = small_image("drain", true);
+    let eid = os.load_enclave(&img).expect("load");
+    let page = img.data_start();
+    os.ay_set_enclave_managed(eid, &[page]).expect("claim");
+    let mark = os.observation_mark();
+    os.ay_evict_pages(eid, &[page]).expect("evict");
+    let drained = os.take_observations();
+    assert!(!drained.is_empty(), "the evict was drained");
+    assert!(
+        os.observations_since(mark).is_empty(),
+        "everything before the drain is gone"
+    );
+    os.ay_fetch_pages(eid, &[page]).expect("fetch");
+    assert!(
+        os.observations_since(mark)
+            .iter()
+            .any(|o| matches!(o, Observation::FetchSyscall { .. })),
+        "the pre-drain mark still resolves against post-drain events"
+    );
 }
 
 #[test]
@@ -396,7 +424,7 @@ fn partial_batch_evict_prefix_semantics_and_reconciled_retry() {
         let eid = os.load_enclave(&img).expect("load");
         let pages: Vec<Vpn> = (img.data_start().0..img.stack_start().0).map(Vpn).collect();
         os.ay_set_enclave_managed(eid, &pages).expect("claim");
-        os.take_observations();
+        let mark = os.observation_mark();
         os.arm_fault_plan(FaultPlan {
             partial_batch: 1.0,
             max_injections: Some(1),
@@ -407,7 +435,7 @@ fn partial_batch_evict_prefix_semantics_and_reconciled_retry() {
             .expect_err("partial batch fails");
         assert_eq!(err, OsError::NoMemory, "surfaces as transient NoMemory");
         let completed =
-            partial_fault_completed(&os.take_observations()).expect("fault observed in log");
+            partial_fault_completed(os.observations_since(mark)).expect("fault observed in log");
         // Documented state: pages[..completed] out, pages[completed..]
         // untouched.
         for (i, &vpn) in pages.iter().enumerate() {
@@ -446,7 +474,7 @@ fn partial_batch_alloc_retry_must_skip_resident_prefix() {
         let img = small_image("pb-alloc", true);
         let eid = os.load_enclave(&img).expect("load");
         let heap: Vec<Vpn> = img.heap_range().take(8).collect();
-        os.take_observations();
+        let mark = os.observation_mark();
         os.arm_fault_plan(FaultPlan {
             partial_batch: 1.0,
             max_injections: Some(1),
@@ -457,7 +485,7 @@ fn partial_batch_alloc_retry_must_skip_resident_prefix() {
             .expect_err("partial alloc fails");
         assert_eq!(err, OsError::NoMemory);
         let completed =
-            partial_fault_completed(&os.take_observations()).expect("fault observed in log");
+            partial_fault_completed(os.observations_since(mark)).expect("fault observed in log");
         for (i, &vpn) in heap.iter().enumerate() {
             assert_eq!(os.machine.is_resident(eid, vpn), i < completed, "page {i}");
         }
@@ -492,7 +520,7 @@ fn partial_batch_fetch_is_retry_safe_verbatim() {
         let pages: Vec<Vpn> = (img.data_start().0..img.stack_start().0).map(Vpn).collect();
         os.ay_set_enclave_managed(eid, &pages).expect("claim");
         os.ay_evict_pages(eid, &pages).expect("evict all");
-        os.take_observations();
+        let mark = os.observation_mark();
         os.arm_fault_plan(FaultPlan {
             partial_batch: 1.0,
             max_injections: Some(1),
@@ -503,7 +531,7 @@ fn partial_batch_fetch_is_retry_safe_verbatim() {
             .expect_err("partial fetch fails");
         assert_eq!(err, OsError::NoMemory);
         let completed =
-            partial_fault_completed(&os.take_observations()).expect("fault observed in log");
+            partial_fault_completed(os.observations_since(mark)).expect("fault observed in log");
         for (i, &vpn) in pages.iter().enumerate() {
             assert_eq!(os.machine.is_resident(eid, vpn), i < completed, "page {i}");
         }
@@ -571,7 +599,7 @@ fn injector_schedule_is_deterministic() {
         }
         (
             outcomes,
-            os.take_observations(),
+            os.observations_since(0).to_vec(),
             os.machine.clock.now(),
             os.disarm_fault_plan(),
         )

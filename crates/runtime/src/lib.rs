@@ -37,5 +37,7 @@ pub use cluster::{ClusterId, ClusterMap};
 pub use error::RtError;
 pub use ratelimit::{RateLimit, RateLimiter};
 pub use runtime::{
-    HardenConfig, PagingMechanism, PolicyMeta, PolicyMode, RtStats, Runtime, RuntimeConfig,
+    is_telemetry_export_key, telemetry_export_key, HardenConfig, PagingMechanism, PolicyMeta,
+    PolicyMode, RtStats, Runtime, RuntimeConfig, RT_COUNTERS, RT_GAUGES, RT_HISTS, RT_SPAN_RING,
+    TELEMETRY_EXPORT_KEY_BIT,
 };

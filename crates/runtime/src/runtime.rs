@@ -21,13 +21,41 @@
 
 use std::collections::{HashMap, VecDeque};
 
+use autarky_crypto::aead::{self, NONCE_LEN, TAG_LEN};
 use autarky_os_sim::{FaultDisposition, Os, OsError};
-use autarky_sgx_sim::{AccessError, EnclaveId, FaultCause, Perms, SgxError, Va, Vpn, PAGE_SIZE};
+use autarky_sgx_sim::{
+    AccessError, CostTag, EnclaveId, FaultCause, Perms, SgxError, Va, Vpn, PAGE_SIZE,
+};
+use autarky_telemetry::{SpanKind, Telemetry};
 
 use crate::cluster::ClusterMap;
 use crate::error::RtError;
 use crate::paging::{blob_key, sw_open, sw_seal};
 use crate::ratelimit::{RateLimit, RateLimiter};
+
+/// Counter names in the runtime telemetry schema (registration order is
+/// snapshot encoding order).
+pub const RT_COUNTERS: &[&str] = &[
+    "faults_handled",
+    "forwarded",
+    "pages_fetched",
+    "pages_evicted",
+    "retries",
+    "misbehavior",
+    "degradations",
+    "attack_detected",
+    "rate_limit_kills",
+    "epochs_exported",
+];
+
+/// Gauge names in the runtime telemetry schema.
+pub const RT_GAUGES: &[&str] = &["resident_pages", "stash_occupancy"];
+
+/// Histogram names in the runtime telemetry schema.
+pub const RT_HISTS: &[&str] = &["fetch_batch_pages", "evict_batch_pages", "retry_attempt"];
+
+/// Span records retained in-enclave before the drop counter kicks in.
+pub const RT_SPAN_RING: usize = 4096;
 
 /// Which mechanism moves page contents in and out of EPC.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -213,6 +241,13 @@ pub struct Runtime {
     heap: Heap,
     /// Event counters.
     pub stats: RtStats,
+    /// Enclave-side telemetry: tracing spans, paging metrics, and the
+    /// sealed epoch-export state. Raw records never leave the enclave;
+    /// [`Runtime::export_epoch`] seals the aggregate snapshot.
+    pub telemetry: Telemetry,
+    /// AEAD key for sealed telemetry exports (domain-separated from the
+    /// page sealing key).
+    export_key: [u8; 32],
     /// Lifetime anomaly count toward `harden.misbehavior_budget`.
     misbehavior: u32,
     terminated: bool,
@@ -254,6 +289,8 @@ impl Runtime {
                 allocated_until: image.heap_start().0,
             },
             stats: RtStats::default(),
+            telemetry: Telemetry::new(RT_SPAN_RING, RT_COUNTERS, RT_GAUGES, RT_HISTS),
+            export_key: derive_export_key(eid),
             misbehavior: 0,
             config,
             terminated: false,
@@ -479,8 +516,20 @@ impl Runtime {
     /// The trusted page-fault handler. Runs with the real fault
     /// information from the SSA frame; the OS saw only a masked report.
     pub fn handle_fault(&mut self, os: &mut Os) -> Result<(), RtError> {
+        let guard = self
+            .telemetry
+            .enter(SpanKind::FaultHandler, os.machine.clock.now());
+        let outcome = self.handle_fault_inner(os);
+        self.telemetry.exit(guard, os.machine.clock.now());
+        outcome
+    }
+
+    fn handle_fault_inner(&mut self, os: &mut Os) -> Result<(), RtError> {
         self.stats.faults_handled += 1;
-        os.machine.clock.charge(os.machine.costs.runtime_handler);
+        self.telemetry.incr("faults_handled");
+        os.machine
+            .clock
+            .charge_tagged(CostTag::Runtime, os.machine.costs.runtime_handler);
         let info = match os.machine.ssa_exinfo(self.eid, self.tcs)? {
             Some(info) => info,
             None => {
@@ -501,14 +550,21 @@ impl Runtime {
             None => {
                 // OS-managed page: insensitive by declaration. Forward the
                 // fault so the OS can demand-page it (§7.3's libjpeg flow).
-                if !self.limiter.on_fault() {
+                if !self.ratelimit_admit(os) {
                     return self.kill_rate_limited(os);
                 }
                 // A silently dropped fetch would otherwise spin
                 // fault→fetch→fault forever, so verify the result.
                 let mut rounds = 0u32;
                 loop {
-                    self.with_retries(os, true, |os, eid| os.ay_fetch_pages(eid, &[vpn]))?;
+                    let guard = self
+                        .telemetry
+                        .enter(SpanKind::AyFetchPages, os.machine.clock.now());
+                    let fetched =
+                        self.with_retries(os, true, |os, eid| os.ay_fetch_pages(eid, &[vpn]));
+                    self.telemetry.exit(guard, os.machine.clock.now());
+                    self.telemetry.hist_record("fetch_batch_pages", 1);
+                    fetched?;
                     if !self.config.harden.verify_fetches || os.machine.is_resident(self.eid, vpn) {
                         break;
                     }
@@ -521,6 +577,7 @@ impl Runtime {
                     self.note_misbehavior(os, vpn, "forwarded fetch silently dropped")?;
                 }
                 self.stats.forwarded += 1;
+                self.telemetry.incr("forwarded");
                 Ok(())
             }
             Some(PageState::Resident) => {
@@ -533,7 +590,7 @@ impl Runtime {
                 if self.config.mode == PolicyMode::PinAll {
                     return self.attack(os, vpn, "fault on pinned page under PinAll policy");
                 }
-                if !self.limiter.on_fault() {
+                if !self.ratelimit_admit(os) {
                     return self.kill_rate_limited(os);
                 }
                 // Legitimate self-paging: fetch the transitive cluster set.
@@ -550,14 +607,26 @@ impl Runtime {
         }
     }
 
+    /// Consult the fault-rate limiter under a `ratelimit_decision` span.
+    fn ratelimit_admit(&mut self, os: &mut Os) -> bool {
+        let guard = self
+            .telemetry
+            .enter(SpanKind::RatelimitDecision, os.machine.clock.now());
+        let admitted = self.limiter.on_fault();
+        self.telemetry.exit(guard, os.machine.clock.now());
+        admitted
+    }
+
     fn attack(&mut self, os: &mut Os, vpn: Vpn, why: &'static str) -> Result<(), RtError> {
         self.terminated = true;
+        self.telemetry.incr("attack_detected");
         os.machine.terminate(self.eid)?;
         Err(RtError::AttackDetected { vpn, why })
     }
 
     fn kill_rate_limited(&mut self, os: &mut Os) -> Result<(), RtError> {
         self.terminated = true;
+        self.telemetry.incr("rate_limit_kills");
         os.machine.terminate(self.eid)?;
         Err(RtError::RateLimitExceeded)
     }
@@ -612,13 +681,22 @@ impl Runtime {
         if pages.is_empty() {
             return Ok(());
         }
+        let guard = self
+            .telemetry
+            .enter(SpanKind::AyEvictPages, os.machine.clock.now());
         let result = match self.config.mechanism {
             PagingMechanism::Sgx1 => self.hw_evict(os, pages),
             PagingMechanism::Sgx2 => self.sw_evict(os, pages),
         };
+        self.telemetry.exit(guard, os.machine.clock.now());
+        self.telemetry
+            .hist_record("evict_batch_pages", pages.len() as u64);
         self.sync_tracking(os, pages);
         result?;
         self.stats.pages_evicted += pages.len() as u64;
+        self.telemetry.add("pages_evicted", pages.len() as u64);
+        self.telemetry
+            .gauge_set("resident_pages", self.resident_count as u64);
         Ok(())
     }
 
@@ -630,13 +708,22 @@ impl Runtime {
         if pages.is_empty() {
             return Ok(());
         }
+        let guard = self
+            .telemetry
+            .enter(SpanKind::AyFetchPages, os.machine.clock.now());
         let result = match self.config.mechanism {
             PagingMechanism::Sgx1 => self.hw_fetch(os, pages),
             PagingMechanism::Sgx2 => self.sw_fetch(os, pages),
         };
+        self.telemetry.exit(guard, os.machine.clock.now());
+        self.telemetry
+            .hist_record("fetch_batch_pages", pages.len() as u64);
         self.sync_tracking(os, pages);
         result?;
         self.stats.pages_fetched += pages.len() as u64;
+        self.telemetry.add("pages_fetched", pages.len() as u64);
+        self.telemetry
+            .gauge_set("resident_pages", self.resident_count as u64);
         Ok(())
     }
 
@@ -740,10 +827,13 @@ impl Runtime {
                 *v += 1;
                 *v
             };
-            os.machine
-                .clock
-                .charge(os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64);
+            let guard = self.telemetry.enter(SpanKind::Seal, os.machine.clock.now());
+            os.machine.clock.charge_tagged(
+                CostTag::Crypto,
+                os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64,
+            );
             let blob = sw_seal(&self.sealing_key, vpn, version, &contents);
+            self.telemetry.exit(guard, os.machine.clock.now());
             os.sys_untrusted_write(blob_key(self.eid.0, vpn), blob);
             os.machine.emodt_trim(self.eid, vpn)?;
             os.machine.eaccept(self.eid, vpn)?;
@@ -766,11 +856,14 @@ impl Runtime {
             let key = blob_key(self.eid.0, vpn);
             let blob = os.sys_untrusted_read(key).ok_or(RtError::SealBroken(vpn))?;
             let version = *self.sw_versions.get(&vpn).unwrap_or(&0);
-            os.machine
-                .clock
-                .charge(os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64);
-            let contents =
-                sw_open(&self.sealing_key, vpn, version, &blob).ok_or(RtError::SealBroken(vpn))?;
+            let guard = self.telemetry.enter(SpanKind::Open, os.machine.clock.now());
+            os.machine.clock.charge_tagged(
+                CostTag::Crypto,
+                os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64,
+            );
+            let contents = sw_open(&self.sealing_key, vpn, version, &blob);
+            self.telemetry.exit(guard, os.machine.clock.now());
+            let contents = contents.ok_or(RtError::SealBroken(vpn))?;
             self.with_retries(os, true, |os, eid| {
                 if os.machine.is_resident(eid, vpn) {
                     return Ok(());
@@ -823,12 +916,21 @@ impl Runtime {
         }
     }
 
-    /// Charge the exponential retry backoff to the simulated clock.
-    fn charge_backoff(&self, os: &mut Os, attempt: u32) {
+    /// Charge the exponential retry backoff to the simulated clock,
+    /// recorded under a `retry_backoff` span (the one place retries are
+    /// mirrored into telemetry — both retry loops route through here).
+    fn charge_backoff(&mut self, os: &mut Os, attempt: u32) {
+        let guard = self
+            .telemetry
+            .enter(SpanKind::RetryBackoff, os.machine.clock.now());
         let shift = (attempt - 1).min(10);
-        os.machine
-            .clock
-            .charge(self.config.harden.backoff_base_cycles << shift);
+        os.machine.clock.charge_tagged(
+            CostTag::Runtime,
+            self.config.harden.backoff_base_cycles << shift,
+        );
+        self.telemetry.exit(guard, os.machine.clock.now());
+        self.telemetry.incr("retries");
+        self.telemetry.hist_record("retry_attempt", attempt as u64);
     }
 
     /// The degradation ladder: under sustained EPC pressure, shrink our
@@ -852,6 +954,7 @@ impl Runtime {
             return Ok(());
         }
         self.stats.degradations += 1;
+        self.telemetry.incr("degradations");
         self.shrink_budget(os, target)
     }
 
@@ -867,6 +970,7 @@ impl Runtime {
     ) -> Result<(), RtError> {
         self.misbehavior += 1;
         self.stats.misbehavior += 1;
+        self.telemetry.incr("misbehavior");
         if self.misbehavior > self.config.harden.misbehavior_budget {
             return self.attack(os, vpn, why);
         }
@@ -1003,9 +1107,120 @@ impl Runtime {
         self.heap.allocated_until = vpn.0 + 1;
         Ok(())
     }
+
+    // ----------------------------------------------------------------
+    // Sealed telemetry export (epoch-granular, leak-audited).
+    // ----------------------------------------------------------------
+
+    /// Close the current telemetry epoch and publish its sealed aggregate
+    /// snapshot to untrusted memory.
+    ///
+    /// The export path is designed to be indistinguishable across secrets
+    /// (the leakage audit's `telemetry` case enforces this):
+    ///
+    /// * the plaintext is the canonical *fixed-size* aggregate snapshot —
+    ///   raw span records never leave the enclave;
+    /// * it is sealed with AEAD under a key domain-separated from the
+    ///   page sealing key, binding the epoch number as nonce/AAD;
+    /// * the untrusted-store key depends only on public values (enclave
+    ///   id, epoch counter) — see [`telemetry_export_key`].
+    ///
+    /// The OS therefore observes only *that* an export of constant size
+    /// happened at an epoch boundary the application fixes at
+    /// deterministic points in its own progress.
+    pub fn export_epoch(&mut self, os: &mut Os) -> Result<(), RtError> {
+        let epoch = self.telemetry.epoch();
+        let snapshot = self.telemetry.end_epoch();
+        let guard = self.telemetry.enter(SpanKind::Seal, os.machine.clock.now());
+        os.machine.clock.charge_tagged(
+            CostTag::Crypto,
+            os.machine.costs.sw_crypto_per_byte * snapshot.len() as u64,
+        );
+        let blob = seal_snapshot(&self.export_key, epoch, &snapshot);
+        self.telemetry.exit(guard, os.machine.clock.now());
+        os.sys_untrusted_write(telemetry_export_key(self.eid.0, epoch), blob);
+        self.telemetry.incr("epochs_exported");
+        Ok(())
+    }
+
+    /// Read back and authenticate a previously exported epoch snapshot
+    /// (models the trusted consumer of the telemetry stream; tests use it
+    /// to verify the export round-trips and that tampering is caught).
+    pub fn open_exported_epoch(&self, os: &mut Os, epoch: u64) -> Option<Vec<u8>> {
+        let blob = os.sys_untrusted_read(telemetry_export_key(self.eid.0, epoch))?;
+        open_snapshot(&self.export_key, epoch, &blob)
+    }
 }
 
 fn derive_sealing_key(eid: EnclaveId) -> [u8; 32] {
     // Stand-in for EGETKEY: a per-enclave sealing key.
     autarky_crypto::hmac_sha256(b"autarky-runtime-sealing", &eid.0.to_le_bytes())
+}
+
+fn derive_export_key(eid: EnclaveId) -> [u8; 32] {
+    // Domain-separated from the page sealing key so an export blob can
+    // never be replayed as a sealed page (or vice versa).
+    autarky_crypto::hmac_sha256(b"autarky-telemetry-export", &eid.0.to_le_bytes())
+}
+
+/// High bit marking an untrusted-store key as a telemetry export. Page
+/// blobs use [`blob_key`] = `eid << 40 | vpn`, which never sets it, so the
+/// two key spaces are disjoint by construction.
+pub const TELEMETRY_EXPORT_KEY_BIT: u64 = 1 << 63;
+
+/// Untrusted-store key for one enclave's sealed telemetry export of one
+/// epoch. Both inputs are public, so the key sequence an adversary
+/// observes is independent of enclave secrets.
+pub fn telemetry_export_key(eid_raw: u32, epoch: u64) -> u64 {
+    TELEMETRY_EXPORT_KEY_BIT | ((eid_raw as u64) << 40) | (epoch & 0xFF_FFFF_FFFF)
+}
+
+/// Whether an untrusted-store key names a telemetry export blob (used by
+/// the leakage audit to isolate the export channel).
+pub fn is_telemetry_export_key(key: u64) -> bool {
+    key & TELEMETRY_EXPORT_KEY_BIT != 0
+}
+
+fn export_nonce(epoch: u64) -> [u8; NONCE_LEN] {
+    let mut nonce = [0u8; NONCE_LEN];
+    nonce[..8].copy_from_slice(&epoch.to_le_bytes());
+    nonce
+}
+
+/// Sealed export blob: `epoch (8) || tag (16) || ciphertext`.
+fn seal_snapshot(key: &[u8; 32], epoch: u64, snapshot: &[u8]) -> Vec<u8> {
+    let mut ciphertext = snapshot.to_vec();
+    let tag = aead::seal(
+        key,
+        &export_nonce(epoch),
+        &epoch.to_le_bytes(),
+        &mut ciphertext,
+    );
+    let mut out = Vec::with_capacity(8 + TAG_LEN + ciphertext.len());
+    out.extend_from_slice(&epoch.to_le_bytes());
+    out.extend_from_slice(&tag);
+    out.extend_from_slice(&ciphertext);
+    out
+}
+
+/// Verify and decrypt a blob produced by [`seal_snapshot`].
+fn open_snapshot(key: &[u8; 32], expected_epoch: u64, blob: &[u8]) -> Option<Vec<u8>> {
+    if blob.len() < 8 + TAG_LEN {
+        return None;
+    }
+    let epoch = u64::from_le_bytes(blob[..8].try_into().ok()?);
+    if epoch != expected_epoch {
+        return None;
+    }
+    let tag: [u8; TAG_LEN] = blob[8..8 + TAG_LEN].try_into().ok()?;
+    let mut ciphertext = blob[8 + TAG_LEN..].to_vec();
+    aead::open(
+        key,
+        &export_nonce(epoch),
+        &epoch.to_le_bytes(),
+        &mut ciphertext,
+        &tag,
+    )
+    .ok()?;
+    Some(ciphertext)
 }

@@ -149,8 +149,8 @@ fn cluster_fetch_brings_whole_cluster() {
     }
     assert!(rt.cluster_invariant_holds());
     // The adversary's view: the fetch syscall named all 4 pages.
-    let obs = os.take_observations();
-    let fetched: Vec<Vpn> = obs
+    let fetched: Vec<Vpn> = os
+        .observations_since(0)
         .iter()
         .filter_map(|o| match o {
             autarky_os_sim::Observation::FetchSyscall { pages, .. } => Some(pages.clone()),

@@ -107,22 +107,107 @@ impl Default for CostModel {
 }
 
 impl CostModel {
-    /// Cost of the handler-invocation hop (`EENTER`+`EEXIT`) that the OS
-    /// performs to upcall the enclave's fault handler.
+    /// *Analytical* cost of the handler-invocation hop (`EENTER`+`EEXIT`)
+    /// that the OS performs to upcall the enclave's fault handler.
+    ///
+    /// This is a reference sum, not a charge site: the actual charges
+    /// happen once each inside `Machine::eenter`/`Machine::eexit`, tagged
+    /// [`CostTag::HandlerInvocation`]. Measurement code should read
+    /// [`Clock::tag_total`] so reported breakdowns can never drift from
+    /// what was actually charged.
     pub fn handler_invocation(&self) -> u64 {
         self.eenter + self.eexit
     }
 
-    /// Cost of enclave preemption (`AEX` + `ERESUME`).
+    /// *Analytical* cost of enclave preemption (`AEX` + `ERESUME`).
+    ///
+    /// Like [`CostModel::handler_invocation`], a reference sum only; the
+    /// single charge sites live in `Machine::fault`/`Machine::eresume`
+    /// under [`CostTag::Preemption`].
     pub fn preemption(&self) -> u64 {
         self.aex + self.eresume
     }
 }
 
-/// A monotonically increasing cycle counter shared by the whole machine.
+/// Category a cycle charge is attributed to.
+///
+/// Every [`Clock::charge_tagged`] call site picks exactly one tag, and
+/// each architectural event has exactly one charge site, so per-tag
+/// totals are a complete, non-overlapping decomposition of
+/// [`Clock::now`]. Latency breakdowns (Figure 5, the telemetry report)
+/// are *derived* from these totals instead of re-multiplying `CostModel`
+/// constants — one source of truth, no possibility of drift.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(usize)]
+pub enum CostTag {
+    /// `AEX` + `ERESUME`: enclave preemption.
+    Preemption = 0,
+    /// `EENTER` + `EEXIT`: fault-handler invocation hop.
+    HandlerInvocation = 1,
+    /// Autarky runtime bookkeeping (handler work, retry backoff).
+    Runtime = 2,
+    /// OS kernel work (fault dispatch, ring switches outside syscalls).
+    OsKernel = 3,
+    /// Syscall / exitless-call transitions into the OS.
+    Syscall = 4,
+    /// SGX paging instructions (`EWB`, `ELDU`, `EAUG`, `EACCEPT*`,
+    /// `EMOD*`, `EREMOVE`, shootdowns).
+    Paging = 5,
+    /// Address translation (TLB hits, fills, Autarky's fill check).
+    Translation = 6,
+    /// Software crypto on the SGXv2 seal/open path.
+    Crypto = 7,
+    /// ORAM data-path work (bucket I/O, oblivious scans).
+    Oram = 8,
+    /// Delays injected by the hostile-OS fault injector.
+    Injected = 9,
+    /// Uncategorized (plain `Clock::charge`, data copies).
+    Other = 10,
+}
+
+/// Number of [`CostTag`] categories.
+pub const COST_TAGS: usize = 11;
+
+impl CostTag {
+    /// All tags, in discriminant order.
+    pub const ALL: [CostTag; COST_TAGS] = [
+        CostTag::Preemption,
+        CostTag::HandlerInvocation,
+        CostTag::Runtime,
+        CostTag::OsKernel,
+        CostTag::Syscall,
+        CostTag::Paging,
+        CostTag::Translation,
+        CostTag::Crypto,
+        CostTag::Oram,
+        CostTag::Injected,
+        CostTag::Other,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            CostTag::Preemption => "preemption",
+            CostTag::HandlerInvocation => "handler_invocation",
+            CostTag::Runtime => "runtime",
+            CostTag::OsKernel => "os_kernel",
+            CostTag::Syscall => "syscall",
+            CostTag::Paging => "paging",
+            CostTag::Translation => "translation",
+            CostTag::Crypto => "crypto",
+            CostTag::Oram => "oram",
+            CostTag::Injected => "injected",
+            CostTag::Other => "other",
+        }
+    }
+}
+
+/// A monotonically increasing cycle counter shared by the whole machine,
+/// with per-[`CostTag`] attribution.
 #[derive(Debug, Default, Clone)]
 pub struct Clock {
     cycles: u64,
+    tagged: [u64; COST_TAGS],
 }
 
 impl Clock {
@@ -131,9 +216,25 @@ impl Clock {
         Self::default()
     }
 
-    /// Charge `cycles` cycles.
+    /// Charge `cycles` cycles, attributed to [`CostTag::Other`].
     pub fn charge(&mut self, cycles: u64) {
+        self.charge_tagged(CostTag::Other, cycles);
+    }
+
+    /// Charge `cycles` cycles attributed to `tag`.
+    pub fn charge_tagged(&mut self, tag: CostTag, cycles: u64) {
         self.cycles = self.cycles.wrapping_add(cycles);
+        self.tagged[tag as usize] = self.tagged[tag as usize].wrapping_add(cycles);
+    }
+
+    /// Total cycles attributed to `tag` so far.
+    pub fn tag_total(&self, tag: CostTag) -> u64 {
+        self.tagged[tag as usize]
+    }
+
+    /// All per-tag totals, indexed by discriminant.
+    pub fn tag_totals(&self) -> [u64; COST_TAGS] {
+        self.tagged
     }
 
     /// Current cycle count.
@@ -164,6 +265,30 @@ mod tests {
         clock.charge(5);
         assert_eq!(clock.now(), 15);
         assert_eq!(clock.since(10), 5);
+    }
+
+    #[test]
+    fn tagged_charges_decompose_the_total() {
+        let mut clock = Clock::new();
+        clock.charge_tagged(CostTag::Preemption, 100);
+        clock.charge_tagged(CostTag::Paging, 40);
+        clock.charge(3); // Other
+        assert_eq!(clock.now(), 143);
+        assert_eq!(clock.tag_total(CostTag::Preemption), 100);
+        assert_eq!(clock.tag_total(CostTag::Paging), 40);
+        assert_eq!(clock.tag_total(CostTag::Other), 3);
+        let sum: u64 = clock.tag_totals().iter().sum();
+        assert_eq!(sum, clock.now(), "tags partition the clock exactly");
+    }
+
+    #[test]
+    fn tag_names_are_unique() {
+        let names: std::collections::HashSet<&str> =
+            CostTag::ALL.iter().map(|t| t.name()).collect();
+        assert_eq!(names.len(), COST_TAGS);
+        for (i, tag) in CostTag::ALL.iter().enumerate() {
+            assert_eq!(*tag as usize, i);
+        }
     }
 
     #[test]

@@ -47,7 +47,7 @@ pub mod seal;
 pub mod tlb;
 
 pub use addr::{EnclaveId, Frame, Va, Vpn, PAGE_SIZE};
-pub use cost::{Clock, CostModel, CLOCK_HZ};
+pub use cost::{Clock, CostModel, CostTag, CLOCK_HZ, COST_TAGS};
 pub use enclave::{Attributes, Secs, SsaExInfo};
 pub use epc::{PageType, Perms};
 pub use error::{AccessKind, FaultCause, FaultEvent, SgxError};

@@ -21,7 +21,7 @@ use std::collections::HashMap;
 
 use crate::addr::{pages_covering, EnclaveId, Frame, Va, Vpn, PAGE_SIZE};
 use crate::attest::{make_report, Measurement, Report};
-use crate::cost::{Clock, CostModel};
+use crate::cost::{Clock, CostModel, CostTag};
 use crate::enclave::{Attributes, Secs, SsaExInfo, SsaFrame, Tcs};
 use crate::epc::{Epc, EpcmEntry, PageType, Perms};
 use crate::error::{AccessKind, FaultCause, FaultEvent, SgxError};
@@ -216,7 +216,8 @@ impl Machine {
 
     /// OS-initiated single-page TLB shootdown (IPI).
     pub fn tlb_shootdown(&mut self, eid: EnclaveId, vpn: Vpn) {
-        self.clock.charge(self.costs.shootdown_page);
+        self.clock
+            .charge_tagged(CostTag::Paging, self.costs.shootdown_page);
         self.tlb.shootdown(eid, vpn);
     }
 
@@ -367,7 +368,7 @@ impl Machine {
         t.pending_exception = false;
         t.active = true;
         self.stats.eenters += 1;
-        self.clock.charge(cost);
+        self.clock.charge_tagged(CostTag::HandlerInvocation, cost);
         self.tlb.flush_all();
         Ok(())
     }
@@ -378,7 +379,7 @@ impl Machine {
         let state = self.enclave_mut(eid)?;
         let t = state.tcs.get_mut(tcs).ok_or(SgxError::BadTcs(tcs))?;
         t.active = false;
-        self.clock.charge(cost);
+        self.clock.charge_tagged(CostTag::HandlerInvocation, cost);
         self.tlb.flush_all();
         Ok(())
     }
@@ -403,7 +404,7 @@ impl Machine {
         }
         t.active = true;
         self.stats.eresumes += 1;
-        self.clock.charge(cost);
+        self.clock.charge_tagged(CostTag::Preemption, cost);
         self.tlb.flush_all();
         Ok(())
     }
@@ -448,7 +449,8 @@ impl Machine {
     /// blocked pages cannot be accessed through stale TLB entries.
     pub fn etrack(&mut self, eid: EnclaveId) -> Result<(), SgxError> {
         self.enclave(eid)?;
-        self.clock.charge(self.costs.shootdown_page);
+        self.clock
+            .charge_tagged(CostTag::Paging, self.costs.shootdown_page);
         self.tlb.shootdown_enclave(eid);
         Ok(())
     }
@@ -476,7 +478,8 @@ impl Machine {
         self.epc.free(frame)?;
         self.frame_index.remove(&(eid, vpn));
         self.stats.ewbs += 1;
-        self.clock.charge(self.costs.ewb_page);
+        self.clock
+            .charge_tagged(CostTag::Paging, self.costs.ewb_page);
         Ok(sealed)
     }
 
@@ -511,7 +514,8 @@ impl Machine {
         let state = self.enclave_mut(eid)?;
         state.outstanding.remove(&sealed.vpn);
         self.stats.eldus += 1;
-        self.clock.charge(self.costs.eldu_page);
+        self.clock
+            .charge_tagged(CostTag::Paging, self.costs.eldu_page);
         Ok(frame)
     }
 
@@ -540,7 +544,7 @@ impl Machine {
         })?;
         self.frame_index.insert((eid, vpn), frame);
         self.stats.eaugs += 1;
-        self.clock.charge(self.costs.eaug);
+        self.clock.charge_tagged(CostTag::Paging, self.costs.eaug);
         Ok(frame)
     }
 
@@ -556,7 +560,7 @@ impl Machine {
         entry.pending = false;
         entry.modified = false;
         self.stats.eaccepts += 1;
-        self.clock.charge(cost);
+        self.clock.charge_tagged(CostTag::Paging, cost);
         Ok(())
     }
 
@@ -581,7 +585,7 @@ impl Machine {
         }
         self.epc.page_mut(frame)?.copy_from_slice(contents);
         self.stats.eaccepts += 1;
-        self.clock.charge(cost);
+        self.clock.charge_tagged(CostTag::Paging, cost);
         Ok(())
     }
 
@@ -597,7 +601,7 @@ impl Machine {
         }
         entry.perms = perms;
         entry.modified = true;
-        self.clock.charge(cost);
+        self.clock.charge_tagged(CostTag::Paging, cost);
         Ok(())
     }
 
@@ -609,7 +613,7 @@ impl Machine {
         let entry = self.epc.entry_mut(frame)?;
         entry.page_type = PageType::Trim;
         entry.modified = true;
-        self.clock.charge(cost);
+        self.clock.charge_tagged(CostTag::Paging, cost);
         Ok(())
     }
 
@@ -627,7 +631,7 @@ impl Machine {
         self.epc.free(frame)?;
         self.frame_index.remove(&(eid, vpn));
         self.tlb.shootdown(eid, vpn);
-        self.clock.charge(cost);
+        self.clock.charge_tagged(CostTag::Paging, cost);
         Ok(())
     }
 
@@ -678,7 +682,8 @@ impl Machine {
         va: Va,
         kind: AccessKind,
     ) -> Result<Frame, AccessError> {
-        self.clock.charge(self.costs.tlb_hit);
+        self.clock
+            .charge_tagged(CostTag::Translation, self.costs.tlb_hit);
         let vpn = va.vpn();
         if let Some(entry) = self.tlb.lookup(eid, vpn) {
             if entry.perms.allows(kind) && (!kind.is_write() || entry.dirty_ok) {
@@ -712,9 +717,11 @@ impl Machine {
         if !in_range {
             return Err(AccessError::Fatal(SgxError::OutOfRange(va)));
         }
-        self.clock.charge(self.costs.tlb_fill);
+        self.clock
+            .charge_tagged(CostTag::Translation, self.costs.tlb_fill);
         if self_paging {
-            self.clock.charge(self.costs.autarky_fill_check);
+            self.clock
+                .charge_tagged(CostTag::Translation, self.costs.autarky_fill_check);
         }
 
         let pte = self
@@ -832,9 +839,11 @@ impl Machine {
 
         // AEX: save context, flush TLB, deliver (masked) fault to the OS.
         self.stats.aexs += 1;
-        self.clock.charge(self.costs.aex);
+        self.clock
+            .charge_tagged(CostTag::Preemption, self.costs.aex);
         self.tlb.flush_all();
-        self.clock.charge(self.costs.os_fault_handler);
+        self.clock
+            .charge_tagged(CostTag::OsKernel, self.costs.os_fault_handler);
 
         let (reported_va, reported_kind) = if self_paging {
             // §5.1.2: hide the address and access type; report a read fault

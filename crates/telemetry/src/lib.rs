@@ -1,0 +1,272 @@
+//! Enclave-side telemetry for the Autarky runtime.
+//!
+//! Observability inside an enclave is security-sensitive: any signal the
+//! enclave emits about its own paging behaviour can itself become a
+//! controlled channel (cf. the Heisenberg defense and the pigeonhole
+//! attacks). This crate therefore splits telemetry into two halves:
+//!
+//! * **In-enclave, full fidelity** — a zero-alloc, fixed-capacity
+//!   [`SpanRing`] of individual [`SpanRecord`]s plus per-kind aggregates,
+//!   counters, gauges, and log-linear [`Histogram`]s. All timing is in
+//!   *simulated cycles* supplied by the caller (the `sgx-sim` clock), so
+//!   records are deterministic and host wall time never leaks in.
+//! * **Exported, aggregate only** — [`Telemetry::snapshot_bytes`] encodes
+//!   the aggregates (never the raw span ring) into a canonical,
+//!   **fixed-size** little-endian blob. Because the size and layout
+//!   depend only on the registered schema — not on what the enclave did —
+//!   a sealed snapshot exported once per epoch is indistinguishable
+//!   across secrets by construction. The leakage audit verifies this.
+//!
+//! The crate is dependency-free so that even the pure `oram` crate can
+//! build its statistics on top of it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod span;
+
+pub use metrics::{CounterSet, GaugeSet, HistSet, Histogram, HIST_BUCKETS};
+pub use span::{SpanGuard, SpanKind, SpanRecord, SpanRing, SPAN_KINDS};
+
+/// Per-span-kind running aggregate (what the export path sees; the raw
+/// ring never leaves the enclave).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanAgg {
+    /// Completed spans of this kind.
+    pub count: u64,
+    /// Total simulated cycles spent inside this kind.
+    pub total_cycles: u64,
+    /// Latency distribution (cycles per span).
+    pub hist: Histogram,
+}
+
+/// The enclave's telemetry instance: span ring + aggregates + metrics.
+///
+/// The metric *schema* (counter/gauge/histogram names) is fixed at
+/// construction so the snapshot encoding has a static layout; recording
+/// against an unregistered name panics (a schema bug, not a data bug).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Telemetry {
+    ring: SpanRing,
+    spans: [SpanAgg; SPAN_KINDS],
+    counters: CounterSet,
+    gauges: GaugeSet,
+    hists: HistSet,
+    epoch: u64,
+}
+
+impl Telemetry {
+    /// Build a telemetry instance with the given span-ring capacity and
+    /// metric schema.
+    pub fn new(
+        ring_capacity: usize,
+        counters: &[&'static str],
+        gauges: &[&'static str],
+        hists: &[&'static str],
+    ) -> Self {
+        Self {
+            ring: SpanRing::new(ring_capacity),
+            spans: core::array::from_fn(|_| SpanAgg::default()),
+            counters: CounterSet::new(counters),
+            gauges: GaugeSet::new(gauges),
+            hists: HistSet::new(hists),
+            epoch: 0,
+        }
+    }
+
+    /// Open a span; `now_cycles` comes from the simulated clock.
+    pub fn enter(&self, kind: SpanKind, now_cycles: u64) -> SpanGuard {
+        SpanGuard::new(kind, now_cycles)
+    }
+
+    /// Close a span opened with [`Telemetry::enter`].
+    pub fn exit(&mut self, guard: SpanGuard, now_cycles: u64) {
+        self.span(guard.kind(), guard.start_cycles(), now_cycles);
+    }
+
+    /// Record a completed span in one call (enter + exit).
+    pub fn span(&mut self, kind: SpanKind, start_cycles: u64, end_cycles: u64) {
+        let record = SpanRecord {
+            kind,
+            start_cycles,
+            end_cycles,
+        };
+        self.ring.push(record);
+        let agg = &mut self.spans[kind as usize];
+        agg.count += 1;
+        agg.total_cycles += record.duration();
+        agg.hist.record(record.duration());
+    }
+
+    /// Aggregate for one span kind.
+    pub fn span_agg(&self, kind: SpanKind) -> &SpanAgg {
+        &self.spans[kind as usize]
+    }
+
+    /// The raw span ring (in-enclave debugging only; never exported).
+    pub fn ring(&self) -> &SpanRing {
+        &self.ring
+    }
+
+    /// Increment a registered counter.
+    pub fn incr(&mut self, name: &'static str) {
+        self.counters.add(name, 1);
+    }
+
+    /// Add to a registered counter.
+    pub fn add(&mut self, name: &'static str, n: u64) {
+        self.counters.add(name, n);
+    }
+
+    /// Read a registered counter.
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name)
+    }
+
+    /// Sample a registered gauge.
+    pub fn gauge_set(&mut self, name: &'static str, value: u64) {
+        self.gauges.set(name, value);
+    }
+
+    /// Last sampled value of a registered gauge.
+    pub fn gauge(&self, name: &str) -> u64 {
+        self.gauges.last(name)
+    }
+
+    /// High-water mark of a registered gauge.
+    pub fn gauge_max(&self, name: &str) -> u64 {
+        self.gauges.max(name)
+    }
+
+    /// Record a value into a registered named histogram.
+    pub fn hist_record(&mut self, name: &'static str, value: u64) {
+        self.hists.record(name, value);
+    }
+
+    /// A registered named histogram.
+    pub fn hist(&self, name: &str) -> &Histogram {
+        self.hists.get(name)
+    }
+
+    /// Current epoch number (bumped by [`Telemetry::end_epoch`]).
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// Close the current epoch: returns the canonical snapshot of the
+    /// aggregates and advances the epoch counter. Aggregates are
+    /// *cumulative* (they are not reset), so every export has the same
+    /// fixed size and consecutive exports differ only in content.
+    pub fn end_epoch(&mut self) -> Vec<u8> {
+        let snapshot = self.snapshot_bytes();
+        self.epoch += 1;
+        snapshot
+    }
+
+    /// Canonical little-endian encoding of the aggregate state.
+    ///
+    /// The layout (and therefore the byte length) depends only on the
+    /// registered schema: magic, version, epoch, span-drop counter, the
+    /// eight span aggregates (count, total, full latency histogram), then
+    /// counters, gauges, and named histograms in registration order.
+    /// Identical runs produce byte-identical snapshots; runs on different
+    /// secrets produce same-sized snapshots.
+    pub fn snapshot_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.snapshot_len());
+        out.extend_from_slice(b"AYTL");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&self.ring.dropped().to_le_bytes());
+        for agg in &self.spans {
+            out.extend_from_slice(&agg.count.to_le_bytes());
+            out.extend_from_slice(&agg.total_cycles.to_le_bytes());
+            agg.hist.encode_into(&mut out);
+        }
+        self.counters.encode_into(&mut out);
+        self.gauges.encode_into(&mut out);
+        self.hists.encode_into(&mut out);
+        out
+    }
+
+    /// Exact byte length of [`Telemetry::snapshot_bytes`] for this schema.
+    pub fn snapshot_len(&self) -> usize {
+        4 + 4
+            + 8
+            + 8
+            + SPAN_KINDS * (8 + 8 + Histogram::ENCODED_LEN)
+            + self.counters.encoded_len()
+            + self.gauges.encoded_len()
+            + self.hists.encoded_len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn schema() -> Telemetry {
+        Telemetry::new(8, &["faults", "retries"], &["stash"], &["batch"])
+    }
+
+    #[test]
+    fn span_aggregates_accumulate() {
+        let mut t = schema();
+        let g = t.enter(SpanKind::FaultHandler, 100);
+        t.exit(g, 150);
+        t.span(SpanKind::FaultHandler, 200, 300);
+        let agg = t.span_agg(SpanKind::FaultHandler);
+        assert_eq!(agg.count, 2);
+        assert_eq!(agg.total_cycles, 150);
+        assert_eq!(agg.hist.count(), 2);
+        assert_eq!(t.span_agg(SpanKind::OramAccess).count, 0);
+    }
+
+    #[test]
+    fn counters_gauges_hists() {
+        let mut t = schema();
+        t.incr("faults");
+        t.add("faults", 4);
+        t.gauge_set("stash", 7);
+        t.gauge_set("stash", 3);
+        t.hist_record("batch", 16);
+        assert_eq!(t.counter("faults"), 5);
+        assert_eq!(t.gauge("stash"), 3);
+        assert_eq!(t.gauge_max("stash"), 7);
+        assert_eq!(t.hist("batch").count(), 1);
+    }
+
+    #[test]
+    fn snapshot_is_fixed_size_and_deterministic() {
+        let mut a = schema();
+        let mut b = schema();
+        for t in [&mut a, &mut b] {
+            t.span(SpanKind::Seal, 0, 10);
+            t.add("retries", 2);
+            t.gauge_set("stash", 9);
+            t.hist_record("batch", 3);
+        }
+        assert_eq!(a.snapshot_bytes(), b.snapshot_bytes());
+        assert_eq!(a.snapshot_bytes().len(), a.snapshot_len());
+
+        // Different *content*, same size: that is the export contract.
+        let mut c = schema();
+        for _ in 0..1000 {
+            c.span(SpanKind::FaultHandler, 0, 12345);
+            c.add("faults", 17);
+        }
+        assert_eq!(c.snapshot_bytes().len(), a.snapshot_len());
+        assert_ne!(c.snapshot_bytes(), a.snapshot_bytes());
+    }
+
+    #[test]
+    fn end_epoch_advances_counter() {
+        let mut t = schema();
+        assert_eq!(t.epoch(), 0);
+        let s0 = t.end_epoch();
+        assert_eq!(t.epoch(), 1);
+        let s1 = t.end_epoch();
+        assert_eq!(s0.len(), s1.len());
+        assert_ne!(s0, s1, "epoch counter is part of the snapshot");
+    }
+}

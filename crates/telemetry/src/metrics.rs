@@ -1,0 +1,419 @@
+//! Metrics: counters, gauges, and log-linear histograms with a schema
+//! fixed at construction.
+//!
+//! Names are registered up front so the snapshot encoding has a static
+//! layout (registration order == encoding order); recording against an
+//! unregistered name panics, because that is a schema bug the tests
+//! should catch, not a runtime condition.
+
+/// Log-linear histogram: one octave per power of two, four linear
+/// sub-buckets per octave (~25% relative resolution), fixed storage.
+///
+/// Values 0..8 get exact buckets; the largest `u64` lands in bucket 251.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    buckets: [u64; HIST_BUCKETS],
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+/// Number of buckets in every [`Histogram`].
+pub const HIST_BUCKETS: usize = 252;
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Encoded size: buckets plus count/sum/min/max.
+    pub const ENCODED_LEN: usize = (HIST_BUCKETS + 4) * 8;
+
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Self {
+            buckets: [0; HIST_BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Bucket index for a value.
+    pub fn bucket_index(value: u64) -> usize {
+        if value < 8 {
+            return value as usize;
+        }
+        let octave = 63 - value.leading_zeros() as usize;
+        let sub = ((value >> (octave - 2)) & 3) as usize;
+        (octave - 1) * 4 + sub
+    }
+
+    /// Inclusive lower bound of a bucket (for percentile reporting).
+    pub fn bucket_floor(index: usize) -> u64 {
+        if index < 8 {
+            return index as u64;
+        }
+        let octave = index / 4 + 1;
+        let sub = (index % 4) as u64;
+        (1u64 << octave) + (sub << (octave - 2))
+    }
+
+    /// Record one value.
+    pub fn record(&mut self, value: u64) {
+        self.buckets[Self::bucket_index(value)] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of recorded values.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 if empty).
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Mean of recorded values (0.0 if empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Lower bound of the bucket containing the `q`-quantile
+    /// (`0.0 <= q <= 1.0`); 0 if empty.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0;
+        for (i, &n) in self.buckets.iter().enumerate() {
+            seen += n;
+            if seen >= rank {
+                return Self::bucket_floor(i);
+            }
+        }
+        Self::bucket_floor(HIST_BUCKETS - 1)
+    }
+
+    /// Merge another histogram into this one.
+    pub fn absorb(&mut self, other: &Histogram) {
+        for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
+            *a += b;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        if other.count > 0 {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+    }
+
+    /// Append the canonical little-endian encoding.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&self.count.to_le_bytes());
+        out.extend_from_slice(&self.sum.to_le_bytes());
+        out.extend_from_slice(&self.min().to_le_bytes());
+        out.extend_from_slice(&self.max.to_le_bytes());
+        for b in &self.buckets {
+            out.extend_from_slice(&b.to_le_bytes());
+        }
+    }
+}
+
+/// A fixed set of named `u64` counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSet {
+    names: Vec<&'static str>,
+    values: Vec<u64>,
+}
+
+impl CounterSet {
+    /// Register the counter names (the schema).
+    pub fn new(names: &[&'static str]) -> Self {
+        Self {
+            names: names.to_vec(),
+            values: vec![0; names.len()],
+        }
+    }
+
+    fn index(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("unregistered counter: {name}"))
+    }
+
+    /// Add `n` to a counter.
+    pub fn add(&mut self, name: &str, n: u64) {
+        let i = self.index(name);
+        self.values[i] += n;
+    }
+
+    /// Read a counter.
+    pub fn get(&self, name: &str) -> u64 {
+        self.values[self.index(name)]
+    }
+
+    /// Registered names, in encoding order.
+    pub fn names(&self) -> &[&'static str] {
+        &self.names
+    }
+
+    /// Merge another set (schemas must match).
+    pub fn absorb(&mut self, other: &CounterSet) {
+        assert_eq!(self.names, other.names, "counter schema mismatch");
+        for (a, b) in self.values.iter_mut().zip(other.values.iter()) {
+            *a += b;
+        }
+    }
+
+    /// Append values in registration order.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.values.len() as u32).to_le_bytes());
+        for v in &self.values {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+    }
+
+    /// Encoded size for this schema.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.values.len() * 8
+    }
+}
+
+/// A fixed set of named gauges (last value + high-water mark + sample
+/// count).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GaugeSet {
+    names: Vec<&'static str>,
+    last: Vec<u64>,
+    max: Vec<u64>,
+    samples: Vec<u64>,
+}
+
+impl GaugeSet {
+    /// Register the gauge names (the schema).
+    pub fn new(names: &[&'static str]) -> Self {
+        Self {
+            names: names.to_vec(),
+            last: vec![0; names.len()],
+            max: vec![0; names.len()],
+            samples: vec![0; names.len()],
+        }
+    }
+
+    fn index(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("unregistered gauge: {name}"))
+    }
+
+    /// Sample a gauge.
+    pub fn set(&mut self, name: &str, value: u64) {
+        let i = self.index(name);
+        self.last[i] = value;
+        self.max[i] = self.max[i].max(value);
+        self.samples[i] += 1;
+    }
+
+    /// Last sampled value.
+    pub fn last(&self, name: &str) -> u64 {
+        self.last[self.index(name)]
+    }
+
+    /// High-water mark.
+    pub fn max(&self, name: &str) -> u64 {
+        self.max[self.index(name)]
+    }
+
+    /// Append last/max/samples per gauge in registration order.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
+        for i in 0..self.names.len() {
+            out.extend_from_slice(&self.last[i].to_le_bytes());
+            out.extend_from_slice(&self.max[i].to_le_bytes());
+            out.extend_from_slice(&self.samples[i].to_le_bytes());
+        }
+    }
+
+    /// Encoded size for this schema.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.names.len() * 24
+    }
+}
+
+/// A fixed set of named histograms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HistSet {
+    names: Vec<&'static str>,
+    hists: Vec<Histogram>,
+}
+
+impl HistSet {
+    /// Register the histogram names (the schema).
+    pub fn new(names: &[&'static str]) -> Self {
+        Self {
+            names: names.to_vec(),
+            hists: names.iter().map(|_| Histogram::new()).collect(),
+        }
+    }
+
+    fn index(&self, name: &str) -> usize {
+        self.names
+            .iter()
+            .position(|n| *n == name)
+            .unwrap_or_else(|| panic!("unregistered histogram: {name}"))
+    }
+
+    /// Record a value.
+    pub fn record(&mut self, name: &str, value: u64) {
+        let i = self.index(name);
+        self.hists[i].record(value);
+    }
+
+    /// Access a histogram.
+    pub fn get(&self, name: &str) -> &Histogram {
+        &self.hists[self.index(name)]
+    }
+
+    /// Append every histogram in registration order.
+    pub fn encode_into(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(self.names.len() as u32).to_le_bytes());
+        for h in &self.hists {
+            h.encode_into(out);
+        }
+    }
+
+    /// Encoded size for this schema.
+    pub fn encoded_len(&self) -> usize {
+        4 + self.names.len() * Histogram::ENCODED_LEN
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_monotone_and_in_range() {
+        let mut prev = 0;
+        for shift in 0..64 {
+            let v = 1u64 << shift;
+            for v in [v, v + v / 4, v + v / 2] {
+                let i = Histogram::bucket_index(v);
+                assert!(i < HIST_BUCKETS, "{v} -> {i}");
+                assert!(i >= prev, "bucket index must not decrease at {v}");
+                prev = i;
+                assert!(
+                    Histogram::bucket_floor(i) <= v,
+                    "floor({i}) = {} > {v}",
+                    Histogram::bucket_floor(i)
+                );
+            }
+        }
+        assert_eq!(Histogram::bucket_index(u64::MAX), HIST_BUCKETS - 1);
+    }
+
+    #[test]
+    fn small_values_are_exact() {
+        for v in 0..8u64 {
+            assert_eq!(Histogram::bucket_index(v), v as usize);
+            assert_eq!(Histogram::bucket_floor(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn histogram_stats() {
+        let mut h = Histogram::new();
+        for v in [1, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), 1);
+        assert_eq!(h.max(), 100);
+        assert!((h.mean() - 26.5).abs() < 1e-9);
+        assert_eq!(h.quantile(0.5), 2);
+        assert!(h.quantile(1.0) >= 96, "p100 bucket floor near max");
+    }
+
+    #[test]
+    fn absorb_merges() {
+        let mut a = Histogram::new();
+        let mut b = Histogram::new();
+        a.record(5);
+        b.record(50);
+        a.absorb(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.min(), 5);
+        assert_eq!(a.max(), 50);
+    }
+
+    #[test]
+    fn counter_set_roundtrip() {
+        let mut c = CounterSet::new(&["a", "b"]);
+        c.add("b", 3);
+        assert_eq!(c.get("a"), 0);
+        assert_eq!(c.get("b"), 3);
+        let mut buf = Vec::new();
+        c.encode_into(&mut buf);
+        assert_eq!(buf.len(), c.encoded_len());
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered counter")]
+    fn unknown_counter_panics() {
+        CounterSet::new(&["a"]).add("nope", 1);
+    }
+
+    #[test]
+    fn gauge_tracks_last_and_max() {
+        let mut g = GaugeSet::new(&["stash"]);
+        g.set("stash", 10);
+        g.set("stash", 4);
+        assert_eq!(g.last("stash"), 4);
+        assert_eq!(g.max("stash"), 10);
+        let mut buf = Vec::new();
+        g.encode_into(&mut buf);
+        assert_eq!(buf.len(), g.encoded_len());
+    }
+
+    #[test]
+    fn hist_set_encodes_fixed_len() {
+        let mut hs = HistSet::new(&["x", "y"]);
+        hs.record("x", 9);
+        let mut buf = Vec::new();
+        hs.encode_into(&mut buf);
+        assert_eq!(buf.len(), hs.encoded_len());
+        assert_eq!(hs.get("x").count(), 1);
+        assert_eq!(hs.get("y").count(), 0);
+    }
+}

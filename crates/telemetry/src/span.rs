@@ -1,0 +1,240 @@
+//! Tracing spans: a static registry of instrumented operations and a
+//! zero-alloc, fixed-capacity record ring.
+//!
+//! Span timing is in *simulated cycles* — callers pass timestamps read
+//! from the `sgx-sim` cost clock, so spans measure exactly what the cost
+//! model charges and nothing about the host machine.
+
+/// Static registry of instrumented operations.
+///
+/// The discriminants are stable: they index per-kind aggregate arrays and
+/// appear in the canonical snapshot encoding.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[repr(u8)]
+pub enum SpanKind {
+    /// The runtime's page-fault handler, end to end.
+    FaultHandler = 0,
+    /// The `ay_fetch_pages` driver call (enclave-side view).
+    AyFetchPages = 1,
+    /// The `ay_evict_pages` driver call (enclave-side view).
+    AyEvictPages = 2,
+    /// One ORAM access through the enclave data path.
+    OramAccess = 3,
+    /// Software page sealing (`sw_seal`) on the SGXv2 evict path.
+    Seal = 4,
+    /// Software page authentication (`sw_open`) on the SGXv2 fetch path.
+    Open = 5,
+    /// The fault-rate limiter's admit/kill decision.
+    RatelimitDecision = 6,
+    /// Exponential backoff inside the transient-failure retry loop.
+    RetryBackoff = 7,
+}
+
+/// Number of span kinds in the registry.
+pub const SPAN_KINDS: usize = 8;
+
+impl SpanKind {
+    /// All kinds, in discriminant order.
+    pub const ALL: [SpanKind; SPAN_KINDS] = [
+        SpanKind::FaultHandler,
+        SpanKind::AyFetchPages,
+        SpanKind::AyEvictPages,
+        SpanKind::OramAccess,
+        SpanKind::Seal,
+        SpanKind::Open,
+        SpanKind::RatelimitDecision,
+        SpanKind::RetryBackoff,
+    ];
+
+    /// Stable display name.
+    pub fn name(self) -> &'static str {
+        match self {
+            SpanKind::FaultHandler => "fault_handler",
+            SpanKind::AyFetchPages => "ay_fetch_pages",
+            SpanKind::AyEvictPages => "ay_evict_pages",
+            SpanKind::OramAccess => "oram_access",
+            SpanKind::Seal => "seal",
+            SpanKind::Open => "open",
+            SpanKind::RatelimitDecision => "ratelimit_decision",
+            SpanKind::RetryBackoff => "retry_backoff",
+        }
+    }
+}
+
+/// One completed span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// Which operation this span covers.
+    pub kind: SpanKind,
+    /// Simulated-cycle timestamp at entry.
+    pub start_cycles: u64,
+    /// Simulated-cycle timestamp at exit.
+    pub end_cycles: u64,
+}
+
+impl SpanRecord {
+    /// Span duration in simulated cycles.
+    pub fn duration(&self) -> u64 {
+        self.end_cycles.saturating_sub(self.start_cycles)
+    }
+}
+
+/// An open span handle returned by `Telemetry::enter`.
+///
+/// Dropping a guard without closing it simply loses the span (there is no
+/// global state to corrupt); the `#[must_use]` lint catches the common
+/// mistake.
+#[derive(Debug, Clone, Copy)]
+#[must_use = "close the span with Telemetry::exit"]
+pub struct SpanGuard {
+    kind: SpanKind,
+    start_cycles: u64,
+}
+
+impl SpanGuard {
+    pub(crate) fn new(kind: SpanKind, start_cycles: u64) -> Self {
+        Self { kind, start_cycles }
+    }
+
+    /// Which operation the open span covers.
+    pub fn kind(&self) -> SpanKind {
+        self.kind
+    }
+
+    /// Simulated-cycle timestamp at entry.
+    pub fn start_cycles(&self) -> u64 {
+        self.start_cycles
+    }
+}
+
+/// Fixed-capacity span buffer: all storage is allocated up front and new
+/// records are **dropped, not overwritten**, once the buffer is full,
+/// with a counter recording how many were lost.
+///
+/// Dropping new records (instead of the classic overwrite-oldest ring)
+/// keeps the retained prefix deterministic — the same run always keeps
+/// the same records — which the byte-identical snapshot tests rely on.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRing {
+    records: Vec<SpanRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl SpanRing {
+    /// Preallocate a ring holding up to `capacity` records.
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            records: Vec::with_capacity(capacity),
+            capacity,
+            dropped: 0,
+        }
+    }
+
+    /// Append a record, or count it as dropped if the ring is full.
+    pub fn push(&mut self, record: SpanRecord) {
+        if self.records.len() < self.capacity {
+            self.records.push(record);
+        } else {
+            self.dropped += 1;
+        }
+    }
+
+    /// Retained records, in arrival order.
+    pub fn records(&self) -> &[SpanRecord] {
+        &self.records
+    }
+
+    /// Number of retained records.
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether nothing has been retained.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Maximum number of retained records.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Records lost to overflow.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Clear retained records (the drop counter is preserved — it is part
+    /// of the exported aggregate state).
+    pub fn clear(&mut self) {
+        self.records.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(kind: SpanKind, start: u64) -> SpanRecord {
+        SpanRecord {
+            kind,
+            start_cycles: start,
+            end_cycles: start + 10,
+        }
+    }
+
+    #[test]
+    fn names_are_unique_and_ordered() {
+        for (i, kind) in SpanKind::ALL.iter().enumerate() {
+            assert_eq!(*kind as usize, i);
+        }
+        let names: std::collections::HashSet<&str> =
+            SpanKind::ALL.iter().map(|k| k.name()).collect();
+        assert_eq!(names.len(), SPAN_KINDS);
+    }
+
+    #[test]
+    fn ring_drops_new_records_when_full() {
+        let mut ring = SpanRing::new(3);
+        for i in 0..10 {
+            ring.push(rec(SpanKind::FaultHandler, i * 100));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 7);
+        // The retained prefix is the *first* three records (deterministic).
+        assert_eq!(ring.records()[0].start_cycles, 0);
+        assert_eq!(ring.records()[2].start_cycles, 200);
+    }
+
+    #[test]
+    fn ring_never_reallocates() {
+        let mut ring = SpanRing::new(4);
+        let cap_before = ring.records.capacity();
+        for i in 0..100 {
+            ring.push(rec(SpanKind::Seal, i));
+        }
+        assert_eq!(ring.records.capacity(), cap_before);
+    }
+
+    #[test]
+    fn clear_preserves_drop_counter() {
+        let mut ring = SpanRing::new(1);
+        ring.push(rec(SpanKind::Open, 0));
+        ring.push(rec(SpanKind::Open, 1));
+        assert_eq!(ring.dropped(), 1);
+        ring.clear();
+        assert!(ring.is_empty());
+        assert_eq!(ring.dropped(), 1);
+    }
+
+    #[test]
+    fn duration_saturates() {
+        let r = SpanRecord {
+            kind: SpanKind::Open,
+            start_cycles: 50,
+            end_cycles: 40,
+        };
+        assert_eq!(r.duration(), 0);
+    }
+}

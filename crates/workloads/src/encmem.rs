@@ -22,7 +22,8 @@ use autarky_oram::{buckets_for, CachedOram, MemStorage, OramStats, PathOram};
 use autarky_os_sim::{EnclaveImage, Os};
 use autarky_runtime::{RtError, Runtime, RuntimeConfig};
 use autarky_sgx_sim::machine::MachineConfig;
-use autarky_sgx_sim::{EnclaveId, Va, PAGE_SIZE};
+use autarky_sgx_sim::{CostTag, EnclaveId, Va, PAGE_SIZE};
+use autarky_telemetry::SpanKind;
 
 /// A fully assembled system around one enclave.
 pub struct World {
@@ -180,6 +181,7 @@ impl EncHeap {
         match &mut self.mode {
             HeapMode::Direct => world.rt.read(&mut world.os, Va(ptr.0), buf),
             HeapMode::CachedOram(cache) => {
+                let span = Self::enter_oram(world);
                 let mut done = 0usize;
                 while done < buf.len() {
                     let at = ptr.0 + done as u64;
@@ -192,11 +194,14 @@ impl EncHeap {
                     done += chunk;
                 }
                 let stats = cache.oram().stats.clone();
+                let stash = cache.oram().stash_len() as u64;
                 Self::charge(world, &self.last_stats, &stats);
                 self.last_stats = stats;
+                Self::exit_oram(world, span, stash);
                 Ok(())
             }
             HeapMode::UncachedOram(oram) => {
+                let span = Self::enter_oram(world);
                 let mut done = 0usize;
                 while done < buf.len() {
                     let at = ptr.0 + done as u64;
@@ -208,8 +213,10 @@ impl EncHeap {
                     done += chunk;
                 }
                 let stats = oram.stats.clone();
+                let stash = oram.stash_len() as u64;
                 Self::charge(world, &self.last_stats, &stats);
                 self.last_stats = stats;
+                Self::exit_oram(world, span, stash);
                 Ok(())
             }
         }
@@ -220,6 +227,7 @@ impl EncHeap {
         match &mut self.mode {
             HeapMode::Direct => world.rt.write(&mut world.os, Va(ptr.0), data),
             HeapMode::CachedOram(cache) => {
+                let span = Self::enter_oram(world);
                 let mut done = 0usize;
                 while done < data.len() {
                     let at = ptr.0 + done as u64;
@@ -232,11 +240,14 @@ impl EncHeap {
                     done += chunk;
                 }
                 let stats = cache.oram().stats.clone();
+                let stash = cache.oram().stash_len() as u64;
                 Self::charge(world, &self.last_stats, &stats);
                 self.last_stats = stats;
+                Self::exit_oram(world, span, stash);
                 Ok(())
             }
             HeapMode::UncachedOram(oram) => {
+                let span = Self::enter_oram(world);
                 let mut done = 0usize;
                 while done < data.len() {
                     let at = ptr.0 + done as u64;
@@ -249,26 +260,42 @@ impl EncHeap {
                     done += chunk;
                 }
                 let stats = oram.stats.clone();
+                let stash = oram.stash_len() as u64;
                 Self::charge(world, &self.last_stats, &stats);
                 self.last_stats = stats;
+                Self::exit_oram(world, span, stash);
                 Ok(())
             }
         }
     }
 
+    /// Open an `oram_access` span on the runtime's telemetry.
+    fn enter_oram(world: &World) -> autarky_telemetry::SpanGuard {
+        world
+            .rt
+            .telemetry
+            .enter(SpanKind::OramAccess, world.os.machine.clock.now())
+    }
+
+    /// Close an `oram_access` span and sample the stash-occupancy gauge.
+    fn exit_oram(world: &mut World, span: autarky_telemetry::SpanGuard, stash: u64) {
+        world.rt.telemetry.exit(span, world.os.machine.clock.now());
+        world.rt.telemetry.gauge_set("stash_occupancy", stash);
+    }
+
     /// Convert ORAM event deltas into machine cycles.
     fn charge(world: &mut World, before: &OramStats, after: &OramStats) {
         let costs = &world.os.machine.costs;
-        let bucket_ops = (after.bucket_reads - before.bucket_reads)
-            + (after.bucket_writes - before.bucket_writes);
+        let bucket_ops = (after.bucket_reads() - before.bucket_reads())
+            + (after.bucket_writes() - before.bucket_writes());
         // Bucket sealing runs on AES-NI-class hardware crypto (~1
         // cycle/byte including the GCM tag work).
         let cycles = bucket_ops * 200 // untrusted-memory round trip per bucket
-            + (after.crypto_bytes - before.crypto_bytes)
-            + (after.oblivious_scan_bytes - before.oblivious_scan_bytes)
+            + (after.crypto_bytes() - before.crypto_bytes())
+            + (after.oblivious_scan_bytes() - before.oblivious_scan_bytes())
                 * costs.oblivious_copy_per_byte
-            + (after.cache_hits - before.cache_hits) * 15; // pinned-cache lookup
-        world.os.machine.clock.charge(cycles);
+            + (after.cache_hits() - before.cache_hits()) * 15; // pinned-cache lookup
+        world.os.machine.clock.charge_tagged(CostTag::Oram, cycles);
     }
 
     /// The adversary-visible ORAM bucket-access log: `(bucket index,

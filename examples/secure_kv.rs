@@ -59,10 +59,11 @@ fn main() {
     let stats = heap.oram_stats();
     println!(
         "ORAM: {} accesses, {} bucket reads, {} bucket writes, {:.1}% cache hit rate",
-        stats.accesses,
-        stats.bucket_reads,
-        stats.bucket_writes,
-        100.0 * stats.cache_hits as f64 / (stats.cache_hits + stats.cache_misses).max(1) as f64,
+        stats.accesses(),
+        stats.bucket_reads(),
+        stats.bucket_writes(),
+        100.0 * stats.cache_hits() as f64
+            / (stats.cache_hits() + stats.cache_misses()).max(1) as f64,
     );
     println!("adversary's view: one uniformly random tree path per miss — no key correlation");
 }

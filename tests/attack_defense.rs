@@ -421,6 +421,34 @@ fn write_protect_tracer_works_on_vanilla_and_is_blocked() {
     }
 }
 
+#[test]
+fn straddling_access_completes_under_full_density_tracing() {
+    // An 8-byte read spanning two adjacent *armed* pages: a purely
+    // transition-granular tracer would ping-pong the pair forever
+    // (restoring one page re-protects the other, so the replayed access
+    // never completes). The tracer resolves the straddle — both pages
+    // stay open, the victim progresses, and each page is traced once.
+    let (mut world, mut heap) = build("straddle", Profile::Unprotected);
+    let ptr = heap.alloc(&mut world, 2 * PAGE_SIZE).expect("alloc");
+    let lo = Vpn(ptr.0 >> 12);
+    let hi = Vpn(lo.0 + 1);
+    heap.write_u64(&mut world, Ptr(lo.0 << 12), 1).expect("lo");
+    heap.write_u64(&mut world, Ptr(hi.0 << 12), 2).expect("hi");
+    world.os.arm_fault_tracer(world.eid, [lo, hi]).expect("arm");
+    let boundary = Ptr((hi.0 << 12) - 4);
+    heap.read_u64(&mut world, boundary)
+        .expect("straddling read completes");
+    let tracer = match world.os.disarm_attacker() {
+        Attacker::FaultTracer(t) => t,
+        other => panic!("{other:?}"),
+    };
+    assert_eq!(
+        tracer.trace,
+        vec![lo, hi],
+        "both pages enter the trace exactly once"
+    );
+}
+
 // ------------------------------------------------------------------
 // Integrity attacks on the backing store (beyond tracing).
 // ------------------------------------------------------------------

@@ -178,7 +178,7 @@ fn same_seed_and_plan_replay_identically() {
             let outcome = drive(&mut world, &mut heap);
             (
                 outcome,
-                world.os.take_observations(),
+                world.os.observations_since(0).to_vec(),
                 world.os.machine.clock.now(),
                 world.os.disarm_fault_plan(),
             )
@@ -213,7 +213,7 @@ fn quiescent_plan_is_behaviorally_invisible() {
             let outcome = drive(&mut world, &mut heap);
             (
                 outcome,
-                world.os.take_observations(),
+                world.os.observations_since(0).to_vec(),
                 world.os.machine.clock.now(),
             )
         };
@@ -224,7 +224,7 @@ fn quiescent_plan_is_behaviorally_invisible() {
             assert_eq!(world.os.disarm_fault_plan(), 0, "{name}: quiescent fired");
             (
                 outcome,
-                world.os.take_observations(),
+                world.os.observations_since(0).to_vec(),
                 world.os.machine.clock.now(),
             )
         };
