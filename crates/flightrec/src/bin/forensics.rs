@@ -1,0 +1,73 @@
+//! Render a recorded flight log as a markdown post-mortem timeline:
+//! the last N events, every runtime decision resolved to its provoking
+//! kernel observation, and — when the log ends in an attack verdict —
+//! the injected fault identified as the causal root.
+//!
+//! ```text
+//! forensics <flight.log> [--last N] [--out report.md]
+//! ```
+//!
+//! The input is a wire-encoded flight log, e.g. one written by
+//! `replay-check --log-dir` or by any harness that serializes
+//! `Os::flight_snapshot()` with `wire::encode_flight_log`.
+
+use std::process::ExitCode;
+
+use autarky_os_sim::flight::render_timeline;
+use autarky_os_sim::wire::decode_flight_log;
+
+fn main() -> ExitCode {
+    let mut input: Option<String> = None;
+    let mut out: Option<String> = None;
+    let mut last_n: usize = 50;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--last" => {
+                last_n = value("--last")
+                    .parse()
+                    .unwrap_or_else(|_| die("--last needs an integer"));
+            }
+            "--out" => out = Some(value("--out")),
+            "--help" | "-h" => {
+                println!("usage: forensics <flight.log> [--last N] [--out report.md]");
+                return ExitCode::SUCCESS;
+            }
+            other if input.is_none() && !other.starts_with('-') => input = Some(other.to_owned()),
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let Some(path) = input else {
+        die("missing input: forensics <flight.log> [--last N] [--out report.md]");
+    };
+    let text = match std::fs::read_to_string(&path) {
+        Ok(t) => t,
+        Err(e) => die(&format!("cannot read {path}: {e}")),
+    };
+    let records = match decode_flight_log(&text) {
+        Ok(r) => r,
+        Err(e) => die(&format!("{path}: {e}")),
+    };
+    let report = render_timeline(&records, last_n);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &report) {
+                die(&format!("cannot write {path}: {e}"));
+            }
+            eprintln!("wrote {path}");
+        }
+        None => print!("{report}"),
+    }
+    ExitCode::SUCCESS
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

@@ -1,0 +1,120 @@
+//! The CI replay-determinism gate: record one short run per paging
+//! policy, replay it from the same schedule, and fail on any event-log
+//! or telemetry-snapshot divergence.
+//!
+//! ```text
+//! replay-check [--forensics out.md] [--log-dir dir]
+//! ```
+//!
+//! On failure the post-mortem (forensics timeline of the recording plus
+//! the causal divergence report) is written to `--forensics` so CI can
+//! upload it as an artifact. With `--log-dir`, every recorded flight log
+//! and its schedule are written out regardless of outcome, so a failed
+//! run can be re-examined locally with the `forensics` binary.
+
+use std::process::ExitCode;
+
+use autarky_flightrec::{render_divergence, verify_replay, Schedule};
+use autarky_os_sim::flight::render_timeline;
+
+fn main() -> ExitCode {
+    let mut forensics_out: Option<String> = None;
+    let mut log_dir: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--forensics" => forensics_out = Some(value("--forensics")),
+            "--log-dir" => log_dir = Some(value("--log-dir")),
+            "--help" | "-h" => {
+                println!("usage: replay-check [--forensics out.md] [--log-dir dir]");
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+
+    let mut failures = Vec::new();
+    for schedule in Schedule::ci_matrix() {
+        let label = format!("{}/{}", schedule.policy.name(), schedule.workload.name());
+        let verdict = verify_replay(&schedule);
+        if let Some(dir) = &log_dir {
+            write_or_die(
+                &format!(
+                    "{dir}/{}-{}.schedule",
+                    schedule.policy.name(),
+                    schedule.workload.name()
+                ),
+                &schedule.to_text(),
+            );
+            write_or_die(
+                &format!(
+                    "{dir}/{}-{}.flight.log",
+                    schedule.policy.name(),
+                    schedule.workload.name()
+                ),
+                &verdict.record.log_text,
+            );
+        }
+        if verdict.deterministic() {
+            println!(
+                "replay-check {label}: deterministic ({} events, {} telemetry bytes, outcome {})",
+                verdict.record.records.len(),
+                verdict.record.telemetry_snapshot.len(),
+                verdict.record.outcome
+            );
+            continue;
+        }
+        eprintln!(
+            "replay-check {label}: FAILED (log identical: {}, telemetry identical: {}, \
+             outcome identical: {}, decisions resolved: {})",
+            verdict.log_identical,
+            verdict.telemetry_identical,
+            verdict.outcome_identical,
+            verdict.decisions_resolved
+        );
+        let mut report = format!("# Replay determinism failure: {label}\n\n");
+        report.push_str(&format!(
+            "Schedule:\n\n```\n{}```\n\n",
+            verdict.schedule.to_text()
+        ));
+        if let Some(div) = &verdict.divergence {
+            report.push_str(&render_divergence(
+                div,
+                &verdict.record.log_text,
+                &verdict.replay.log_text,
+            ));
+            report.push('\n');
+        }
+        report.push_str(&render_timeline(&verdict.record.records, 50));
+        failures.push(report);
+    }
+
+    if failures.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    let report = failures.join("\n\n---\n\n");
+    match &forensics_out {
+        Some(path) => {
+            write_or_die(path, &report);
+            eprintln!("replay-check: wrote post-mortem to {path}");
+        }
+        None => eprint!("{report}"),
+    }
+    ExitCode::FAILURE
+}
+
+fn write_or_die(path: &str, content: &str) {
+    if let Err(e) = std::fs::write(path, content) {
+        die(&format!("cannot write {path}: {e}"));
+    }
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

@@ -1,0 +1,150 @@
+//! Trace-diff: find and explain the first causal divergence between two
+//! wire-encoded flight logs.
+//!
+//! The comparison is textual (the wire encoding *is* the determinism
+//! surface), but the report is causal: when the diverging line decodes
+//! to a flight record, the report resolves its correlation chain on both
+//! sides so the reader sees which provocation → decision sequence split,
+//! not just which byte differed.
+
+use autarky_os_sim::flight::{chain_records, CORR_NONE};
+use autarky_os_sim::wire::decode_flight_record;
+use autarky_os_sim::FlightRecord;
+
+/// The first point where two flight logs disagree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Zero-based line index of the first differing line.
+    pub index: usize,
+    /// That line in the left log (`None` when the left log ended).
+    pub left: Option<String>,
+    /// That line in the right log (`None` when the right log ended).
+    pub right: Option<String>,
+}
+
+/// First line where the two logs differ; `None` when byte-identical.
+pub fn first_divergence(left: &str, right: &str) -> Option<Divergence> {
+    let mut a = left.lines();
+    let mut b = right.lines();
+    let mut index = 0;
+    loop {
+        match (a.next(), b.next()) {
+            (None, None) => return None,
+            (l, r) if l == r => index += 1,
+            (l, r) => {
+                return Some(Divergence {
+                    index,
+                    left: l.map(str::to_owned),
+                    right: r.map(str::to_owned),
+                })
+            }
+        }
+    }
+}
+
+/// Render a markdown report for a divergence: the differing lines with
+/// surrounding context, plus the diverging correlation chains resolved
+/// on both sides.
+pub fn render_divergence(div: &Divergence, left: &str, right: &str) -> String {
+    let mut out = String::from("# Flight-log divergence\n\n");
+    out.push_str(&format!(
+        "First divergence at line {} (0-based).\n\n",
+        div.index
+    ));
+    for (name, line, text) in [
+        ("recording", &div.left, left),
+        ("replay", &div.right, right),
+    ] {
+        out.push_str(&format!("## {name}\n\n"));
+        match line {
+            Some(l) => out.push_str(&format!("Diverging line:\n\n```\n{l}\n```\n\n")),
+            None => out.push_str("Log ended before this line.\n\n"),
+        }
+        out.push_str("Context:\n\n```\n");
+        let lines: Vec<&str> = text.lines().collect();
+        let lo = div.index.saturating_sub(3);
+        let hi = (div.index + 4).min(lines.len());
+        for (i, l) in lines.iter().enumerate().take(hi).skip(lo) {
+            let marker = if i == div.index { ">" } else { " " };
+            out.push_str(&format!("{marker} {i:>5} {l}\n"));
+        }
+        out.push_str("```\n\n");
+        if let Some(chain) = diverging_chain(line.as_deref(), text) {
+            out.push_str("Diverging correlation chain:\n\n");
+            for r in chain {
+                out.push_str(&format!(
+                    "- seq {} corr {} [{}] {}\n",
+                    r.seq,
+                    r.corr,
+                    r.event.domain(),
+                    r.event.describe()
+                ));
+            }
+            out.push('\n');
+        }
+    }
+    out
+}
+
+/// Decode the full log and the diverging line; when both succeed and the
+/// line carries a correlation id, return that chain's records.
+fn diverging_chain(line: Option<&str>, text: &str) -> Option<Vec<FlightRecord>> {
+    let record = decode_flight_record(line?).ok()?;
+    if record.corr == CORR_NONE {
+        return None;
+    }
+    let records: Vec<FlightRecord> = text
+        .lines()
+        .filter_map(|l| decode_flight_record(l).ok())
+        .collect();
+    let chain: Vec<FlightRecord> = chain_records(&records, record.corr)
+        .into_iter()
+        .cloned()
+        .collect();
+    if chain.is_empty() {
+        None
+    } else {
+        Some(chain)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identical_logs_have_no_divergence() {
+        let log = "ev 0 10 0 rlkill\nev 1 20 1 fwd 5\n";
+        assert_eq!(first_divergence(log, log), None);
+    }
+
+    #[test]
+    fn first_differing_line_is_reported() {
+        let a = "ev 0 10 0 rlkill\nev 1 20 1 fwd 5\nev 2 30 1 fwd 6\n";
+        let b = "ev 0 10 0 rlkill\nev 1 20 1 fwd 7\nev 2 30 1 fwd 6\n";
+        let div = first_divergence(a, b).expect("diverges");
+        assert_eq!(div.index, 1);
+        assert_eq!(div.left.as_deref(), Some("ev 1 20 1 fwd 5"));
+        assert_eq!(div.right.as_deref(), Some("ev 1 20 1 fwd 7"));
+    }
+
+    #[test]
+    fn truncation_is_a_divergence() {
+        let a = "ev 0 10 0 rlkill\nev 1 20 1 fwd 5\n";
+        let b = "ev 0 10 0 rlkill\n";
+        let div = first_divergence(a, b).expect("diverges");
+        assert_eq!(div.index, 1);
+        assert!(div.right.is_none());
+    }
+
+    #[test]
+    fn report_resolves_the_diverging_chain() {
+        let a = "ev 0 10 1 he 1 5\nev 1 20 1 fwd 5\n";
+        let b = "ev 0 10 1 he 1 5\nev 1 20 1 fwd 9\n";
+        let div = first_divergence(a, b).expect("diverges");
+        let report = render_divergence(&div, a, b);
+        assert!(report.contains("# Flight-log divergence"));
+        assert!(report.contains("Diverging correlation chain"));
+        assert!(report.contains("handler entry"), "{report}");
+    }
+}

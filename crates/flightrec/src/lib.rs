@@ -1,0 +1,35 @@
+//! Deterministic record/replay and attack forensics on top of the
+//! causal flight recorder (`autarky_os_sim::flight`).
+//!
+//! The recorder gives one causally-ordered event log spanning both trust
+//! domains. This crate turns that log into an *artifact* with three
+//! consumers:
+//!
+//! * [`schedule`] — a recorded schedule: the `(policy, workload, secret,
+//!   seed, fault plan)` coordinates that fully determine a simulated
+//!   run, serialized in the hand-rolled `os-sim::wire` grammar so a
+//!   failed CI run can be re-driven locally from a few text lines;
+//! * [`replay`] — the replay engine: re-run a schedule from scratch and
+//!   assert the flight log and the telemetry snapshot are *bit-identical*
+//!   to the recording. The recorder's own observer effect (cycles charged
+//!   per record) is part of the replayed state, so a run that records is
+//!   compared against a replay that records — never against a silent run;
+//! * [`diff`] — the trace-diff: the first line where two flight logs
+//!   diverge, with the diverging correlation chains resolved on both
+//!   sides so the report names the *causal* split, not just the textual
+//!   one.
+//!
+//! The `replay-check` binary is the CI determinism gate (one short run
+//! per paging policy, replayed and compared); the `forensics` binary
+//! renders a recorded log as a markdown post-mortem timeline.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod diff;
+pub mod replay;
+pub mod schedule;
+
+pub use diff::{first_divergence, render_divergence, Divergence};
+pub use replay::{record_run, verify_replay, ReplayVerdict, RunArtifacts, RECORDER_CAPACITY};
+pub use schedule::{Schedule, SchedulePolicy, ScheduleWorkload};

@@ -1,0 +1,241 @@
+//! The replay engine: drive a [`Schedule`] through a freshly built
+//! world with the flight recorder armed, then drive it *again* and
+//! require the two runs to be indistinguishable artifacts.
+//!
+//! Determinism here is end-to-end: the comparison is on the wire-encoded
+//! flight log (every event, cycle stamp, and correlation id) and on the
+//! fixed-size telemetry aggregate snapshot. The recorder's observer
+//! effect — `RECORD_COST_CYCLES` charged per record under
+//! `CostTag::Recorder` — is identical in both runs because both arm the
+//! recorder the same way; a recorded run is never compared against a
+//! silent one.
+
+use autarky::{Profile, SystemBuilder};
+use autarky_os_sim::flight::decisions_resolved;
+use autarky_os_sim::wire::encode_flight_log;
+use autarky_os_sim::FlightRecord;
+use autarky_runtime::RtError;
+use autarky_workloads::{font, jpeg, kvstore, spell, EncHeap, World};
+
+use crate::diff::{first_divergence, Divergence};
+use crate::schedule::{Schedule, SchedulePolicy, ScheduleWorkload};
+
+/// Flight-ring capacity for recorded runs: comfortably larger than any
+/// CI schedule produces, so recordings never wrap (a wrapped recording
+/// still replays identically, but the post-mortem would lose its head).
+pub const RECORDER_CAPACITY: usize = 1 << 16;
+
+/// Self-paging resident budget. Deliberately tighter than the leakage
+/// audit's 48: the determinism gate wants the full decision surface in
+/// the log (faults, cluster fetches, evictions, rate-limit admissions),
+/// so the working set must not fit.
+const BUDGET_PAGES: usize = 32;
+
+/// Everything one recorded run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArtifacts {
+    /// The decoded flight log.
+    pub records: Vec<FlightRecord>,
+    /// The same log, wire-encoded (the comparison surface).
+    pub log_text: String,
+    /// The fixed-size telemetry aggregate snapshot.
+    pub telemetry_snapshot: Vec<u8>,
+    /// `"ok"`, or the runtime error display when the run terminated.
+    pub outcome: String,
+    /// Events the ring dropped (0 for every CI schedule).
+    pub dropped: u64,
+}
+
+/// The record → replay comparison for one schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayVerdict {
+    /// The schedule that was run twice.
+    pub schedule: Schedule,
+    /// Whether the wire-encoded flight logs were byte-identical.
+    pub log_identical: bool,
+    /// Whether the telemetry snapshots were byte-identical.
+    pub telemetry_identical: bool,
+    /// Whether both runs ended the same way.
+    pub outcome_identical: bool,
+    /// Whether every runtime decision in the last 50 recorded events
+    /// resolves to its provoking chain root.
+    pub decisions_resolved: bool,
+    /// First causal divergence between the two logs, when any.
+    pub divergence: Option<Divergence>,
+    /// The recording.
+    pub record: RunArtifacts,
+    /// The replay.
+    pub replay: RunArtifacts,
+}
+
+impl ReplayVerdict {
+    /// The determinism gate: bit-identical artifacts and a fully
+    /// resolved decision window.
+    pub fn deterministic(&self) -> bool {
+        self.log_identical
+            && self.telemetry_identical
+            && self.outcome_identical
+            && self.decisions_resolved
+    }
+}
+
+/// Record one run of `schedule`: build the world, arm the recorder, run
+/// the workload (arming the fault plan after setup), and capture the
+/// artifacts.
+pub fn record_run(schedule: &Schedule) -> RunArtifacts {
+    let (mut world, mut heap) = build_world(schedule);
+    world.os.arm_flight_recorder(RECORDER_CAPACITY);
+    let outcome = match run_workload(schedule, &mut world, &mut heap) {
+        Ok(()) => "ok".to_owned(),
+        Err(e) => format!("err: {e}"),
+    };
+    let recorder = world
+        .os
+        .disarm_flight_recorder()
+        .expect("recorder was armed for the whole run");
+    let records = recorder.snapshot();
+    let log_text = encode_flight_log(&records);
+    RunArtifacts {
+        log_text,
+        telemetry_snapshot: world.rt.telemetry.snapshot_bytes(),
+        outcome,
+        dropped: recorder.dropped(),
+        records,
+    }
+}
+
+/// Run `schedule` twice from scratch and compare the artifacts.
+pub fn verify_replay(schedule: &Schedule) -> ReplayVerdict {
+    let record = record_run(schedule);
+    let replay = record_run(schedule);
+    let divergence = first_divergence(&record.log_text, &replay.log_text);
+    ReplayVerdict {
+        schedule: schedule.clone(),
+        log_identical: record.log_text == replay.log_text,
+        telemetry_identical: record.telemetry_snapshot == replay.telemetry_snapshot,
+        outcome_identical: record.outcome == replay.outcome,
+        decisions_resolved: decisions_resolved(&record.records, 50),
+        divergence,
+        record,
+        replay,
+    }
+}
+
+/// Build the world for a schedule, mirroring the leakage audit's
+/// geometry so runs page under pressure.
+fn build_world(schedule: &Schedule) -> (World, EncHeap) {
+    let (profile, budget) = match schedule.policy {
+        SchedulePolicy::Clusters => (
+            Profile::Clusters {
+                pages_per_cluster: 10,
+            },
+            BUDGET_PAGES,
+        ),
+        SchedulePolicy::RateLimit => (
+            Profile::RateLimited {
+                max_faults_per_progress: 64.0,
+                burst: 4096,
+            },
+            BUDGET_PAGES,
+        ),
+        SchedulePolicy::CachedOram => (
+            Profile::CachedOram {
+                capacity_pages: 512,
+                cache_pages: 24,
+            },
+            0,
+        ),
+    };
+    let (world, heap) = SystemBuilder::new("flightrec", profile)
+        .epc_pages(4096)
+        .heap_pages(1024)
+        .code_pages(24)
+        .budget_pages(budget)
+        .seed(0xF11_6000 + schedule.seed * 7919)
+        .build()
+        .expect("flightrec world builds");
+    (world, heap)
+}
+
+/// Arm the schedule's fault plan (after setup, so the secret phase runs
+/// under fire) and drive the workload.
+fn run_workload(schedule: &Schedule, world: &mut World, heap: &mut EncHeap) -> Result<(), RtError> {
+    match schedule.workload {
+        ScheduleWorkload::Jpeg => {
+            const SIDE: usize = 32;
+            let (img_a, img_b) = jpeg::secret_pair(SIDE);
+            let image = if schedule.secret == 0 { img_a } else { img_b };
+            let compressed = jpeg::encode(SIDE, SIDE, &image);
+            let mut decoder = jpeg::Decoder::new(world, heap, SIDE, SIDE).expect("decoder");
+            begin_secret_phase(schedule, world)?;
+            decoder.decode(world, heap, &compressed)?;
+        }
+        ScheduleWorkload::Font => {
+            const LEN: usize = 16;
+            let (text_a, text_b) = font::secret_pair(LEN);
+            let text = if schedule.secret == 0 { text_a } else { text_b };
+            let mut renderer = font::FontRenderer::new(world, heap, LEN).expect("renderer");
+            begin_secret_phase(schedule, world)?;
+            renderer.render_text(world, heap, &text)?;
+        }
+        ScheduleWorkload::Spell => {
+            const DICT_WORDS: usize = 300;
+            const QUERY_WORDS: usize = 24;
+            let dictionary = spell::Dictionary::load(world, heap, "en", DICT_WORDS).expect("dict");
+            let (text_a, text_b) = spell::secret_pair("en", DICT_WORDS, QUERY_WORDS);
+            let text = if schedule.secret == 0 { text_a } else { text_b };
+            begin_secret_phase(schedule, world)?;
+            for (i, word) in text.iter().enumerate() {
+                dictionary.check(world, heap, word)?;
+                if (i + 1) % 8 == 0 {
+                    world.rt.export_epoch(&mut world.os)?;
+                }
+            }
+        }
+        ScheduleWorkload::Kvstore => {
+            const ITEMS: u64 = 128;
+            const VALUE_SIZE: usize = 512;
+            const GETS: usize = 48;
+            let mut store = kvstore::KvStore::new(
+                world,
+                heap,
+                ITEMS,
+                VALUE_SIZE,
+                kvstore::ItemClustering::None,
+            )
+            .expect("store");
+            store.load(world, heap, ITEMS).expect("load");
+            let (keys_a, keys_b) = kvstore::secret_pair(ITEMS, GETS);
+            let keys = if schedule.secret == 0 { keys_a } else { keys_b };
+            begin_secret_phase(schedule, world)?;
+            for (i, &key) in keys.iter().enumerate() {
+                store.get(world, heap, key)?;
+                if (i + 1) % 16 == 0 {
+                    world.rt.export_epoch(&mut world.os)?;
+                }
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Transition from setup to the secret-dependent phase: page the
+/// enclave out (self-paging policies only — under PinAll that would
+/// manufacture attack verdicts), so the phase re-faults its working set
+/// and the log carries the full fault → decision → fetch surface; then
+/// arm the schedule's fault plan.
+fn begin_secret_phase(schedule: &Schedule, world: &mut World) -> Result<(), RtError> {
+    if schedule.policy != SchedulePolicy::CachedOram {
+        let resident: Vec<_> = world
+            .image
+            .code_range()
+            .chain(world.image.heap_range())
+            .filter(|&p| world.rt.residency(p) == Some(true))
+            .collect();
+        world.rt.evict_pages(&mut world.os, &resident)?;
+    }
+    if let Some(plan) = &schedule.fault_plan {
+        world.os.arm_fault_plan(plan.clone());
+    }
+    Ok(())
+}

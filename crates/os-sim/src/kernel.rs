@@ -18,6 +18,7 @@ use crate::attack::Attacker;
 use crate::backing::BackingStore;
 use crate::eviction::{EvictionPolicy, EvictionState};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan, InjectedFault, SyscallKind};
+use crate::flight::{FlightEvent, FlightRecord, FlightRecorder, CORR_NONE};
 use crate::image::EnclaveImage;
 
 /// Errors surfaced by OS operations.
@@ -180,15 +181,16 @@ pub struct Os {
     pub backing: BackingStore,
     /// The currently armed attacker (part of the OS).
     pub attacker: Attacker,
+    /// The all-time adversary-visible event stream. Append-only: events
+    /// are never drained, so a [`Os::observation_mark`] cursor is a plain
+    /// index into this vector and stays valid for the OS's lifetime.
     observations: Vec<Observation>,
-    /// Absolute index of `observations[0]` in the all-time event stream
-    /// (advanced by [`Os::take_observations`] so cursor marks stay valid
-    /// across drains).
-    obs_base: u64,
     /// Use exitless calls for enclave syscalls (Graphene/Eleos style).
     pub exitless: bool,
     /// Armed fault injector (robustness harness), if any.
     pub(crate) injector: Option<FaultInjector>,
+    /// Armed causal flight recorder (off by default), if any.
+    flight: Option<FlightRecorder>,
 }
 
 impl Os {
@@ -200,9 +202,9 @@ impl Os {
             backing: BackingStore::new(),
             attacker: Attacker::None,
             observations: Vec::new(),
-            obs_base: 0,
             exitless: true,
             injector: None,
+            flight: None,
         }
     }
 
@@ -340,34 +342,137 @@ impl Os {
     /// [`Os::observations_since`] to read events non-destructively, so
     /// several consumers (attack oracles, leakage capture) can share the
     /// stream without stealing each other's events.
+    ///
+    /// The stream is append-only, so a mark is simply the stream length
+    /// at the moment it was taken and never expires.
     pub fn observation_mark(&self) -> u64 {
-        self.obs_base + self.observations.len() as u64
+        self.observations.len() as u64
     }
 
     /// Events recorded at or after `mark` (from [`Os::observation_mark`]).
-    /// Events drained by [`Os::take_observations`] before `mark` was read
-    /// are gone; a mark older than the last drain yields what survives.
+    /// Reads are non-draining and repeatable: the same mark always yields
+    /// the same prefix-stable slice, however many consumers share it.
     pub fn observations_since(&self, mark: u64) -> &[Observation] {
-        let start = mark.saturating_sub(self.obs_base) as usize;
-        &self.observations[start.min(self.observations.len())..]
-    }
-
-    /// Drain the event log. Deprecated: draining steals events from every
-    /// other consumer of the stream (attack oracles, leakage capture,
-    /// telemetry audits); use the non-draining [`Os::observation_mark`] /
-    /// [`Os::observations_since`] cursor instead.
-    #[deprecated(
-        since = "0.1.0",
-        note = "use the observation_mark/observations_since cursor; draining \
-                steals events from other stream consumers"
-    )]
-    pub fn take_observations(&mut self) -> Vec<Observation> {
-        self.obs_base += self.observations.len() as u64;
-        std::mem::take(&mut self.observations)
+        let start = (mark as usize).min(self.observations.len());
+        &self.observations[start..]
     }
 
     pub(crate) fn observe(&mut self, obs: Observation) {
+        if self.flight.is_some() {
+            self.flight_record(FlightEvent::Kernel(obs.clone()));
+        }
         self.observations.push(obs);
+    }
+
+    // ----------------------------------------------------------------
+    // Causal flight recorder.
+    // ----------------------------------------------------------------
+
+    /// Arm the causal flight recorder with a ring of `capacity` records.
+    /// Also arms the machine's enclave-transition log so hardware events
+    /// (AEX, `EENTER`, blocked resumes, ...) interleave into the stream.
+    /// While armed, every recorded event charges
+    /// [`autarky_sgx_sim::CostTag::Recorder`] cycles — the recorder's
+    /// observer effect is measured, not hidden.
+    pub fn arm_flight_recorder(&mut self, capacity: usize) {
+        self.flight = Some(FlightRecorder::new(capacity));
+        self.machine.set_transition_recording(true);
+    }
+
+    /// Disarm the recorder and return it (with any still-undrained
+    /// machine transitions folded in), or `None` if it was not armed.
+    pub fn disarm_flight_recorder(&mut self) -> Option<FlightRecorder> {
+        self.flight_sync();
+        self.machine.set_transition_recording(false);
+        self.flight.take()
+    }
+
+    /// Whether the flight recorder is armed.
+    pub fn flight_armed(&self) -> bool {
+        self.flight.is_some()
+    }
+
+    /// Fold machine transitions recorded since the last drain into the
+    /// flight log (stamped with their captured cycle times and the
+    /// currently open correlation chain).
+    fn flight_sync(&mut self) {
+        let Some(rec) = self.flight.as_mut() else {
+            return;
+        };
+        for t in self.machine.take_transitions() {
+            let (tag, cost) = rec.record_cost();
+            self.machine.clock.charge_tagged(tag, cost);
+            rec.record(
+                t.cycles,
+                FlightEvent::Transition {
+                    kind: t.kind,
+                    eid: t.eid,
+                    tcs: t.tcs,
+                },
+            );
+        }
+    }
+
+    /// Record one event in the flight log (no-op while disarmed). Any
+    /// pending machine transitions are folded in first so the log stays
+    /// causally ordered, and each record charges its simulated cost.
+    pub fn flight_record(&mut self, event: FlightEvent) {
+        if self.flight.is_none() {
+            return;
+        }
+        self.flight_sync();
+        if let Some(rec) = self.flight.as_mut() {
+            let (tag, cost) = rec.record_cost();
+            self.machine.clock.charge_tagged(tag, cost);
+            let now = self.machine.clock.now();
+            rec.record(now, event);
+        }
+    }
+
+    /// Open a new correlation chain: events recorded from here until
+    /// [`Os::flight_end_chain`] share one chain id. Returns the id
+    /// ([`CORR_NONE`] while disarmed).
+    pub fn flight_begin_chain(&mut self) -> u64 {
+        self.flight_sync();
+        self.flight
+            .as_mut()
+            .map(|rec| rec.begin_chain())
+            .unwrap_or(CORR_NONE)
+    }
+
+    /// Open a chain only if none is active. Returns `true` if this call
+    /// opened one (the caller then owns closing it).
+    pub fn flight_begin_chain_if_idle(&mut self) -> bool {
+        let idle = matches!(self.flight.as_ref(), Some(rec) if !rec.chain_active());
+        if idle {
+            self.flight_begin_chain();
+        }
+        idle
+    }
+
+    /// Close the open correlation chain, first folding in any pending
+    /// machine transitions (e.g. the closing `EEXIT`/`ERESUME`) so they
+    /// stay attributed to the chain.
+    pub fn flight_end_chain(&mut self) {
+        self.flight_sync();
+        if let Some(rec) = self.flight.as_mut() {
+            rec.end_chain();
+        }
+    }
+
+    /// Snapshot of the retained flight records, oldest first (pending
+    /// machine transitions folded in).
+    pub fn flight_snapshot(&mut self) -> Vec<FlightRecord> {
+        self.flight_sync();
+        self.flight
+            .as_ref()
+            .map(|rec| rec.snapshot())
+            .unwrap_or_default()
+    }
+
+    /// Flight records lost to ring overflow.
+    pub fn flight_dropped(&self) -> u64 {
+        self.flight.as_ref().map(|rec| rec.dropped()).unwrap_or(0)
     }
 
     pub(crate) fn proc(&self, eid: EnclaveId) -> Result<&Proc, OsError> {
@@ -653,6 +758,11 @@ impl Os {
     /// (Autarky).
     pub fn on_fault(&mut self, ev: FaultEvent) -> Result<FaultDisposition, OsError> {
         debug_assert!(!ev.elided, "elided faults never reach the OS");
+        // A delivered fault opens a fresh correlation chain; the Fault
+        // observation recorded next becomes the chain's root, and every
+        // transition/decision until the handler round trip completes
+        // inherits the chain id.
+        self.flight_begin_chain();
         self.observe(Observation::Fault {
             eid: ev.eid,
             va: ev.reported_va,
@@ -673,7 +783,10 @@ impl Os {
             self.legacy_resolve(ev.eid, vpn)?;
             // Silent resume: the enclave never observes the fault.
             match self.machine.eresume(ev.eid, ev.tcs) {
-                Ok(()) => return Ok(FaultDisposition::Resumed),
+                Ok(()) => {
+                    self.flight_end_chain();
+                    return Ok(FaultDisposition::Resumed);
+                }
                 Err(SgxError::ResumeBlocked) => unreachable!("legacy TCS never blocks resume"),
                 Err(e) => return Err(e.into()),
             }

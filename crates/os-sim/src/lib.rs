@@ -17,6 +17,9 @@
 //! * [`backing`] — untrusted swap storage;
 //! * [`fault`] — deterministic, seeded hostile-OS fault injection
 //!   threaded through every driver entry point;
+//! * [`flight`] — the causal flight recorder: a correlation-chained
+//!   event log spanning hardware transitions, kernel observations, and
+//!   trusted-runtime decisions, with post-mortem reconstruction;
 //! * [`image`] — enclave image descriptions for the loader;
 //! * [`eviction`] — clock and FIFO victim selection.
 //!
@@ -35,6 +38,7 @@ pub mod backing;
 pub mod driver;
 pub mod eviction;
 pub mod fault;
+pub mod flight;
 pub mod hypervisor;
 pub mod image;
 pub mod kernel;
@@ -44,6 +48,7 @@ pub use attack::{AdMonitor, Attacker, FaultTracer, TraceMode};
 pub use backing::BackingStore;
 pub use eviction::{EvictionPolicy, EvictionState};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, InjectedFault, SyscallKind};
+pub use flight::{FlightEvent, FlightRecord, FlightRecorder};
 pub use hypervisor::{BalloonOutcome, Hypervisor, VmId};
 pub use image::EnclaveImage;
 pub use kernel::{FaultDisposition, Observation, Os, OsError};

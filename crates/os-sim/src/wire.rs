@@ -23,12 +23,38 @@
 //! inj   <eid> <fault...>           (FaultInjected; see encode_injected_fault)
 //! ```
 //!
+//! Flight-recorder records (PR 5) extend the grammar with one `ev` line
+//! per [`FlightRecord`], carrying the sequence number, cycle timestamp,
+//! and correlation id, then a payload:
+//!
+//! ```text
+//! ev <seq> <cycles> <corr> tr <kind> <eid> <tcs>       (enclave transition)
+//! ev <seq> <cycles> <corr> k <observation line>        (kernel observation)
+//! ev <seq> <cycles> <corr> he <eid> <vpn>              (handler entry)
+//! ev <seq> <cycles> <corr> fwd <vpn>                   (forward-fetch decision)
+//! ev <seq> <cycles> <corr> cfetch <vpn> <vpns>         (cluster-fetch decision)
+//! ev <seq> <cycles> <corr> evd <vpns>                  (evict decision)
+//! ev <seq> <cycles> <corr> retry <attempt> <backoff>
+//! ev <seq> <cycles> <corr> mis <vpn> <used> <budget> <why...>
+//! ev <seq> <cycles> <corr> shrink <from> <to>          (degrade step)
+//! ev <seq> <cycles> <corr> attack <vpn> <why...>
+//! ev <seq> <cycles> <corr> rlkill
+//! ev <seq> <cycles> <corr> span <kind> <start> <end>
+//! ```
+//!
+//! Free-text `why...` payloads occupy the rest of the line and are
+//! re-joined with single spaces on decode, so round-tripping is exact
+//! for the whitespace-normalized, non-empty reason strings the runtime
+//! emits (which is all of them).
+//!
 //! `f64` rates in [`FaultPlan`] are encoded as IEEE-754 bit patterns in
 //! hex so the round trip is exact, not shortest-decimal approximate.
 
+use autarky_sgx_sim::machine::TransitionKind;
 use autarky_sgx_sim::{AccessKind, EnclaveId, Va, Vpn};
 
 use crate::fault::{FaultKind, FaultPlan, InjectedFault};
+use crate::flight::{FlightEvent, FlightRecord};
 use crate::kernel::Observation;
 
 /// A malformed wire line.
@@ -367,6 +393,165 @@ pub fn decode_fault_plan(line: &str) -> Result<FaultPlan, WireError> {
     Ok(plan)
 }
 
+/// Encode a transition kind (stable one-word tags shared with
+/// `TransitionKind::name`).
+pub fn encode_transition_kind(kind: TransitionKind) -> &'static str {
+    kind.name()
+}
+
+/// Decode a transition kind tag.
+pub fn decode_transition_kind(tag: &str) -> Result<TransitionKind, WireError> {
+    TransitionKind::ALL
+        .into_iter()
+        .find(|&k| k.name() == tag)
+        .ok_or_else(|| WireError {
+            what: "transition kind",
+            line: tag.to_owned(),
+        })
+}
+
+fn rest_of_line(fields: &[&str], line: &str) -> Result<String, WireError> {
+    if fields.is_empty() {
+        return err("empty why", line);
+    }
+    Ok(fields.join(" "))
+}
+
+/// Encode one flight-event payload (the part of an `ev` line after the
+/// seq/cycles/corr header fields).
+pub fn encode_flight_event(event: &FlightEvent) -> String {
+    match event {
+        FlightEvent::Transition { kind, eid, tcs } => {
+            format!("tr {} {} {}", encode_transition_kind(*kind), eid.0, tcs)
+        }
+        FlightEvent::Kernel(obs) => format!("k {}", encode_observation(obs)),
+        FlightEvent::HandlerEntry { eid, vpn } => format!("he {} {}", eid.0, vpn.0),
+        FlightEvent::DecisionForward { vpn } => format!("fwd {}", vpn.0),
+        FlightEvent::DecisionClusterFetch { vpn, pages } => {
+            format!("cfetch {} {}", vpn.0, pages_field(pages))
+        }
+        FlightEvent::DecisionEvict { pages } => format!("evd {}", pages_field(pages)),
+        FlightEvent::Retry {
+            attempt,
+            backoff_cycles,
+        } => format!("retry {attempt} {backoff_cycles}"),
+        FlightEvent::Misbehavior {
+            vpn,
+            used,
+            budget,
+            why,
+        } => format!("mis {} {used} {budget} {why}", vpn.0),
+        FlightEvent::Degrade { from, to } => format!("shrink {from} {to}"),
+        FlightEvent::AttackDetected { vpn, why } => format!("attack {} {why}", vpn.0),
+        FlightEvent::RateLimitKill => "rlkill".to_owned(),
+        FlightEvent::SpanClose {
+            kind,
+            start_cycles,
+            end_cycles,
+        } => format!("span {kind} {start_cycles} {end_cycles}"),
+    }
+}
+
+fn decode_flight_event_fields(fields: &[&str], line: &str) -> Result<FlightEvent, WireError> {
+    let [tag, rest @ ..] = fields else {
+        return err("flight event tag", line);
+    };
+    match (*tag, rest) {
+        ("tr", [kind, eid, tcs]) => Ok(FlightEvent::Transition {
+            kind: decode_transition_kind(kind)?,
+            eid: parse_eid(eid, line)?,
+            tcs: parse_usize(tcs, line)?,
+        }),
+        ("k", obs) => {
+            let joined = obs.join(" ");
+            Ok(FlightEvent::Kernel(decode_observation(&joined)?))
+        }
+        ("he", [eid, vpn]) => Ok(FlightEvent::HandlerEntry {
+            eid: parse_eid(eid, line)?,
+            vpn: Vpn(parse_u64(vpn, line)?),
+        }),
+        ("fwd", [vpn]) => Ok(FlightEvent::DecisionForward {
+            vpn: Vpn(parse_u64(vpn, line)?),
+        }),
+        ("cfetch", [vpn, pages]) => Ok(FlightEvent::DecisionClusterFetch {
+            vpn: Vpn(parse_u64(vpn, line)?),
+            pages: parse_pages(pages, line)?,
+        }),
+        ("evd", [pages]) => Ok(FlightEvent::DecisionEvict {
+            pages: parse_pages(pages, line)?,
+        }),
+        ("retry", [attempt, backoff]) => Ok(FlightEvent::Retry {
+            attempt: parse_u64(attempt, line)?,
+            backoff_cycles: parse_u64(backoff, line)?,
+        }),
+        ("mis", [vpn, used, budget, why @ ..]) => Ok(FlightEvent::Misbehavior {
+            vpn: Vpn(parse_u64(vpn, line)?),
+            used: parse_u64(used, line)?,
+            budget: parse_u64(budget, line)?,
+            why: rest_of_line(why, line)?,
+        }),
+        ("shrink", [from, to]) => Ok(FlightEvent::Degrade {
+            from: parse_u64(from, line)?,
+            to: parse_u64(to, line)?,
+        }),
+        ("attack", [vpn, why @ ..]) => Ok(FlightEvent::AttackDetected {
+            vpn: Vpn(parse_u64(vpn, line)?),
+            why: rest_of_line(why, line)?,
+        }),
+        ("rlkill", []) => Ok(FlightEvent::RateLimitKill),
+        ("span", [kind, start, end]) => Ok(FlightEvent::SpanClose {
+            kind: (*kind).to_owned(),
+            start_cycles: parse_u64(start, line)?,
+            end_cycles: parse_u64(end, line)?,
+        }),
+        _ => err("flight event", line),
+    }
+}
+
+/// Encode one flight record as a single `ev` line (no trailing newline).
+pub fn encode_flight_record(record: &FlightRecord) -> String {
+    format!(
+        "ev {} {} {} {}",
+        record.seq,
+        record.cycles,
+        record.corr,
+        encode_flight_event(&record.event)
+    )
+}
+
+/// Decode one `ev` line.
+pub fn decode_flight_record(line: &str) -> Result<FlightRecord, WireError> {
+    let fields: Vec<&str> = line.split_whitespace().collect();
+    let ["ev", seq, cycles, corr, payload @ ..] = fields.as_slice() else {
+        return err("ev header", line);
+    };
+    Ok(FlightRecord {
+        seq: parse_u64(seq, line)?,
+        cycles: parse_u64(cycles, line)?,
+        corr: parse_u64(corr, line)?,
+        event: decode_flight_event_fields(payload, line)?,
+    })
+}
+
+/// Encode a whole flight log, one record per line.
+pub fn encode_flight_log(records: &[FlightRecord]) -> String {
+    let mut out = String::new();
+    for record in records {
+        out.push_str(&encode_flight_record(record));
+        out.push('\n');
+    }
+    out
+}
+
+/// Decode a flight log (blank lines and `#` comments skipped).
+pub fn decode_flight_log(text: &str) -> Result<Vec<FlightRecord>, WireError> {
+    text.lines()
+        .map(str::trim)
+        .filter(|l| !l.is_empty() && !l.starts_with('#'))
+        .map(decode_flight_record)
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -537,6 +722,136 @@ mod tests {
             "unknown 1 2 3",
         ] {
             assert!(decode_observation(bad).is_err(), "{bad:?} must not decode");
+        }
+    }
+
+    fn random_why(rng: &mut SimRng) -> String {
+        const WORDS: [&str; 8] = [
+            "unexpected",
+            "fault",
+            "on",
+            "pinned",
+            "resident",
+            "page",
+            "under",
+            "policy",
+        ];
+        let n = rng.gen_range_usize(1..5);
+        (0..n)
+            .map(|_| WORDS[rng.gen_range_usize(0..WORDS.len())])
+            .collect::<Vec<_>>()
+            .join(" ")
+    }
+
+    fn random_flight_event(rng: &mut SimRng) -> FlightEvent {
+        match rng.gen_range(0..12) {
+            0 => FlightEvent::Transition {
+                kind: TransitionKind::ALL[rng.gen_range_usize(0..TransitionKind::ALL.len())],
+                eid: EnclaveId(rng.next_u32() >> 8),
+                tcs: rng.gen_range_usize(0..8),
+            },
+            1 => FlightEvent::Kernel(random_observation(rng)),
+            2 => FlightEvent::HandlerEntry {
+                eid: EnclaveId(rng.next_u32() >> 8),
+                vpn: Vpn(rng.next_u64() >> 12),
+            },
+            3 => FlightEvent::DecisionForward {
+                vpn: Vpn(rng.next_u64() >> 12),
+            },
+            4 => FlightEvent::DecisionClusterFetch {
+                vpn: Vpn(rng.next_u64() >> 12),
+                pages: random_pages(rng),
+            },
+            5 => FlightEvent::DecisionEvict {
+                pages: random_pages(rng),
+            },
+            6 => FlightEvent::Retry {
+                attempt: rng.gen_range(1..8),
+                backoff_cycles: rng.next_u64() >> 20,
+            },
+            7 => FlightEvent::Misbehavior {
+                vpn: Vpn(rng.next_u64() >> 12),
+                used: rng.gen_range(1..9),
+                budget: rng.gen_range(1..9),
+                why: random_why(rng),
+            },
+            8 => FlightEvent::Degrade {
+                from: rng.gen_range(8..64),
+                to: rng.gen_range(1..8),
+            },
+            9 => FlightEvent::AttackDetected {
+                vpn: Vpn(rng.next_u64() >> 12),
+                why: random_why(rng),
+            },
+            10 => FlightEvent::RateLimitKill,
+            _ => FlightEvent::SpanClose {
+                kind: ["fault_handler", "ay_fetch_pages", "seal", "retry_backoff"]
+                    [rng.gen_range_usize(0..4)]
+                .to_owned(),
+                start_cycles: rng.next_u64() >> 16,
+                end_cycles: rng.next_u64() >> 16,
+            },
+        }
+    }
+
+    fn random_flight_record(rng: &mut SimRng) -> FlightRecord {
+        FlightRecord {
+            seq: rng.next_u64() >> 16,
+            cycles: rng.next_u64() >> 8,
+            corr: rng.gen_range(0..1000),
+            event: random_flight_event(rng),
+        }
+    }
+
+    #[test]
+    fn flight_record_roundtrip_randomized() {
+        let mut rng = SimRng::seed_from_u64(0xF1_16_47);
+        for case in 0..2000 {
+            let record = random_flight_record(&mut rng);
+            let line = encode_flight_record(&record);
+            let back = decode_flight_record(&line).unwrap_or_else(|e| panic!("case {case}: {e}"));
+            assert_eq!(back, record, "case {case}: {line}");
+        }
+    }
+
+    #[test]
+    fn flight_log_roundtrip_with_comments_and_blanks() {
+        let mut rng = SimRng::seed_from_u64(0x10_6B00C);
+        let log: Vec<FlightRecord> = (0..80).map(|_| random_flight_record(&mut rng)).collect();
+        let mut text = String::from("# flight log\n\n");
+        text.push_str(&encode_flight_log(&log));
+        assert_eq!(decode_flight_log(&text).expect("decode"), log);
+    }
+
+    #[test]
+    fn transition_kind_roundtrip_exhaustive() {
+        for kind in TransitionKind::ALL {
+            assert_eq!(
+                decode_transition_kind(encode_transition_kind(kind)).expect("decode"),
+                kind
+            );
+        }
+        assert!(decode_transition_kind("warp").is_err());
+    }
+
+    #[test]
+    fn malformed_flight_lines_are_rejected_not_panicked() {
+        for bad in [
+            "",
+            "ev",
+            "ev 1 2",
+            "ev 1 2 3",
+            "ev 1 2 3 tr bogus 1 0",
+            "ev 1 2 3 k unknown 1",
+            "ev 1 2 3 mis 4 1 8",
+            "ev 1 2 3 attack 4",
+            "ev x 2 3 rlkill",
+            "ev 1 2 3 span fault_handler 10",
+        ] {
+            assert!(
+                decode_flight_record(bad).is_err(),
+                "{bad:?} must not decode"
+            );
         }
     }
 }

@@ -312,32 +312,53 @@ fn syscalls_are_observable() {
         .any(|o| matches!(o, Observation::FetchSyscall { pages, .. } if pages == &[page])));
 }
 
-/// The deprecated drain API keeps its documented semantics while it
-/// lives: draining advances the cursor base, so marks taken before the
-/// drain stay valid and see only post-drain events.
+/// The observation stream is append-only and cursor reads are
+/// non-draining: a mark sees exactly the events recorded after it was
+/// taken, repeated reads return the same slice, and older marks keep
+/// strictly larger views — nothing a consumer does can steal events
+/// from another.
 #[test]
-#[allow(deprecated)]
-fn deprecated_drain_keeps_cursor_marks_valid() {
+fn cursor_reads_are_repeatable_and_non_draining() {
     let mut os = os_with_frames(128);
-    let img = small_image("drain", true);
+    let img = small_image("cursor", true);
     let eid = os.load_enclave(&img).expect("load");
     let page = img.data_start();
+    let early_mark = os.observation_mark();
     os.ay_set_enclave_managed(eid, &[page]).expect("claim");
     let mark = os.observation_mark();
     os.ay_evict_pages(eid, &[page]).expect("evict");
-    let drained = os.take_observations();
-    assert!(!drained.is_empty(), "the evict was drained");
-    assert!(
-        os.observations_since(mark).is_empty(),
-        "everything before the drain is gone"
-    );
     os.ay_fetch_pages(eid, &[page]).expect("fetch");
+
+    // A mark sees only post-mark events.
+    let since = os.observations_since(mark).to_vec();
     assert!(
-        os.observations_since(mark)
+        !since
             .iter()
-            .any(|o| matches!(o, Observation::FetchSyscall { .. })),
-        "the pre-drain mark still resolves against post-drain events"
+            .any(|o| matches!(o, Observation::SetEnclaveManaged { .. })),
+        "pre-mark events are invisible through the mark"
     );
+    assert!(since
+        .iter()
+        .any(|o| matches!(o, Observation::EvictSyscall { .. })));
+    assert!(since
+        .iter()
+        .any(|o| matches!(o, Observation::FetchSyscall { .. })));
+
+    // Reads are repeatable (non-draining) and independent per consumer.
+    assert_eq!(os.observations_since(mark), since.as_slice());
+    let early = os.observations_since(early_mark);
+    assert!(
+        early.len() > since.len(),
+        "an older mark sees a strict superset"
+    );
+    assert_eq!(&early[early.len() - since.len()..], since.as_slice());
+
+    // A fresh mark equals the stream length; beyond-the-end marks are
+    // clamped to empty rather than panicking.
+    assert_eq!(os.observation_mark(), os.observations().len() as u64);
+    assert!(os
+        .observations_since(os.observation_mark() + 1000)
+        .is_empty());
 }
 
 #[test]

@@ -22,11 +22,11 @@
 use std::collections::{HashMap, VecDeque};
 
 use autarky_crypto::aead::{self, NONCE_LEN, TAG_LEN};
-use autarky_os_sim::{FaultDisposition, Os, OsError};
+use autarky_os_sim::{FaultDisposition, FlightEvent, Os, OsError};
 use autarky_sgx_sim::{
     AccessError, CostTag, EnclaveId, FaultCause, Perms, SgxError, Va, Vpn, PAGE_SIZE,
 };
-use autarky_telemetry::{SpanKind, Telemetry};
+use autarky_telemetry::{SpanGuard, SpanKind, Telemetry};
 
 use crate::cluster::ClusterMap;
 use crate::error::RtError;
@@ -472,39 +472,53 @@ impl Runtime {
             AccessError::Fatal(e) => Err(RtError::Sgx(e)),
             AccessError::Fault(ev) if ev.elided => {
                 // Proposed hardware optimization: we are already "in" the
-                // handler; no AEX, no OS, no transitions.
+                // handler; no AEX, no OS, no transitions. The kernel never
+                // sees this fault, so open the correlation chain here.
+                let began = os.flight_begin_chain_if_idle();
                 let outcome = self.handle_fault(os);
-                os.machine.pop_ssa(self.eid, self.tcs)?;
+                let popped = os.machine.pop_ssa(self.eid, self.tcs);
+                if began {
+                    os.flight_end_chain();
+                }
+                popped?;
                 outcome
             }
             AccessError::Fault(ev) => {
-                match os.on_fault(ev) {
+                // `on_fault` opens the correlation chain before it records
+                // the masked observation; close it once the full handler
+                // round trip (including the resuming transitions) is done.
+                let result = match os.on_fault(ev) {
                     Err(OsError::Suspended(_)) if os.has_pending_injected_resume() => {
                         // An injected whole-enclave suspend landed between
                         // the access and the fault report. The OS resumes
                         // suspended enclaves at its next convenience (the
                         // driver does so on syscall entry); model that
                         // resume here and let the access loop retry.
-                        os.resume_injected_suspend()?;
-                        Ok(())
+                        os.resume_injected_suspend().map_err(RtError::from)
                     }
                     Err(e) => Err(e.into()),
                     Ok(FaultDisposition::Resumed) => Ok(()), // legacy silent path
                     Ok(FaultDisposition::HandlerRequired) => {
-                        let outcome = self.handle_fault(os);
+                        let mut outcome = self.handle_fault(os);
                         if outcome.is_ok() {
-                            if os.machine.elide_handler_invocation() {
+                            let hop = if os.machine.elide_handler_invocation() {
                                 // "No upcall" variant (Table 2): in-enclave
                                 // resume pops the SSA without EEXIT+ERESUME.
-                                os.machine.pop_ssa(self.eid, self.tcs)?;
+                                os.machine.pop_ssa(self.eid, self.tcs)
                             } else {
-                                os.machine.eexit(self.eid, self.tcs)?;
-                                os.machine.eresume(self.eid, self.tcs)?;
+                                os.machine
+                                    .eexit(self.eid, self.tcs)
+                                    .and_then(|()| os.machine.eresume(self.eid, self.tcs))
+                            };
+                            if let Err(e) = hop {
+                                outcome = Err(e.into());
                             }
                         }
                         outcome
                     }
-                }
+                };
+                os.flight_end_chain();
+                result
             }
         }
     }
@@ -520,7 +534,7 @@ impl Runtime {
             .telemetry
             .enter(SpanKind::FaultHandler, os.machine.clock.now());
         let outcome = self.handle_fault_inner(os);
-        self.telemetry.exit(guard, os.machine.clock.now());
+        self.span_close(os, guard);
         outcome
     }
 
@@ -539,6 +553,9 @@ impl Runtime {
             }
         };
         let vpn = info.va.vpn();
+        if os.flight_armed() {
+            os.flight_record(FlightEvent::HandlerEntry { eid: self.eid, vpn });
+        }
 
         // Cleared accessed/dirty bits can only come from the OS: benign
         // mappings are always installed with them preset.
@@ -553,6 +570,9 @@ impl Runtime {
                 if !self.ratelimit_admit(os) {
                     return self.kill_rate_limited(os);
                 }
+                if os.flight_armed() {
+                    os.flight_record(FlightEvent::DecisionForward { vpn });
+                }
                 // A silently dropped fetch would otherwise spin
                 // fault→fetch→fault forever, so verify the result.
                 let mut rounds = 0u32;
@@ -562,7 +582,7 @@ impl Runtime {
                         .enter(SpanKind::AyFetchPages, os.machine.clock.now());
                     let fetched =
                         self.with_retries(os, true, |os, eid| os.ay_fetch_pages(eid, &[vpn]));
-                    self.telemetry.exit(guard, os.machine.clock.now());
+                    self.span_close(os, guard);
                     self.telemetry.hist_record("fetch_batch_pages", 1);
                     fetched?;
                     if !self.config.harden.verify_fetches || os.machine.is_resident(self.eid, vpn) {
@@ -600,6 +620,12 @@ impl Runtime {
                     .into_iter()
                     .filter(|p| self.tracked.get(p) == Some(&PageState::Evicted))
                     .collect();
+                if os.flight_armed() {
+                    os.flight_record(FlightEvent::DecisionClusterFetch {
+                        vpn,
+                        pages: fetch.clone(),
+                    });
+                }
                 self.make_room(os, fetch.len())?;
                 self.fetch_pages(os, &fetch)?;
                 Ok(())
@@ -613,11 +639,32 @@ impl Runtime {
             .telemetry
             .enter(SpanKind::RatelimitDecision, os.machine.clock.now());
         let admitted = self.limiter.on_fault();
-        self.telemetry.exit(guard, os.machine.clock.now());
+        self.span_close(os, guard);
         admitted
     }
 
+    /// Close a telemetry span, mirroring the closure into the flight log
+    /// (when armed) so a timeline row can be linked back to the telemetry
+    /// aggregate that timed the same interval.
+    fn span_close(&mut self, os: &mut Os, guard: SpanGuard) {
+        let now = os.machine.clock.now();
+        if os.flight_armed() {
+            os.flight_record(FlightEvent::SpanClose {
+                kind: guard.kind().name().to_owned(),
+                start_cycles: guard.start_cycles(),
+                end_cycles: now,
+            });
+        }
+        self.telemetry.exit(guard, now);
+    }
+
     fn attack(&mut self, os: &mut Os, vpn: Vpn, why: &'static str) -> Result<(), RtError> {
+        if os.flight_armed() {
+            os.flight_record(FlightEvent::AttackDetected {
+                vpn,
+                why: why.to_owned(),
+            });
+        }
         self.terminated = true;
         self.telemetry.incr("attack_detected");
         os.machine.terminate(self.eid)?;
@@ -625,6 +672,9 @@ impl Runtime {
     }
 
     fn kill_rate_limited(&mut self, os: &mut Os) -> Result<(), RtError> {
+        if os.flight_armed() {
+            os.flight_record(FlightEvent::RateLimitKill);
+        }
         self.terminated = true;
         self.telemetry.incr("rate_limit_kills");
         os.machine.terminate(self.eid)?;
@@ -681,6 +731,14 @@ impl Runtime {
         if pages.is_empty() {
             return Ok(());
         }
+        // Direct callers (microbenchmarks) enter outside any fault chain;
+        // open one so the eviction's records still correlate.
+        let began = os.flight_begin_chain_if_idle();
+        if os.flight_armed() {
+            os.flight_record(FlightEvent::DecisionEvict {
+                pages: pages.to_vec(),
+            });
+        }
         let guard = self
             .telemetry
             .enter(SpanKind::AyEvictPages, os.machine.clock.now());
@@ -688,10 +746,13 @@ impl Runtime {
             PagingMechanism::Sgx1 => self.hw_evict(os, pages),
             PagingMechanism::Sgx2 => self.sw_evict(os, pages),
         };
-        self.telemetry.exit(guard, os.machine.clock.now());
+        self.span_close(os, guard);
         self.telemetry
             .hist_record("evict_batch_pages", pages.len() as u64);
         self.sync_tracking(os, pages);
+        if began {
+            os.flight_end_chain();
+        }
         result?;
         self.stats.pages_evicted += pages.len() as u64;
         self.telemetry.add("pages_evicted", pages.len() as u64);
@@ -708,6 +769,7 @@ impl Runtime {
         if pages.is_empty() {
             return Ok(());
         }
+        let began = os.flight_begin_chain_if_idle();
         let guard = self
             .telemetry
             .enter(SpanKind::AyFetchPages, os.machine.clock.now());
@@ -715,10 +777,13 @@ impl Runtime {
             PagingMechanism::Sgx1 => self.hw_fetch(os, pages),
             PagingMechanism::Sgx2 => self.sw_fetch(os, pages),
         };
-        self.telemetry.exit(guard, os.machine.clock.now());
+        self.span_close(os, guard);
         self.telemetry
             .hist_record("fetch_batch_pages", pages.len() as u64);
         self.sync_tracking(os, pages);
+        if began {
+            os.flight_end_chain();
+        }
         result?;
         self.stats.pages_fetched += pages.len() as u64;
         self.telemetry.add("pages_fetched", pages.len() as u64);
@@ -833,7 +898,7 @@ impl Runtime {
                 os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64,
             );
             let blob = sw_seal(&self.sealing_key, vpn, version, &contents);
-            self.telemetry.exit(guard, os.machine.clock.now());
+            self.span_close(os, guard);
             os.sys_untrusted_write(blob_key(self.eid.0, vpn), blob);
             os.machine.emodt_trim(self.eid, vpn)?;
             os.machine.eaccept(self.eid, vpn)?;
@@ -862,7 +927,7 @@ impl Runtime {
                 os.machine.costs.sw_crypto_per_byte * PAGE_SIZE as u64,
             );
             let contents = sw_open(&self.sealing_key, vpn, version, &blob);
-            self.telemetry.exit(guard, os.machine.clock.now());
+            self.span_close(os, guard);
             let contents = contents.ok_or(RtError::SealBroken(vpn))?;
             self.with_retries(os, true, |os, eid| {
                 if os.machine.is_resident(eid, vpn) {
@@ -928,7 +993,13 @@ impl Runtime {
             CostTag::Runtime,
             self.config.harden.backoff_base_cycles << shift,
         );
-        self.telemetry.exit(guard, os.machine.clock.now());
+        self.span_close(os, guard);
+        if os.flight_armed() {
+            os.flight_record(FlightEvent::Retry {
+                attempt: u64::from(attempt),
+                backoff_cycles: self.config.harden.backoff_base_cycles << shift,
+            });
+        }
         self.telemetry.incr("retries");
         self.telemetry.hist_record("retry_attempt", attempt as u64);
     }
@@ -955,6 +1026,12 @@ impl Runtime {
         }
         self.stats.degradations += 1;
         self.telemetry.incr("degradations");
+        if os.flight_armed() {
+            os.flight_record(FlightEvent::Degrade {
+                from: current as u64,
+                to: target as u64,
+            });
+        }
         self.shrink_budget(os, target)
     }
 
@@ -971,6 +1048,14 @@ impl Runtime {
         self.misbehavior += 1;
         self.stats.misbehavior += 1;
         self.telemetry.incr("misbehavior");
+        if os.flight_armed() {
+            os.flight_record(FlightEvent::Misbehavior {
+                vpn,
+                used: u64::from(self.misbehavior),
+                budget: u64::from(self.config.harden.misbehavior_budget),
+                why: why.to_owned(),
+            });
+        }
         if self.misbehavior > self.config.harden.misbehavior_budget {
             return self.attack(os, vpn, why);
         }
@@ -1078,6 +1163,17 @@ impl Runtime {
         if vpn.0 < self.heap.allocated_until {
             return Ok(());
         }
+        // Allocation happens outside any fault chain; correlate the
+        // make-room evictions and retries it triggers under one chain.
+        let began = os.flight_begin_chain_if_idle();
+        let result = self.ensure_heap_page_inner(os, vpn);
+        if began {
+            os.flight_end_chain();
+        }
+        result
+    }
+
+    fn ensure_heap_page_inner(&mut self, os: &mut Os, vpn: Vpn) -> Result<(), RtError> {
         // Lazy allocation: EAUG + EACCEPT, under the budget. Legacy
         // enclaves allocate the same way (Graphene-on-SGXv2 behaviour)
         // but their pages stay OS-managed and untracked.
@@ -1137,7 +1233,7 @@ impl Runtime {
             os.machine.costs.sw_crypto_per_byte * snapshot.len() as u64,
         );
         let blob = seal_snapshot(&self.export_key, epoch, &snapshot);
-        self.telemetry.exit(guard, os.machine.clock.now());
+        self.span_close(os, guard);
         os.sys_untrusted_write(telemetry_export_key(self.eid.0, epoch), blob);
         self.telemetry.incr("epochs_exported");
         Ok(())

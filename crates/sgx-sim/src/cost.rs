@@ -163,10 +163,14 @@ pub enum CostTag {
     Injected = 9,
     /// Uncategorized (plain `Clock::charge`, data copies).
     Other = 10,
+    /// Flight-recorder event capture: the recorder's own observer effect,
+    /// charged per recorded event so record/replay artifacts account for
+    /// the cycles the instrumentation itself consumed.
+    Recorder = 11,
 }
 
 /// Number of [`CostTag`] categories.
-pub const COST_TAGS: usize = 11;
+pub const COST_TAGS: usize = 12;
 
 impl CostTag {
     /// All tags, in discriminant order.
@@ -182,6 +186,7 @@ impl CostTag {
         CostTag::Oram,
         CostTag::Injected,
         CostTag::Other,
+        CostTag::Recorder,
     ];
 
     /// Stable display name.
@@ -198,6 +203,7 @@ impl CostTag {
             CostTag::Oram => "oram",
             CostTag::Injected => "injected",
             CostTag::Other => "other",
+            CostTag::Recorder => "recorder",
         }
     }
 }

@@ -51,6 +51,9 @@ pub use cost::{Clock, CostModel, CostTag, CLOCK_HZ, COST_TAGS};
 pub use enclave::{Attributes, Secs, SsaExInfo};
 pub use epc::{PageType, Perms};
 pub use error::{AccessKind, FaultCause, FaultEvent, SgxError};
-pub use machine::{AccessError, Machine, MachineConfig, MachineStats};
+pub use machine::{
+    AccessError, Machine, MachineConfig, MachineStats, TransitionEvent, TransitionKind,
+    TRANSITION_KINDS,
+};
 pub use pagetable::{PageTable, Pte};
 pub use seal::SealedPage;

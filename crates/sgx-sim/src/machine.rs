@@ -45,6 +45,70 @@ impl From<SgxError> for AccessError {
     }
 }
 
+/// Kind of enclave transition captured by the (opt-in) transition log.
+///
+/// Flight-recorder material: when transition recording is armed (see
+/// [`Machine::set_transition_recording`]), every enclave entry/exit event
+/// appends a [`TransitionEvent`] that higher layers drain into their
+/// causal event log.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TransitionKind {
+    /// `EENTER`: host-to-enclave entry (handler invocation).
+    Eenter,
+    /// `EEXIT`: enclave-to-host exit.
+    Eexit,
+    /// Asynchronous enclave exit (fault delivery to the OS).
+    Aex,
+    /// `ERESUME`: successful resume from the saved SSA context.
+    Eresume,
+    /// `ERESUME` refused because the Autarky pending-exception flag was
+    /// still set (§5.1.3) — the observable edge that forces the OS to
+    /// re-enter through the fault handler.
+    ResumeBlocked,
+    /// SSA frame popped in-enclave without `ERESUME` (elided-AEX path).
+    PopSsa,
+}
+
+/// Number of [`TransitionKind`] variants.
+pub const TRANSITION_KINDS: usize = 6;
+
+impl TransitionKind {
+    /// All kinds, in a stable order (wire codec + exhaustive tests).
+    pub const ALL: [TransitionKind; TRANSITION_KINDS] = [
+        TransitionKind::Eenter,
+        TransitionKind::Eexit,
+        TransitionKind::Aex,
+        TransitionKind::Eresume,
+        TransitionKind::ResumeBlocked,
+        TransitionKind::PopSsa,
+    ];
+
+    /// Stable display name (also the wire tag).
+    pub fn name(self) -> &'static str {
+        match self {
+            TransitionKind::Eenter => "eenter",
+            TransitionKind::Eexit => "eexit",
+            TransitionKind::Aex => "aex",
+            TransitionKind::Eresume => "eresume",
+            TransitionKind::ResumeBlocked => "blocked",
+            TransitionKind::PopSsa => "popssa",
+        }
+    }
+}
+
+/// One recorded enclave transition (see [`TransitionKind`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TransitionEvent {
+    /// What happened.
+    pub kind: TransitionKind,
+    /// Enclave the transition belongs to.
+    pub eid: EnclaveId,
+    /// TCS slot involved.
+    pub tcs: usize,
+    /// Simulated-cycle timestamp when the transition was recorded.
+    pub cycles: u64,
+}
+
 /// Aggregate event counters, used by the evaluation harness.
 #[derive(Debug, Default, Clone)]
 pub struct MachineStats {
@@ -125,6 +189,10 @@ pub struct Machine {
     frame_index: HashMap<(EnclaveId, Vpn), Frame>,
     elide_aex: bool,
     elide_handler_invocation: bool,
+    /// Opt-in transition log (flight-recorder feed); empty and free when
+    /// recording is off.
+    transitions: Vec<TransitionEvent>,
+    record_transitions: bool,
 }
 
 impl Machine {
@@ -143,6 +211,39 @@ impl Machine {
             frame_index: HashMap::new(),
             elide_aex: config.elide_aex,
             elide_handler_invocation: config.elide_handler_invocation,
+            transitions: Vec::new(),
+            record_transitions: false,
+        }
+    }
+
+    /// Arm or disarm the enclave-transition log. While armed, every
+    /// `EENTER`/`EEXIT`/`ERESUME`/AEX/blocked-resume/SSA-pop appends a
+    /// [`TransitionEvent`] for the flight recorder to drain.
+    pub fn set_transition_recording(&mut self, on: bool) {
+        self.record_transitions = on;
+        if !on {
+            self.transitions.clear();
+        }
+    }
+
+    /// Whether the transition log is armed.
+    pub fn transition_recording(&self) -> bool {
+        self.record_transitions
+    }
+
+    /// Drain all transitions recorded since the last drain.
+    pub fn take_transitions(&mut self) -> Vec<TransitionEvent> {
+        std::mem::take(&mut self.transitions)
+    }
+
+    fn note_transition(&mut self, kind: TransitionKind, eid: EnclaveId, tcs: usize) {
+        if self.record_transitions {
+            self.transitions.push(TransitionEvent {
+                kind,
+                eid,
+                tcs,
+                cycles: self.clock.now(),
+            });
         }
     }
 
@@ -370,6 +471,7 @@ impl Machine {
         self.stats.eenters += 1;
         self.clock.charge_tagged(CostTag::HandlerInvocation, cost);
         self.tlb.flush_all();
+        self.note_transition(TransitionKind::Eenter, eid, tcs);
         Ok(())
     }
 
@@ -381,6 +483,7 @@ impl Machine {
         t.active = false;
         self.clock.charge_tagged(CostTag::HandlerInvocation, cost);
         self.tlb.flush_all();
+        self.note_transition(TransitionKind::Eexit, eid, tcs);
         Ok(())
     }
 
@@ -397,6 +500,7 @@ impl Machine {
         }
         let t = state.tcs.get_mut(tcs).ok_or(SgxError::BadTcs(tcs))?;
         if t.pending_exception {
+            self.note_transition(TransitionKind::ResumeBlocked, eid, tcs);
             return Err(SgxError::ResumeBlocked);
         }
         if t.ssa.pop().is_none() {
@@ -406,6 +510,7 @@ impl Machine {
         self.stats.eresumes += 1;
         self.clock.charge_tagged(CostTag::Preemption, cost);
         self.tlb.flush_all();
+        self.note_transition(TransitionKind::Eresume, eid, tcs);
         Ok(())
     }
 
@@ -844,6 +949,7 @@ impl Machine {
         self.tlb.flush_all();
         self.clock
             .charge_tagged(CostTag::OsKernel, self.costs.os_fault_handler);
+        self.note_transition(TransitionKind::Aex, eid, tcs);
 
         let (reported_va, reported_kind) = if self_paging {
             // §5.1.2: hide the address and access type; report a read fault
@@ -870,6 +976,7 @@ impl Machine {
         if t.ssa.pop().is_none() {
             return Err(SgxError::LifecycleViolation);
         }
+        self.note_transition(TransitionKind::PopSsa, eid, tcs);
         Ok(())
     }
 

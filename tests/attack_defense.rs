@@ -589,3 +589,93 @@ fn leakage_audit_quantifies_the_channel() {
     );
     assert!(report.pass, "both gates hold");
 }
+
+// ------------------------------------------------------------------
+// Forensics: the flight recorder names the injected fault as the
+// causal root of an attack verdict.
+// ------------------------------------------------------------------
+
+#[test]
+fn forensic_timeline_names_injected_fault_as_attack_root() {
+    use autarky::os::flight::{causal_root_of_attack, render_timeline};
+    use autarky::os::{FlightEvent, InjectedFault};
+
+    let (mut world, mut heap) = build(
+        "forensics",
+        Profile::Clusters {
+            pages_per_cluster: 1,
+        },
+    );
+    world.os.arm_flight_recorder(4096);
+    let ptr = heap.alloc(&mut world, PAGE_SIZE).expect("alloc");
+    heap.write_u64(&mut world, ptr, 7).expect("touch");
+    let vpn = Vpn(ptr.0 >> 12);
+
+    // A hostile OS that spuriously evicts exactly one pinned page on the
+    // next driver call, then goes quiet. The victim is the
+    // lowest-numbered resident enclave-managed page.
+    world.os.arm_fault_plan(FaultPlan {
+        spurious_evict: 1.0,
+        max_injections: Some(1),
+        ..FaultPlan::quiescent(9)
+    });
+    world
+        .rt
+        .evict_pages(&mut world.os, &[vpn])
+        .expect("the legitimate eviction itself succeeds");
+
+    // The flight log already names the victim page (this is forensics:
+    // the test reads the recorder the way an operator would).
+    let victim = world
+        .os
+        .flight_snapshot()
+        .iter()
+        .find_map(|r| match &r.event {
+            FlightEvent::Kernel(Observation::FaultInjected {
+                fault: InjectedFault::SpuriousEvict { vpn },
+                ..
+            }) => Some(*vpn),
+            _ => None,
+        })
+        .expect("the spurious eviction was recorded");
+
+    // The victim is a page the runtime believes resident; touching it
+    // faults, the fault is unexplainable, and the defense fires.
+    let err = world
+        .rt
+        .exec(&mut world.os, Va(victim.0 << 12))
+        .expect_err("detected");
+    assert!(matches!(err, RtError::AttackDetected { .. }), "{err}");
+
+    let recorder = world
+        .os
+        .disarm_flight_recorder()
+        .expect("recorder was armed");
+    let records = recorder.snapshot();
+
+    // The reconstruction must resolve the verdict to the injection.
+    let (attack, root) = causal_root_of_attack(&records).expect("causal root exists");
+    assert!(matches!(attack.event, FlightEvent::AttackDetected { .. }));
+    let spurious_vpn = match &root.event {
+        FlightEvent::Kernel(Observation::FaultInjected {
+            fault: InjectedFault::SpuriousEvict { vpn },
+            ..
+        }) => *vpn,
+        other => panic!("root is not the injected spurious eviction: {other:?}"),
+    };
+    match &attack.event {
+        FlightEvent::AttackDetected { vpn, .. } => {
+            assert_eq!(*vpn, spurious_vpn, "verdict names the injected page")
+        }
+        other => panic!("{other:?}"),
+    }
+
+    // And the rendered post-mortem says so in as many words.
+    let report = render_timeline(&records, 50);
+    assert!(
+        report.contains("Causal root of the attack verdict"),
+        "{report}"
+    );
+    assert!(report.contains("INJECTED FAULT"), "{report}");
+    assert!(report.contains("ATTACK DETECTED"), "{report}");
+}
