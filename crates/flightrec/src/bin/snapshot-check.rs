@@ -1,0 +1,154 @@
+//! The CI checkpoint/restore gate, two halves:
+//!
+//! * **restore-determinism** — for every paging policy × incremental
+//!   workload, run the schedule uninterrupted and again with a mid-run
+//!   snapshot → host crash → failover restore, and fail on any flight-log
+//!   or telemetry divergence (a successful restore must be
+//!   architecturally invisible);
+//! * **rollback-attack** — across many seeds, stage the four
+//!   rollback-family attacks (stale, fork, truncated, counter-rollback)
+//!   and fail unless every one is refused, recorded as `AttackDetected`,
+//!   and attributed to the staged injection by the forensics pass.
+//!
+//! ```text
+//! snapshot-check [--mode determinism|rollback|all] [--seeds N] [--forensics out.md]
+//! ```
+//!
+//! On failure the post-mortem (divergence report or the failover host's
+//! forensics timeline) is written to `--forensics` so CI can upload it.
+
+use std::process::ExitCode;
+
+use autarky_flightrec::{
+    render_divergence, rollback_attack_run, verify_restore_replay, RollbackScenario, Schedule,
+};
+use autarky_os_sim::flight::render_timeline;
+
+fn main() -> ExitCode {
+    let mut mode = "all".to_owned();
+    let mut seeds: u64 = 20;
+    let mut forensics_out: Option<String> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        let mut value = |flag: &str| {
+            args.next()
+                .unwrap_or_else(|| die(&format!("{flag} needs a value")))
+        };
+        match arg.as_str() {
+            "--mode" => mode = value("--mode"),
+            "--seeds" => {
+                seeds = value("--seeds")
+                    .parse()
+                    .unwrap_or_else(|_| die("--seeds needs a number"));
+            }
+            "--forensics" => forensics_out = Some(value("--forensics")),
+            "--help" | "-h" => {
+                println!(
+                    "usage: snapshot-check [--mode determinism|rollback|all] [--seeds N] \
+                     [--forensics out.md]"
+                );
+                return ExitCode::SUCCESS;
+            }
+            other => die(&format!("unknown argument: {other}")),
+        }
+    }
+    if !matches!(mode.as_str(), "determinism" | "rollback" | "all") {
+        die(&format!("unknown mode: {mode}"));
+    }
+
+    let mut failures = Vec::new();
+
+    if mode != "rollback" {
+        for schedule in Schedule::restore_matrix() {
+            let label = format!("{}/{}", schedule.policy.name(), schedule.workload.name());
+            let verdict = verify_restore_replay(&schedule);
+            if verdict.deterministic() {
+                println!(
+                    "snapshot-check {label}: restore-deterministic \
+                     ({} events, {} telemetry bytes, outcome {})",
+                    verdict.record.records.len(),
+                    verdict.record.telemetry_snapshot.len(),
+                    verdict.record.outcome
+                );
+                continue;
+            }
+            eprintln!(
+                "snapshot-check {label}: FAILED (log identical: {}, telemetry identical: {}, \
+                 outcome identical: {}, decisions resolved: {})",
+                verdict.log_identical,
+                verdict.telemetry_identical,
+                verdict.outcome_identical,
+                verdict.decisions_resolved
+            );
+            let mut report = format!("# Restore determinism failure: {label}\n\n");
+            report.push_str(&format!(
+                "Uninterrupted run vs snapshot/crash/restore run.\n\nSchedule:\n\n```\n{}```\n\n",
+                verdict.schedule.to_text()
+            ));
+            if let Some(div) = &verdict.divergence {
+                report.push_str(&render_divergence(
+                    div,
+                    &verdict.record.log_text,
+                    &verdict.replay.log_text,
+                ));
+                report.push('\n');
+            }
+            report.push_str(&render_timeline(&verdict.record.records, 50));
+            failures.push(report);
+        }
+    }
+
+    if mode != "determinism" {
+        let mut detected = 0u64;
+        for seed in 0..seeds {
+            let scenario = RollbackScenario::ALL[(seed % 4) as usize];
+            let outcome = rollback_attack_run(seed, scenario);
+            if outcome.detected() {
+                detected += 1;
+                continue;
+            }
+            eprintln!(
+                "snapshot-check rollback seed {seed} ({}): FAILED \
+                 (refused: {}, verdict recorded: {}, root attributed: {}, error: {})",
+                scenario.name(),
+                outcome.restore_failed,
+                outcome.attack_recorded,
+                outcome.root_names_injection,
+                outcome.error
+            );
+            let mut report = format!(
+                "# Rollback attack not detected: seed {seed}, scenario {}\n\n\
+                 refused: {}, verdict recorded: {}, root attributed: {}, error: `{}`\n\n",
+                scenario.name(),
+                outcome.restore_failed,
+                outcome.attack_recorded,
+                outcome.root_names_injection,
+                outcome.error
+            );
+            report.push_str(&render_timeline(&outcome.records, 50));
+            failures.push(report);
+        }
+        println!("snapshot-check rollback: {detected}/{seeds} staged attacks detected");
+    }
+
+    if failures.is_empty() {
+        return ExitCode::SUCCESS;
+    }
+    let report = failures.join("\n\n---\n\n");
+    match &forensics_out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, &report) {
+                die(&format!("cannot write {path}: {e}"));
+            }
+            eprintln!("snapshot-check: wrote post-mortem to {path}");
+        }
+        None => eprint!("{report}"),
+    }
+    ExitCode::FAILURE
+}
+
+fn die(message: &str) -> ! {
+    eprintln!("error: {message}");
+    std::process::exit(2);
+}

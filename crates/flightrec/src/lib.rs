@@ -28,8 +28,13 @@
 
 pub mod diff;
 pub mod replay;
+pub mod restore;
 pub mod schedule;
 
 pub use diff::{first_divergence, render_divergence, Divergence};
-pub use replay::{record_run, verify_replay, ReplayVerdict, RunArtifacts, RECORDER_CAPACITY};
+pub use replay::{
+    crash_and_restore, record_run, record_run_with_capacity, record_run_with_restore,
+    verify_replay, verify_restore_replay, ReplayVerdict, RunArtifacts, RECORDER_CAPACITY,
+};
+pub use restore::{rollback_attack_run, RollbackOutcome, RollbackScenario};
 pub use schedule::{Schedule, SchedulePolicy, ScheduleWorkload};

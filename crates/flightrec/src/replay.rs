@@ -13,8 +13,10 @@
 use autarky::{Profile, SystemBuilder};
 use autarky_os_sim::flight::decisions_resolved;
 use autarky_os_sim::wire::encode_flight_log;
-use autarky_os_sim::FlightRecord;
+use autarky_os_sim::{FlightRecord, Os};
 use autarky_runtime::RtError;
+use autarky_sgx_sim::machine::MachineConfig;
+use autarky_sgx_sim::MonotonicCounter;
 use autarky_workloads::{font, jpeg, kvstore, spell, EncHeap, World};
 
 use crate::diff::{first_divergence, Divergence};
@@ -83,9 +85,32 @@ impl ReplayVerdict {
 /// the workload (arming the fault plan after setup), and capture the
 /// artifacts.
 pub fn record_run(schedule: &Schedule) -> RunArtifacts {
+    record_run_inner(schedule, RECORDER_CAPACITY, false)
+}
+
+/// [`record_run`] with an explicit flight-ring capacity, for exercising
+/// the ring's overwrite-oldest overflow path: a saturated ring must drop
+/// deterministically (same `dropped` count, same surviving suffix) so
+/// post-mortems of long runs stay replayable.
+pub fn record_run_with_capacity(schedule: &Schedule, capacity: usize) -> RunArtifacts {
+    record_run_inner(schedule, capacity, false)
+}
+
+/// Record one run of `schedule`, interrupting the secret phase at its
+/// midpoint with a sealed snapshot, a host crash, and a restore onto a
+/// freshly booted machine. The tentpole determinism claim: the returned
+/// artifacts are byte-identical to an uninterrupted [`record_run`],
+/// because a successful snapshot/restore cycle records nothing and
+/// charges no cycles — the machine was simply off.
+pub fn record_run_with_restore(schedule: &Schedule) -> RunArtifacts {
+    record_run_inner(schedule, RECORDER_CAPACITY, true)
+}
+
+fn record_run_inner(schedule: &Schedule, capacity: usize, restore_midway: bool) -> RunArtifacts {
     let (mut world, mut heap) = build_world(schedule);
-    world.os.arm_flight_recorder(RECORDER_CAPACITY);
-    let outcome = match run_workload(schedule, &mut world, &mut heap) {
+    world.os.arm_flight_recorder(capacity);
+    let mut hook: Option<MidHook> = restore_midway.then_some(crash_and_restore as MidHook);
+    let outcome = match run_workload_hooked(schedule, &mut world, &mut heap, &mut hook) {
         Ok(()) => "ok".to_owned(),
         Err(e) => format!("err: {e}"),
     };
@@ -104,10 +129,49 @@ pub fn record_run(schedule: &Schedule) -> RunArtifacts {
     }
 }
 
+/// A mid-workload interruption: called once, at the midpoint of the
+/// secret phase, between operations (so correlation chains are closed
+/// and machine transitions drained).
+type MidHook = fn(&mut World);
+
+/// Snapshot the enclave, crash the host, boot a failover host that
+/// adopts the enclave's untrusted OS-side state (backing store, fault
+/// injector, flight recorder), and restore from the sealed blob.
+///
+/// Panics on any failure: in the replay harness the snapshot cycle is
+/// the happy path, and a failure here is a harness or codec bug, not a
+/// simulated attack.
+pub fn crash_and_restore(world: &mut World) {
+    let mut counter = MonotonicCounter::new(world.os.machine.platform_key(), world.eid);
+    let blob =
+        autarky_snapshot::snapshot(&world.os, &world.rt, &mut counter).expect("mid-run snapshot");
+    // `build_world` uses the default machine geometry; the failover host
+    // must match it (a failover to different hardware is out of scope).
+    let mut host = Os::new(MachineConfig::default());
+    host.adopt_untrusted_state(&mut world.os, world.eid)
+        .expect("failover host adopts OS-side state");
+    world.os = host;
+    world.rt = autarky_snapshot::restore(&mut world.os, &mut counter, &blob)
+        .expect("restore on failover host");
+}
+
 /// Run `schedule` twice from scratch and compare the artifacts.
 pub fn verify_replay(schedule: &Schedule) -> ReplayVerdict {
     let record = record_run(schedule);
     let replay = record_run(schedule);
+    compare_runs(schedule, record, replay)
+}
+
+/// Run `schedule` uninterrupted, then again with a mid-run snapshot →
+/// crash → failover-restore cycle, and require the two runs to be
+/// indistinguishable artifacts (the `replay` side is the restored run).
+pub fn verify_restore_replay(schedule: &Schedule) -> ReplayVerdict {
+    let record = record_run(schedule);
+    let restored = record_run_with_restore(schedule);
+    compare_runs(schedule, record, restored)
+}
+
+fn compare_runs(schedule: &Schedule, record: RunArtifacts, replay: RunArtifacts) -> ReplayVerdict {
     let divergence = first_divergence(&record.log_text, &replay.log_text);
     ReplayVerdict {
         schedule: schedule.clone(),
@@ -123,7 +187,7 @@ pub fn verify_replay(schedule: &Schedule) -> ReplayVerdict {
 
 /// Build the world for a schedule, mirroring the leakage audit's
 /// geometry so runs page under pressure.
-fn build_world(schedule: &Schedule) -> (World, EncHeap) {
+pub(crate) fn build_world(schedule: &Schedule) -> (World, EncHeap) {
     let (profile, budget) = match schedule.policy {
         SchedulePolicy::Clusters => (
             Profile::Clusters {
@@ -158,8 +222,16 @@ fn build_world(schedule: &Schedule) -> (World, EncHeap) {
 }
 
 /// Arm the schedule's fault plan (after setup, so the secret phase runs
-/// under fire) and drive the workload.
-fn run_workload(schedule: &Schedule, world: &mut World, heap: &mut EncHeap) -> Result<(), RtError> {
+/// under fire) and drive the workload. When `hook` is set, fire it once
+/// at the midpoint of the secret phase (for [`record_run_with_restore`]);
+/// the hook point is between operations, where no correlation chain is
+/// open and the machine's transition log has drained.
+fn run_workload_hooked(
+    schedule: &Schedule,
+    world: &mut World,
+    heap: &mut EncHeap,
+    hook: &mut Option<MidHook>,
+) -> Result<(), RtError> {
     match schedule.workload {
         ScheduleWorkload::Jpeg => {
             const SIDE: usize = 32;
@@ -168,6 +240,8 @@ fn run_workload(schedule: &Schedule, world: &mut World, heap: &mut EncHeap) -> R
             let compressed = jpeg::encode(SIDE, SIDE, &image);
             let mut decoder = jpeg::Decoder::new(world, heap, SIDE, SIDE).expect("decoder");
             begin_secret_phase(schedule, world)?;
+            // The decode is one opaque operation; interrupt before it.
+            fire_hook(hook, world);
             decoder.decode(world, heap, &compressed)?;
         }
         ScheduleWorkload::Font => {
@@ -176,6 +250,7 @@ fn run_workload(schedule: &Schedule, world: &mut World, heap: &mut EncHeap) -> R
             let text = if schedule.secret == 0 { text_a } else { text_b };
             let mut renderer = font::FontRenderer::new(world, heap, LEN).expect("renderer");
             begin_secret_phase(schedule, world)?;
+            fire_hook(hook, world);
             renderer.render_text(world, heap, &text)?;
         }
         ScheduleWorkload::Spell => {
@@ -186,6 +261,9 @@ fn run_workload(schedule: &Schedule, world: &mut World, heap: &mut EncHeap) -> R
             let text = if schedule.secret == 0 { text_a } else { text_b };
             begin_secret_phase(schedule, world)?;
             for (i, word) in text.iter().enumerate() {
+                if i == QUERY_WORDS / 2 {
+                    fire_hook(hook, world);
+                }
                 dictionary.check(world, heap, word)?;
                 if (i + 1) % 8 == 0 {
                     world.rt.export_epoch(&mut world.os)?;
@@ -209,6 +287,9 @@ fn run_workload(schedule: &Schedule, world: &mut World, heap: &mut EncHeap) -> R
             let keys = if schedule.secret == 0 { keys_a } else { keys_b };
             begin_secret_phase(schedule, world)?;
             for (i, &key) in keys.iter().enumerate() {
+                if i == GETS / 2 {
+                    fire_hook(hook, world);
+                }
                 store.get(world, heap, key)?;
                 if (i + 1) % 16 == 0 {
                     world.rt.export_epoch(&mut world.os)?;
@@ -217,6 +298,13 @@ fn run_workload(schedule: &Schedule, world: &mut World, heap: &mut EncHeap) -> R
         }
     }
     Ok(())
+}
+
+/// Fire the mid-run hook at most once.
+fn fire_hook(hook: &mut Option<MidHook>, world: &mut World) {
+    if let Some(h) = hook.take() {
+        h(world);
+    }
 }
 
 /// Transition from setup to the secret-dependent phase: page the

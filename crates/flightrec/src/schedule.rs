@@ -132,6 +132,20 @@ impl Schedule {
         ]
     }
 
+    /// The restore-determinism matrix: every policy × the two
+    /// incremental workloads (spell, kvstore) whose operation loops have
+    /// a natural mid-run interruption point for the snapshot → crash →
+    /// restore cycle.
+    pub fn restore_matrix() -> Vec<Schedule> {
+        let mut out = Vec::new();
+        for policy in SchedulePolicy::ALL {
+            for workload in [ScheduleWorkload::Spell, ScheduleWorkload::Kvstore] {
+                out.push(Schedule::quiet(policy, workload, 0, 1));
+            }
+        }
+        out
+    }
+
     /// Serialize in the wire grammar (round-trips via [`Schedule::from_text`]).
     pub fn to_text(&self) -> String {
         let mut out = String::from("# autarky flightrec schedule v1\n");

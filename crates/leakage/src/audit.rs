@@ -16,10 +16,19 @@
 //!   configured bound, i.e. measured bits/progress ≤ the ε budget;
 //! * **clusters** (§5.2.3): informational — the report shows how much
 //!   the anonymity sets coarsen the channel, but cluster sizing is a
-//!   policy choice, not a pass/fail.
+//!   policy choice, not a pass/fail;
+//! * **restore** (sealed checkpoint/restore): the secret phase is
+//!   interrupted by a snapshot → host crash → failover-restore cycle,
+//!   and the audit isolates what that cycle itself hands the OS — the
+//!   sealed blob's transport chunks. The chunk sequence must be
+//!   independent of the secret (MI ≤ threshold): this is the size
+//!   channel the snapshot payload padding exists to close.
 
 use autarky::{Profile, SystemBuilder};
+use autarky_os_sim::Os;
 use autarky_runtime::{is_telemetry_export_key, RateLimit};
+use autarky_sgx_sim::machine::MachineConfig;
+use autarky_sgx_sim::MonotonicCounter;
 use autarky_workloads::{font, jpeg, kvstore, spell, EncHeap, World};
 
 use crate::capture::Capture;
@@ -59,15 +68,20 @@ enum Policy {
     /// Self-paging with periodic sealed telemetry exports; the audit
     /// isolates the export channel and gates its distinguishability.
     Telemetry,
+    /// Self-paging with a mid-phase sealed snapshot → crash → failover
+    /// restore; the audit isolates the snapshot transport channel and
+    /// gates its distinguishability.
+    Restore,
 }
 
 impl Policy {
-    const ALL: [Policy; 5] = [
+    const ALL: [Policy; 6] = [
         Policy::Baseline,
         Policy::RateLimit,
         Policy::Clusters,
         Policy::CachedOram,
         Policy::Telemetry,
+        Policy::Restore,
     ];
 
     fn name(self) -> &'static str {
@@ -77,6 +91,7 @@ impl Policy {
             Policy::Clusters => "clusters",
             Policy::CachedOram => "cached-oram",
             Policy::Telemetry => "telemetry",
+            Policy::Restore => "restore",
         }
     }
 }
@@ -317,6 +332,31 @@ fn audit_cell(config: &AuditConfig, policy: Policy, workload: Workload) -> CellR
                 )
             }
         }
+        Policy::Restore => {
+            if dist.mean_symbols[0] == 0.0 && dist.mean_symbols[1] == 0.0 {
+                (
+                    Gate::Fail,
+                    "restore cell captured no snapshot transport".to_owned(),
+                )
+            } else if dist.mi_bits <= config.oram_max_mi {
+                (
+                    Gate::Pass,
+                    format!(
+                        "sealed snapshot transport indistinguishable: {:.2} ≤ {:.2} bits/run",
+                        dist.mi_bits, config.oram_max_mi
+                    ),
+                )
+            } else {
+                (
+                    Gate::Fail,
+                    format!(
+                        "sealed snapshot transport leaks {:.2} > {:.2} bits/run \
+                         (blob size channel open?)",
+                        dist.mi_bits, config.oram_max_mi
+                    ),
+                )
+            }
+        }
     };
 
     CellResult {
@@ -388,9 +428,10 @@ fn build_world(policy: Policy, seed: u64) -> (World, EncHeap) {
             },
             0,
         ),
-        // The telemetry cell runs ordinary self-paging; what it audits is
-        // the export traffic layered on top.
-        Policy::Telemetry => (
+        // The telemetry and restore cells run ordinary self-paging; what
+        // they audit is the traffic layered on top (exports, snapshot
+        // transport).
+        Policy::Telemetry | Policy::Restore => (
             Profile::Clusters {
                 pages_per_cluster: 10,
             },
@@ -421,6 +462,32 @@ fn arm_baseline(world: &mut World, pages: impl Iterator<Item = autarky_sgx_sim::
         .expect("tracer arms");
 }
 
+/// Snapshot the enclave, crash the host, and restore on a failover host
+/// mid-phase (the audit analogue of the flight recorder's crash hook).
+/// Returns the adversary's view of the cycle: one [`UntrustedAccess`]
+/// event per page-sized chunk of the sealed blob the OS transported.
+/// The happy path must succeed — a failure here is a harness bug, not a
+/// leakage finding.
+///
+/// [`UntrustedAccess`]: autarky_os_sim::Observation::UntrustedAccess
+fn crash_and_restore(world: &mut World) -> Vec<autarky_os_sim::Observation> {
+    let mut counter = MonotonicCounter::new(world.os.machine.platform_key(), world.eid);
+    let blob =
+        autarky_snapshot::snapshot(&world.os, &world.rt, &mut counter).expect("mid-audit snapshot");
+    let mut host = Os::new(MachineConfig::default());
+    host.adopt_untrusted_state(&mut world.os, world.eid)
+        .expect("failover host adopts OS-side state");
+    world.os = host;
+    world.rt =
+        autarky_snapshot::restore(&mut world.os, &mut counter, &blob).expect("failover restore");
+    (0..autarky_snapshot::transport_chunks(blob.len()))
+        .map(|chunk| autarky_os_sim::Observation::UntrustedAccess {
+            key: autarky_snapshot::snapshot_transport_key(chunk),
+            write: true,
+        })
+        .collect()
+}
+
 fn run_one(policy: Policy, workload: Workload, secret: u32, seed: u64) -> (Trace, RunStats) {
     let (mut world, mut heap) = build_world(policy, seed);
     let mut events = match workload {
@@ -436,6 +503,14 @@ fn run_one(policy: Policy, workload: Workload, secret: u32, seed: u64) -> (Trace
         events.retain(|ev| {
             matches!(ev, autarky_os_sim::Observation::UntrustedAccess { key, .. }
                 if is_telemetry_export_key(*key))
+        });
+    }
+    if policy == Policy::Restore {
+        // Likewise the restore cell isolates the snapshot transport:
+        // the paging traffic around it is the clusters cell's job.
+        events.retain(|ev| {
+            matches!(ev, autarky_os_sim::Observation::UntrustedAccess { key, .. }
+                if autarky_snapshot::is_snapshot_transport_key(*key))
         });
     }
     let meta = world.rt.policy_meta();
@@ -472,7 +547,16 @@ fn run_jpeg(
     if policy == Policy::Telemetry {
         world.rt.export_epoch(&mut world.os).expect("export");
     }
-    capture.finish(&world.os, heap)
+    // Snapshot after the decode so the checkpoint holds the maximally
+    // secret-dependent resident set.
+    let transport = if policy == Policy::Restore {
+        crash_and_restore(world)
+    } else {
+        Vec::new()
+    };
+    let mut events = capture.finish(&world.os, heap);
+    events.extend(transport);
+    events
 }
 
 fn run_font(
@@ -494,7 +578,14 @@ fn run_font(
     if policy == Policy::Telemetry {
         world.rt.export_epoch(&mut world.os).expect("export");
     }
-    capture.finish(&world.os, heap)
+    let transport = if policy == Policy::Restore {
+        crash_and_restore(world)
+    } else {
+        Vec::new()
+    };
+    let mut events = capture.finish(&world.os, heap);
+    events.extend(transport);
+    events
 }
 
 fn run_spell(
@@ -512,13 +603,21 @@ fn run_spell(
         arm_baseline(world, dictionary.pages.iter().copied());
     }
     let capture = Capture::begin(&world.os, heap);
+    let mut transport = Vec::new();
     for (i, word) in text.iter().enumerate() {
         dictionary.check(world, heap, word).expect("check");
         if policy == Policy::Telemetry && (i + 1) % 8 == 0 {
             world.rt.export_epoch(&mut world.os).expect("export");
         }
+        // Crash mid-phase: the checkpoint's resident set reflects the
+        // secret-dependent queries processed so far.
+        if policy == Policy::Restore && i + 1 == QUERY_WORDS / 2 {
+            transport = crash_and_restore(world);
+        }
     }
-    capture.finish(&world.os, heap)
+    let mut events = capture.finish(&world.os, heap);
+    events.extend(transport);
+    events
 }
 
 fn run_kvstore(
@@ -546,13 +645,19 @@ fn run_kvstore(
         arm_baseline(world, pages.into_iter());
     }
     let capture = Capture::begin(&world.os, heap);
+    let mut transport = Vec::new();
     for (i, &key) in keys.iter().enumerate() {
         store.get(world, heap, key).expect("get").expect("present");
         if policy == Policy::Telemetry && (i + 1) % 16 == 0 {
             world.rt.export_epoch(&mut world.os).expect("export");
         }
+        if policy == Policy::Restore && i + 1 == GETS / 2 {
+            transport = crash_and_restore(world);
+        }
     }
-    capture.finish(&world.os, heap)
+    let mut events = capture.finish(&world.os, heap);
+    events.extend(transport);
+    events
 }
 
 // ----------------------------------------------------------------------
@@ -712,6 +817,32 @@ mod tests {
             "export traffic was captured"
         );
         assert!(cell.dist.mi_bits <= 0.25, "MI {:.3}", cell.dist.mi_bits);
+    }
+
+    #[test]
+    fn restore_transport_is_indistinguishable() {
+        let config = AuditConfig::default();
+        for workload in [Workload::Spell, Workload::Kvstore] {
+            let cell = audit_cell(&config, Policy::Restore, workload);
+            assert_eq!(
+                cell.gate,
+                Gate::Pass,
+                "{}: {}",
+                workload.name(),
+                cell.reason
+            );
+            assert!(
+                cell.dist.mean_symbols[0] > 0.0,
+                "{}: snapshot transport was captured",
+                workload.name()
+            );
+            assert!(
+                cell.dist.mi_bits <= 0.25,
+                "{}: MI {:.3}",
+                workload.name(),
+                cell.dist.mi_bits
+            );
+        }
     }
 
     #[test]

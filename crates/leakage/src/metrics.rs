@@ -115,6 +115,11 @@ pub struct Distinguishability {
 /// their first window only.
 const EDIT_CAP: usize = 2000;
 
+/// Distances closer than this are a classifier tie. Well above f64
+/// accumulation noise for histograms of any realistic trace length,
+/// well below any signal the audit cares about.
+const TIE_EPSILON: f64 = 1e-9;
+
 /// Analyze two classes of symbol sequences (one sequence per run; at
 /// least two runs per class so leave-one-out centroids are defined).
 pub fn distinguishability(class0: &[Vec<u64>], class1: &[Vec<u64>]) -> Distinguishability {
@@ -164,10 +169,14 @@ pub fn distinguishability(class0: &[Vec<u64>], class1: &[Vec<u64>]) -> Distingui
             let d_own = tv_distance(held_out, &centroid(&own));
             let d_other = tv_distance(held_out, &centroid(&other));
             total += 1.0;
-            if d_own < d_other {
-                correct += 1.0;
-            } else if d_own == d_other {
+            // Ties need an epsilon: the two centroids average different
+            // numbers of histograms, so identical traces can still land
+            // at distances 0 vs ~1e-17 from accumulation order alone —
+            // and a tie misread as a win turns 0 bits into 1 bit.
+            if (d_own - d_other).abs() <= TIE_EPSILON {
                 correct += 0.5;
+            } else if d_own < d_other {
+                correct += 1.0;
             }
         }
     }
@@ -275,6 +284,20 @@ mod tests {
         assert_eq!(d.accuracy, 0.5, "all ties score half");
         assert_eq!(d.mi_bits, 0.0);
         assert_eq!(d.mean_cross_tv, 0.0);
+    }
+
+    #[test]
+    fn identical_classes_tie_with_odd_run_counts() {
+        // Three runs per class: the own-centroid averages 2 histograms
+        // (exact halves) while the other-centroid averages 3 (inexact
+        // thirds), so without the tie epsilon the accumulation noise
+        // masquerades as perfect distinguishability.
+        let run = || vec![1, 2, 3, 4, 5, 6, 7];
+        let class0 = vec![run(), run(), run()];
+        let class1 = vec![run(), run(), run()];
+        let d = distinguishability(&class0, &class1);
+        assert_eq!(d.accuracy, 0.5, "all ties score half");
+        assert_eq!(d.mi_bits, 0.0);
     }
 
     #[test]

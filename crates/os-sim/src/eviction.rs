@@ -21,7 +21,7 @@ pub enum EvictionPolicy {
 }
 
 /// Per-enclave eviction state: a queue of OS-managed resident pages.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct EvictionState {
     policy: EvictionPolicy,
     queue: VecDeque<Vpn>,

@@ -249,6 +249,29 @@ pub enum InjectedFault {
         /// Number of leading batch entries that were processed.
         completed: usize,
     },
+    /// A stale (previously superseded) sealed snapshot was offered for
+    /// restore in place of the latest one (rollback attack).
+    StaleSnapshot {
+        /// Monotonic-counter value sealed inside the stale snapshot.
+        counter: u64,
+    },
+    /// The same sealed snapshot was offered for restore a second time,
+    /// attempting to fork the enclave's timeline.
+    ForkedSnapshot {
+        /// Monotonic-counter value sealed inside the replayed snapshot.
+        counter: u64,
+    },
+    /// A sealed snapshot was truncated before being offered for restore.
+    TruncatedSnapshot {
+        /// Length the blob was cut down to.
+        len: usize,
+    },
+    /// The platform monotonic counter was overwritten with an old value
+    /// (an attempt to make a stale snapshot look fresh).
+    CounterRollback {
+        /// Counter value the OS tried to roll back to.
+        to: u64,
+    },
 }
 
 /// The armed injector: plan + dedicated RNG stream + bookkeeping.

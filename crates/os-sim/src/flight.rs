@@ -120,6 +120,21 @@ pub enum FlightEvent {
     },
     /// The fault-rate limiter tripped and killed the enclave.
     RateLimitKill,
+    /// A sealed checkpoint of the enclave was captured (the platform
+    /// monotonic counter was bumped to this value as part of sealing).
+    SnapshotCapture {
+        /// Counter value sealed into the snapshot.
+        counter: u64,
+    },
+    /// A sealed checkpoint was presented for restore. Only recorded when
+    /// the restore *fails* (freshness or integrity violation): a
+    /// successful restore is architecturally invisible — the machine was
+    /// simply off — and recording it would break byte-identical
+    /// continuation.
+    SnapshotRestore {
+        /// Counter value sealed inside the presented snapshot.
+        counter: u64,
+    },
     /// A telemetry span closed (span↔event linkage: the span kind plus
     /// its exact cycle bracket, so a timeline row maps onto the telemetry
     /// aggregate that timed it).
@@ -199,6 +214,12 @@ impl FlightEvent {
                 format!("ATTACK DETECTED vpn={} ({why})", vpn.0)
             }
             FlightEvent::RateLimitKill => "rate limiter tripped: enclave killed".to_owned(),
+            FlightEvent::SnapshotCapture { counter } => {
+                format!("snapshot captured (counter bumped to {counter})")
+            }
+            FlightEvent::SnapshotRestore { counter } => {
+                format!("snapshot restore attempted (sealed counter {counter})")
+            }
             FlightEvent::SpanClose {
                 kind,
                 start_cycles,

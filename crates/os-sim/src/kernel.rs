@@ -904,4 +904,44 @@ impl Os {
     pub fn is_suspended(&self, eid: EnclaveId) -> bool {
         self.procs.get(&eid).map(|p| p.suspended).unwrap_or(false)
     }
+
+    // ----------------------------------------------------------------
+    // Checkpoint/restore support (failover host).
+    // ----------------------------------------------------------------
+
+    /// Record one explicitly mounted snapshot attack (stale, forked,
+    /// truncated, or counter-rollback restore) in the adversary-visible
+    /// observation log. Unlike the probability-driven kinds, these are
+    /// staged deliberately by the rollback harness — so they go through
+    /// this public hook rather than the per-syscall injector draw, which
+    /// keeps the one-RNG-draw-per-syscall schedule untouched.
+    pub fn record_snapshot_attack(&mut self, eid: EnclaveId, fault: InjectedFault) {
+        self.record_injection(eid, fault);
+    }
+
+    /// Adopt the *untrusted* host state of `donor` for enclave `eid`:
+    /// process bookkeeping, the entire backing store (sealed pages, raw
+    /// blobs, and the snapshot vault), the observation log, the armed
+    /// attacker/injector, and the flight recorder.
+    ///
+    /// This models failover to a fresh machine: the new host's kernel
+    /// inherits everything that lives in ordinary host memory or on disk,
+    /// while EPC contents and runtime state arrive only through the
+    /// sealed-snapshot restore path. The donor is left without the
+    /// enclave and must be discarded.
+    pub fn adopt_untrusted_state(&mut self, donor: &mut Os, eid: EnclaveId) -> Result<(), OsError> {
+        let proc = donor.procs.remove(&eid).ok_or(OsError::NotLoaded(eid))?;
+        self.procs.insert(eid, proc);
+        self.backing = std::mem::take(&mut donor.backing);
+        self.observations = std::mem::take(&mut donor.observations);
+        self.attacker = std::mem::replace(&mut donor.attacker, Attacker::None);
+        self.exitless = donor.exitless;
+        self.injector = donor.injector.take();
+        if let Some(flight) = donor.flight.take() {
+            donor.machine.set_transition_recording(false);
+            self.machine.set_transition_recording(true);
+            self.flight = Some(flight);
+        }
+        Ok(())
+    }
 }

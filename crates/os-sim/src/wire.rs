@@ -259,6 +259,10 @@ pub fn encode_injected_fault(fault: &InjectedFault) -> String {
         InjectedFault::ReplayBacking { vpn } => format!("replay {}", vpn.0),
         InjectedFault::Delay { cycles } => format!("delay {cycles}"),
         InjectedFault::Suspend { completed } => format!("suspend {completed}"),
+        InjectedFault::StaleSnapshot { counter } => format!("stalesnap {counter}"),
+        InjectedFault::ForkedSnapshot { counter } => format!("forksnap {counter}"),
+        InjectedFault::TruncatedSnapshot { len } => format!("truncsnap {len}"),
+        InjectedFault::CounterRollback { to } => format!("ctrroll {to}"),
     }
 }
 
@@ -294,6 +298,18 @@ fn decode_injected_fault_fields(fields: &[&str], line: &str) -> Result<InjectedF
         }),
         ["suspend", n] => Ok(InjectedFault::Suspend {
             completed: parse_usize(n, line)?,
+        }),
+        ["stalesnap", c] => Ok(InjectedFault::StaleSnapshot {
+            counter: parse_u64(c, line)?,
+        }),
+        ["forksnap", c] => Ok(InjectedFault::ForkedSnapshot {
+            counter: parse_u64(c, line)?,
+        }),
+        ["truncsnap", n] => Ok(InjectedFault::TruncatedSnapshot {
+            len: parse_usize(n, line)?,
+        }),
+        ["ctrroll", to] => Ok(InjectedFault::CounterRollback {
+            to: parse_u64(to, line)?,
         }),
         _ => err("injected fault", line),
     }
@@ -444,6 +460,8 @@ pub fn encode_flight_event(event: &FlightEvent) -> String {
         FlightEvent::Degrade { from, to } => format!("shrink {from} {to}"),
         FlightEvent::AttackDetected { vpn, why } => format!("attack {} {why}", vpn.0),
         FlightEvent::RateLimitKill => "rlkill".to_owned(),
+        FlightEvent::SnapshotCapture { counter } => format!("snapcap {counter}"),
+        FlightEvent::SnapshotRestore { counter } => format!("snaprest {counter}"),
         FlightEvent::SpanClose {
             kind,
             start_cycles,
@@ -499,6 +517,12 @@ fn decode_flight_event_fields(fields: &[&str], line: &str) -> Result<FlightEvent
             why: rest_of_line(why, line)?,
         }),
         ("rlkill", []) => Ok(FlightEvent::RateLimitKill),
+        ("snapcap", [counter]) => Ok(FlightEvent::SnapshotCapture {
+            counter: parse_u64(counter, line)?,
+        }),
+        ("snaprest", [counter]) => Ok(FlightEvent::SnapshotRestore {
+            counter: parse_u64(counter, line)?,
+        }),
         ("span", [kind, start, end]) => Ok(FlightEvent::SpanClose {
             kind: (*kind).to_owned(),
             start_cycles: parse_u64(start, line)?,
@@ -563,7 +587,7 @@ mod tests {
     }
 
     fn random_injected_fault(rng: &mut SimRng) -> InjectedFault {
-        match rng.gen_range(0..9) {
+        match rng.gen_range(0..13) {
             0 => InjectedFault::TransientNoMemory,
             1 => InjectedFault::PartialBatch {
                 completed: rng.gen_range_usize(0..100),
@@ -586,8 +610,20 @@ mod tests {
             7 => InjectedFault::Delay {
                 cycles: rng.next_u64() >> 20,
             },
-            _ => InjectedFault::Suspend {
+            8 => InjectedFault::Suspend {
                 completed: rng.gen_range_usize(0..100),
+            },
+            9 => InjectedFault::StaleSnapshot {
+                counter: rng.next_u64() >> 32,
+            },
+            10 => InjectedFault::ForkedSnapshot {
+                counter: rng.next_u64() >> 32,
+            },
+            11 => InjectedFault::TruncatedSnapshot {
+                len: rng.gen_range_usize(0..100_000),
+            },
+            _ => InjectedFault::CounterRollback {
+                to: rng.next_u64() >> 32,
             },
         }
     }
@@ -744,7 +780,7 @@ mod tests {
     }
 
     fn random_flight_event(rng: &mut SimRng) -> FlightEvent {
-        match rng.gen_range(0..12) {
+        match rng.gen_range(0..14) {
             0 => FlightEvent::Transition {
                 kind: TransitionKind::ALL[rng.gen_range_usize(0..TransitionKind::ALL.len())],
                 eid: EnclaveId(rng.next_u32() >> 8),
@@ -784,6 +820,12 @@ mod tests {
                 why: random_why(rng),
             },
             10 => FlightEvent::RateLimitKill,
+            11 => FlightEvent::SnapshotCapture {
+                counter: rng.next_u64() >> 32,
+            },
+            12 => FlightEvent::SnapshotRestore {
+                counter: rng.next_u64() >> 32,
+            },
             _ => FlightEvent::SpanClose {
                 kind: ["fault_handler", "ay_fetch_pages", "seal", "retry_backoff"]
                     [rng.gen_range_usize(0..4)]
@@ -847,6 +889,10 @@ mod tests {
             "ev 1 2 3 attack 4",
             "ev x 2 3 rlkill",
             "ev 1 2 3 span fault_handler 10",
+            "ev 1 2 3 snapcap",
+            "ev 1 2 3 snaprest one",
+            "ev 1 2 3 k inj 1 stalesnap",
+            "ev 1 2 3 k inj 1 truncsnap -4",
         ] {
             assert!(
                 decode_flight_record(bad).is_err(),

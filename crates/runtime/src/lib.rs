@@ -33,7 +33,7 @@ pub mod paging;
 pub mod ratelimit;
 pub mod runtime;
 
-pub use cluster::{ClusterId, ClusterMap};
+pub use cluster::{ClusterCapture, ClusterId, ClusterMap};
 pub use error::RtError;
 pub use ratelimit::{RateLimit, RateLimiter};
 pub use runtime::{

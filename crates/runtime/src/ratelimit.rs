@@ -61,6 +61,23 @@ impl RateLimiter {
         }
     }
 
+    /// Rebuild a limiter from captured counters (checkpoint restore). The
+    /// fault/progress history must survive a legitimate snapshot/restore
+    /// cycle — a restart that reset the counters would launder the
+    /// leakage budget the limiter enforces.
+    pub fn from_parts(limit: Option<RateLimit>, faults: u64, progress: u64) -> Self {
+        Self {
+            limit,
+            faults,
+            progress,
+        }
+    }
+
+    /// The configured limit (for checkpoint capture).
+    pub fn limit(&self) -> Option<RateLimit> {
+        self.limit
+    }
+
     /// Record `amount` units of forward progress (I/O, allocations,
     /// system calls — counted by the libOS).
     pub fn progress(&mut self, amount: u64) {

@@ -28,7 +28,7 @@ use autarky_sgx_sim::{
 };
 use autarky_telemetry::{SpanGuard, SpanKind, Telemetry};
 
-use crate::cluster::ClusterMap;
+use crate::cluster::{ClusterCapture, ClusterId, ClusterMap};
 use crate::error::RtError;
 use crate::paging::{blob_key, sw_open, sw_seal};
 use crate::ratelimit::{RateLimit, RateLimiter};
@@ -237,6 +237,13 @@ pub struct Runtime {
     /// path, restored at `EACCEPTCOPY` time (the hardware path carries
     /// them in the sealed blob instead).
     sw_perms: HashMap<Vpn, Perms>,
+    /// Trusted mirror of the hardware anti-replay versions for pages the
+    /// runtime evicted via `EWB` (seal-freshness enforcement): the sealed
+    /// blob authenticates any self-consistent `(vpn, version)` pair, so
+    /// only this mirror can tell that the version the hardware is willing
+    /// to accept has moved *backwards* — the signature of restored-stale
+    /// state. Forward movement is benign OS churn (suspend/resume).
+    hw_versions: HashMap<Vpn, u64>,
     /// Heap bump/free-list allocator state.
     heap: Heap,
     /// Event counters.
@@ -281,6 +288,7 @@ impl Runtime {
             sealing_key: derive_sealing_key(eid),
             sw_versions: HashMap::new(),
             sw_perms: HashMap::new(),
+            hw_versions: HashMap::new(),
             heap: Heap {
                 start: image.heap_start().base(),
                 pages: image.heap_pages,
@@ -807,6 +815,13 @@ impl Runtime {
                 .filter(|&v| os.machine.is_resident(self.eid, v))
                 .collect();
             if remaining.is_empty() {
+                // Record the version the hardware sealed each page under,
+                // so the fetch path can detect a later downgrade.
+                for &vpn in pages {
+                    if let Some(version) = os.machine.outstanding_version(self.eid, vpn)? {
+                        self.hw_versions.insert(vpn, version);
+                    }
+                }
                 return Ok(());
             }
             match os.ay_evict_pages(self.eid, &remaining) {
@@ -846,8 +861,12 @@ impl Runtime {
                 .filter(|&v| !os.machine.is_resident(self.eid, v))
                 .collect();
             if missing.is_empty() {
+                for &vpn in pages {
+                    self.hw_versions.remove(&vpn);
+                }
                 return Ok(());
             }
+            self.check_hw_freshness(os, &missing)?;
             if rounds > self.config.harden.max_retries {
                 return Err(RtError::Os(OsError::BadRequest(
                     "fetched pages never became resident",
@@ -1062,6 +1081,56 @@ impl Runtime {
         Ok(())
     }
 
+    /// Seal-freshness enforcement (the gap `ELDU` alone leaves open): the
+    /// hardware accepts any sealed blob whose version matches its
+    /// outstanding slot, but only the runtime knows which version it
+    /// *last sealed*. If the hardware's outstanding version has moved
+    /// backwards relative to the mirror, the machine state itself was
+    /// rolled back (a stale snapshot restored under us) — terminate.
+    /// Forward movement is benign: an injected suspend/resume or spurious
+    /// evict legitimately re-evicts pages and bumps their versions.
+    fn check_hw_freshness(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
+        for &vpn in pages {
+            let Some(&recorded) = self.hw_versions.get(&vpn) else {
+                continue;
+            };
+            match os.machine.outstanding_version(self.eid, vpn)? {
+                Some(current) if current < recorded => {
+                    return self.attack(os, vpn, "sealed page version downgraded");
+                }
+                Some(current) if current > recorded => {
+                    self.hw_versions.insert(vpn, current);
+                }
+                _ => {}
+            }
+        }
+        Ok(())
+    }
+
+    /// Post-restore re-verification: after the runtime's sealed state is
+    /// reattached to a restored machine, confirm the two halves describe
+    /// the same world. Residency tracking is checked against the
+    /// architectural ground truth, and every mirrored anti-replay version
+    /// is re-checked for downgrades. A hostile restore that splices stale
+    /// machine state under fresh runtime state (or vice versa) trips
+    /// `AttackDetected` here instead of corrupting the enclave later.
+    pub fn verify_restore(&mut self, os: &mut Os) -> Result<(), RtError> {
+        let mut tracked: Vec<(Vpn, bool)> = self
+            .tracked
+            .iter()
+            .map(|(&vpn, &state)| (vpn, state == PageState::Resident))
+            .collect();
+        tracked.sort_by_key(|&(vpn, _)| vpn.0);
+        for (vpn, resident) in tracked {
+            if os.machine.is_resident(self.eid, vpn) != resident {
+                return self.attack(os, vpn, "restored machine diverges from runtime tracking");
+            }
+        }
+        let mut mirrored: Vec<Vpn> = self.hw_versions.keys().copied().collect();
+        mirrored.sort_by_key(|vpn| vpn.0);
+        self.check_hw_freshness(os, &mirrored)
+    }
+
     /// Reconcile tracking for `pages` against architectural residency
     /// (the ground truth the OS cannot fake). Called after every batch
     /// operation, including failed ones, so partial completion never
@@ -1246,6 +1315,319 @@ impl Runtime {
         let blob = os.sys_untrusted_read(telemetry_export_key(self.eid.0, epoch))?;
         open_snapshot(&self.export_key, epoch, &blob)
     }
+
+    // ----------------------------------------------------------------
+    // Checkpoint/restore (sealed by the snapshot subsystem).
+    // ----------------------------------------------------------------
+
+    /// Serialize the runtime's complete state into a canonical
+    /// little-endian blob for checkpointing.
+    ///
+    /// Everything rides along: configuration, page tracking and FIFO
+    /// order, the rate limiter's fault/progress history, the misbehaviour
+    /// count, anti-replay version mirrors, the heap allocator, cluster
+    /// registry, statistics, and the full telemetry state. Carrying the
+    /// *hardening* state is deliberate — a restore that reset retry
+    /// counters, misbehaviour debits, or the leakage budget would let the
+    /// OS launder an attack by snapshotting before each probe. Hash-map
+    /// sections are emitted sorted, so identical runtimes always produce
+    /// identical blobs. The blob contains key-equivalent secrets (the
+    /// telemetry ring) and must only leave the enclave sealed.
+    pub fn capture_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"AYRT");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&self.eid.0.to_le_bytes());
+        out.extend_from_slice(&(self.tcs as u64).to_le_bytes());
+        out.push(u8::from(self.self_paging));
+        out.extend_from_slice(&self.misbehavior.to_le_bytes());
+        out.push(u8::from(self.terminated));
+        out.push(match self.config.mode {
+            PolicyMode::PinAll => 0,
+            PolicyMode::SelfPaging => 1,
+        });
+        out.push(match self.config.mechanism {
+            PagingMechanism::Sgx1 => 0,
+            PagingMechanism::Sgx2 => 1,
+        });
+        out.extend_from_slice(&(self.config.budget as u64).to_le_bytes());
+        out.extend_from_slice(&(self.config.auto_cluster_size as u64).to_le_bytes());
+        out.push(u8::from(self.config.cluster_code));
+        match self.config.rate_limit {
+            Some(limit) => {
+                out.push(1);
+                out.extend_from_slice(&limit.max_faults_per_progress.to_bits().to_le_bytes());
+                out.extend_from_slice(&limit.burst.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        let harden = &self.config.harden;
+        out.extend_from_slice(&harden.max_retries.to_le_bytes());
+        out.extend_from_slice(&harden.backoff_base_cycles.to_le_bytes());
+        out.extend_from_slice(&harden.misbehavior_budget.to_le_bytes());
+        out.push(u8::from(harden.verify_fetches));
+        out.push(u8::from(harden.degrade_on_pressure));
+        out.extend_from_slice(&(harden.degrade_floor as u64).to_le_bytes());
+        out.extend_from_slice(&self.limiter.faults().to_le_bytes());
+        out.extend_from_slice(&self.limiter.progress_total().to_le_bytes());
+        let mut tracked: Vec<(Vpn, PageState)> =
+            self.tracked.iter().map(|(&v, &s)| (v, s)).collect();
+        tracked.sort_by_key(|&(v, _)| v.0);
+        out.extend_from_slice(&(tracked.len() as u64).to_le_bytes());
+        for (vpn, state) in tracked {
+            out.extend_from_slice(&vpn.0.to_le_bytes());
+            out.push(match state {
+                PageState::Resident => 0,
+                PageState::Evicted => 1,
+            });
+        }
+        out.extend_from_slice(&(self.fifo.len() as u64).to_le_bytes());
+        for &vpn in &self.fifo {
+            out.extend_from_slice(&vpn.0.to_le_bytes());
+        }
+        out.extend_from_slice(&(self.resident_count as u64).to_le_bytes());
+        encode_vpn_u64_map(&mut out, &self.sw_versions);
+        let mut perms: Vec<(Vpn, Perms)> = self.sw_perms.iter().map(|(&v, &p)| (v, p)).collect();
+        perms.sort_by_key(|&(v, _)| v.0);
+        out.extend_from_slice(&(perms.len() as u64).to_le_bytes());
+        for (vpn, p) in perms {
+            out.extend_from_slice(&vpn.0.to_le_bytes());
+            out.push(u8::from(p.r) | u8::from(p.w) << 1 | u8::from(p.x) << 2);
+        }
+        encode_vpn_u64_map(&mut out, &self.hw_versions);
+        out.extend_from_slice(&self.heap.start.0.to_le_bytes());
+        out.extend_from_slice(&(self.heap.pages as u64).to_le_bytes());
+        out.extend_from_slice(&self.heap.bump.to_le_bytes());
+        out.extend_from_slice(&self.heap.allocated_until.to_le_bytes());
+        let mut lists: Vec<(usize, &Vec<Va>)> = self
+            .heap
+            .free_lists
+            .iter()
+            .map(|(&size, list)| (size, list))
+            .collect();
+        lists.sort_by_key(|&(size, _)| size);
+        out.extend_from_slice(&(lists.len() as u64).to_le_bytes());
+        for (size, list) in lists {
+            out.extend_from_slice(&(size as u64).to_le_bytes());
+            out.extend_from_slice(&(list.len() as u64).to_le_bytes());
+            for va in list {
+                out.extend_from_slice(&va.0.to_le_bytes());
+            }
+        }
+        for v in [
+            self.stats.faults_handled,
+            self.stats.forwarded,
+            self.stats.pages_fetched,
+            self.stats.pages_evicted,
+            self.stats.pages_allocated,
+            self.stats.allocs,
+            self.stats.retries,
+            self.stats.misbehavior,
+            self.stats.degradations,
+        ] {
+            out.extend_from_slice(&v.to_le_bytes());
+        }
+        let clusters = self.clusters.capture();
+        out.extend_from_slice(&(clusters.clusters.len() as u64).to_le_bytes());
+        for (id, pages) in &clusters.clusters {
+            out.extend_from_slice(&id.0.to_le_bytes());
+            out.extend_from_slice(&(pages.len() as u64).to_le_bytes());
+            for vpn in pages {
+                out.extend_from_slice(&vpn.0.to_le_bytes());
+            }
+        }
+        out.extend_from_slice(&clusters.next_id.to_le_bytes());
+        out.extend_from_slice(&(clusters.auto_size as u64).to_le_bytes());
+        match clusters.auto_current {
+            Some(id) => {
+                out.push(1);
+                out.extend_from_slice(&id.0.to_le_bytes());
+            }
+            None => out.push(0),
+        }
+        let telemetry = self.telemetry.state_bytes();
+        out.extend_from_slice(&(telemetry.len() as u64).to_le_bytes());
+        out.extend_from_slice(&telemetry);
+        out
+    }
+
+    /// Rebuild a runtime from [`Runtime::capture_bytes`] output (after
+    /// the snapshot subsystem has unsealed and freshness-checked it).
+    ///
+    /// Keys are re-derived from the enclave id, never stored. Returns
+    /// `None` on any structural problem; freshness and consistency
+    /// against the restored machine are checked separately by
+    /// [`Runtime::verify_restore`].
+    pub fn restore_from_bytes(blob: &[u8]) -> Option<Runtime> {
+        let mut input = blob;
+        if input.len() < 8 || &input[..4] != b"AYRT" {
+            return None;
+        }
+        input = &input[4..];
+        if take_u32(&mut input)? != 1 {
+            return None;
+        }
+        let eid = EnclaveId(take_u32(&mut input)?);
+        let tcs = take_u64(&mut input)? as usize;
+        let self_paging = take_u8(&mut input)? != 0;
+        let misbehavior = take_u32(&mut input)?;
+        let terminated = take_u8(&mut input)? != 0;
+        let mode = match take_u8(&mut input)? {
+            0 => PolicyMode::PinAll,
+            1 => PolicyMode::SelfPaging,
+            _ => return None,
+        };
+        let mechanism = match take_u8(&mut input)? {
+            0 => PagingMechanism::Sgx1,
+            1 => PagingMechanism::Sgx2,
+            _ => return None,
+        };
+        let budget = take_u64(&mut input)? as usize;
+        let auto_cluster_size = take_u64(&mut input)? as usize;
+        let cluster_code = take_u8(&mut input)? != 0;
+        let rate_limit = match take_u8(&mut input)? {
+            0 => None,
+            1 => Some(RateLimit {
+                max_faults_per_progress: f64::from_bits(take_u64(&mut input)?),
+                burst: take_u64(&mut input)?,
+            }),
+            _ => return None,
+        };
+        let harden = HardenConfig {
+            max_retries: take_u32(&mut input)?,
+            backoff_base_cycles: take_u64(&mut input)?,
+            misbehavior_budget: take_u32(&mut input)?,
+            verify_fetches: take_u8(&mut input)? != 0,
+            degrade_on_pressure: take_u8(&mut input)? != 0,
+            degrade_floor: take_u64(&mut input)? as usize,
+        };
+        let limiter_faults = take_u64(&mut input)?;
+        let limiter_progress = take_u64(&mut input)?;
+        let n = take_u64(&mut input)? as usize;
+        let mut tracked = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let vpn = Vpn(take_u64(&mut input)?);
+            let state = match take_u8(&mut input)? {
+                0 => PageState::Resident,
+                1 => PageState::Evicted,
+                _ => return None,
+            };
+            tracked.insert(vpn, state);
+        }
+        let n = take_u64(&mut input)? as usize;
+        let mut fifo = VecDeque::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            fifo.push_back(Vpn(take_u64(&mut input)?));
+        }
+        let resident_count = take_u64(&mut input)? as usize;
+        let sw_versions = decode_vpn_u64_map(&mut input)?;
+        let n = take_u64(&mut input)? as usize;
+        let mut sw_perms = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let vpn = Vpn(take_u64(&mut input)?);
+            let bits = take_u8(&mut input)?;
+            sw_perms.insert(
+                vpn,
+                Perms {
+                    r: bits & 1 != 0,
+                    w: bits & 2 != 0,
+                    x: bits & 4 != 0,
+                },
+            );
+        }
+        let hw_versions = decode_vpn_u64_map(&mut input)?;
+        let heap_start = Va(take_u64(&mut input)?);
+        let heap_pages = take_u64(&mut input)? as usize;
+        let bump = take_u64(&mut input)?;
+        let allocated_until = take_u64(&mut input)?;
+        let n = take_u64(&mut input)? as usize;
+        let mut free_lists = HashMap::with_capacity(n);
+        for _ in 0..n {
+            let size = take_u64(&mut input)? as usize;
+            let m = take_u64(&mut input)? as usize;
+            let mut list = Vec::with_capacity(m.min(1 << 20));
+            for _ in 0..m {
+                list.push(Va(take_u64(&mut input)?));
+            }
+            free_lists.insert(size, list);
+        }
+        let stats = RtStats {
+            faults_handled: take_u64(&mut input)?,
+            forwarded: take_u64(&mut input)?,
+            pages_fetched: take_u64(&mut input)?,
+            pages_evicted: take_u64(&mut input)?,
+            pages_allocated: take_u64(&mut input)?,
+            allocs: take_u64(&mut input)?,
+            retries: take_u64(&mut input)?,
+            misbehavior: take_u64(&mut input)?,
+            degradations: take_u64(&mut input)?,
+        };
+        let n = take_u64(&mut input)? as usize;
+        let mut cluster_list = Vec::with_capacity(n.min(1 << 20));
+        for _ in 0..n {
+            let id = ClusterId(take_u32(&mut input)?);
+            let m = take_u64(&mut input)? as usize;
+            let mut pages = Vec::with_capacity(m.min(1 << 20));
+            for _ in 0..m {
+                pages.push(Vpn(take_u64(&mut input)?));
+            }
+            cluster_list.push((id, pages));
+        }
+        let next_id = take_u32(&mut input)?;
+        let auto_size = take_u64(&mut input)? as usize;
+        let auto_current = match take_u8(&mut input)? {
+            0 => None,
+            1 => Some(ClusterId(take_u32(&mut input)?)),
+            _ => return None,
+        };
+        let clusters = ClusterMap::restore(&ClusterCapture {
+            clusters: cluster_list,
+            next_id,
+            auto_size,
+            auto_current,
+        });
+        let telemetry_len = take_u64(&mut input)? as usize;
+        if input.len() != telemetry_len {
+            return None;
+        }
+        let mut telemetry = Telemetry::new(RT_SPAN_RING, RT_COUNTERS, RT_GAUGES, RT_HISTS);
+        telemetry.restore_state(input).ok()?;
+        Some(Runtime {
+            eid,
+            tcs,
+            config: RuntimeConfig {
+                mode,
+                rate_limit,
+                mechanism,
+                budget,
+                auto_cluster_size,
+                cluster_code,
+                harden,
+            },
+            tracked,
+            clusters,
+            self_paging,
+            fifo,
+            resident_count,
+            limiter: RateLimiter::from_parts(rate_limit, limiter_faults, limiter_progress),
+            sealing_key: derive_sealing_key(eid),
+            sw_versions,
+            sw_perms,
+            hw_versions,
+            heap: Heap {
+                start: heap_start,
+                pages: heap_pages,
+                bump,
+                free_lists,
+                allocated_until,
+            },
+            stats,
+            telemetry,
+            export_key: derive_export_key(eid),
+            misbehavior,
+            terminated,
+        })
+    }
 }
 
 fn derive_sealing_key(eid: EnclaveId) -> [u8; 32] {
@@ -1319,4 +1701,55 @@ fn open_snapshot(key: &[u8; 32], expected_epoch: u64, blob: &[u8]) -> Option<Vec
     )
     .ok()?;
     Some(ciphertext)
+}
+
+// ------------------------------------------------------------------
+// Checkpoint codec helpers.
+// ------------------------------------------------------------------
+
+fn take_u8(input: &mut &[u8]) -> Option<u8> {
+    let (&byte, rest) = input.split_first()?;
+    *input = rest;
+    Some(byte)
+}
+
+fn take_u32(input: &mut &[u8]) -> Option<u32> {
+    if input.len() < 4 {
+        return None;
+    }
+    let (head, rest) = input.split_at(4);
+    *input = rest;
+    Some(u32::from_le_bytes(head.try_into().ok()?))
+}
+
+fn take_u64(input: &mut &[u8]) -> Option<u64> {
+    if input.len() < 8 {
+        return None;
+    }
+    let (head, rest) = input.split_at(8);
+    *input = rest;
+    Some(u64::from_le_bytes(head.try_into().ok()?))
+}
+
+/// Encode a vpn→u64 map sorted by vpn so identical maps always produce
+/// identical bytes regardless of hash-map iteration order.
+fn encode_vpn_u64_map(out: &mut Vec<u8>, map: &HashMap<Vpn, u64>) {
+    let mut entries: Vec<(Vpn, u64)> = map.iter().map(|(&vpn, &value)| (vpn, value)).collect();
+    entries.sort_by_key(|&(vpn, _)| vpn.0);
+    out.extend_from_slice(&(entries.len() as u64).to_le_bytes());
+    for (vpn, value) in entries {
+        out.extend_from_slice(&vpn.0.to_le_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+fn decode_vpn_u64_map(input: &mut &[u8]) -> Option<HashMap<Vpn, u64>> {
+    let n = take_u64(input)? as usize;
+    let mut map = HashMap::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let vpn = Vpn(take_u64(input)?);
+        let value = take_u64(input)?;
+        map.insert(vpn, value);
+    }
+    Some(map)
 }

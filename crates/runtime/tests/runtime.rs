@@ -501,3 +501,64 @@ fn sgx2_paging_preserves_code_page_permissions() {
         .expect("refetched code page must be executable again");
     assert!(!rt.is_terminated());
 }
+
+#[test]
+fn checkpoint_codec_round_trips_byte_identically() {
+    let (mut os, _eid, mut rt) = setup(RuntimeConfig {
+        mechanism: PagingMechanism::Sgx2,
+        rate_limit: Some(RateLimit {
+            max_faults_per_progress: 8.0,
+            burst: 32,
+        }),
+        budget: 24,
+        ..Default::default()
+    });
+    let img = image("rt-test");
+    let page = img.data_start();
+    // Exercise enough machinery to populate every state section: paging
+    // (tracked/fifo/sw_versions/sw_perms), the allocator (heap free
+    // lists), clusters, the limiter, and telemetry spans.
+    rt.write(&mut os, page.base(), &[0x5A; 32]).expect("write");
+    rt.evict_pages(&mut os, &[page]).expect("evict");
+    let mut buf = [0u8; 32];
+    rt.read(&mut os, page.base(), &mut buf).expect("fault back");
+    let va = rt.malloc(&mut os, PAGE_SIZE * 3).expect("malloc");
+    rt.free(va, PAGE_SIZE * 3);
+    rt.progress(7);
+
+    let blob = rt.capture_bytes();
+    let restored = Runtime::restore_from_bytes(&blob).expect("decode");
+    // Re-encoding the restored runtime must reproduce the blob exactly —
+    // this covers every field the codec carries, including telemetry.
+    assert_eq!(restored.capture_bytes(), blob, "byte-identical re-encode");
+    assert_eq!(restored.stats.faults_handled, rt.stats.faults_handled);
+    assert_eq!(restored.stats.pages_fetched, rt.stats.pages_fetched);
+    assert_eq!(restored.resident_pages(), rt.resident_pages());
+    assert_eq!(restored.residency(page), rt.residency(page));
+}
+
+#[test]
+fn checkpoint_codec_rejects_malformed_blobs() {
+    let (mut _os, _eid, rt) = setup(RuntimeConfig::default());
+    let blob = rt.capture_bytes();
+    assert!(Runtime::restore_from_bytes(&[]).is_none(), "empty");
+    assert!(
+        Runtime::restore_from_bytes(&blob[..blob.len() - 1]).is_none(),
+        "truncated"
+    );
+    let mut bad_magic = blob.clone();
+    bad_magic[0] ^= 0xFF;
+    assert!(Runtime::restore_from_bytes(&bad_magic).is_none(), "magic");
+    let mut bad_version = blob.clone();
+    bad_version[4] = 9;
+    assert!(
+        Runtime::restore_from_bytes(&bad_version).is_none(),
+        "version"
+    );
+    let mut trailing = blob.clone();
+    trailing.push(0);
+    assert!(
+        Runtime::restore_from_bytes(&trailing).is_none(),
+        "trailing bytes"
+    );
+}

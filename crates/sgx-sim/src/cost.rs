@@ -222,6 +222,13 @@ impl Clock {
         Self::default()
     }
 
+    /// Reconstruct a clock from previously captured totals (checkpoint
+    /// restore). The per-tag totals must partition `cycles` exactly, as
+    /// produced by [`Clock::now`] + [`Clock::tag_totals`].
+    pub fn from_parts(cycles: u64, tagged: [u64; COST_TAGS]) -> Self {
+        Self { cycles, tagged }
+    }
+
     /// Charge `cycles` cycles, attributed to [`CostTag::Other`].
     pub fn charge(&mut self, cycles: u64) {
         self.charge_tagged(CostTag::Other, cycles);

@@ -102,6 +102,19 @@ pub enum SgxError {
     /// The SSA stack for the TCS is exhausted (nested faults beyond
     /// provisioned depth).
     SsaOverflow,
+    /// A platform monotonic counter failed its MAC check (NVRAM bits
+    /// overwritten by the OS) — the rollback-attack signal of the
+    /// checkpoint/restore subsystem.
+    CounterTampered,
+    /// A sealed snapshot's freshness check failed: the monotonic counter
+    /// does not match the value sealed into the blob (stale or forked
+    /// snapshot presented at restore).
+    SnapshotStale {
+        /// Counter value sealed inside the snapshot.
+        sealed: u64,
+        /// Current verified platform counter value.
+        current: u64,
+    },
 }
 
 impl core::fmt::Display for SgxError {
@@ -125,6 +138,13 @@ impl core::fmt::Display for SgxError {
             SgxError::Replay(vpn) => write!(f, "replay detected for page {vpn}"),
             SgxError::Terminated => write!(f, "enclave is terminated"),
             SgxError::SsaOverflow => write!(f, "SSA stack overflow"),
+            SgxError::CounterTampered => {
+                write!(f, "monotonic counter failed MAC verification")
+            }
+            SgxError::SnapshotStale { sealed, current } => write!(
+                f,
+                "snapshot freshness mismatch: sealed counter {sealed}, platform counter {current}"
+            ),
         }
     }
 }

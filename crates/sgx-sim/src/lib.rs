@@ -38,6 +38,7 @@
 pub mod addr;
 pub mod attest;
 pub mod cost;
+pub mod counter;
 pub mod enclave;
 pub mod epc;
 pub mod error;
@@ -48,12 +49,13 @@ pub mod tlb;
 
 pub use addr::{EnclaveId, Frame, Va, Vpn, PAGE_SIZE};
 pub use cost::{Clock, CostModel, CostTag, CLOCK_HZ, COST_TAGS};
+pub use counter::{snapshot_seal_key, MonotonicCounter};
 pub use enclave::{Attributes, Secs, SsaExInfo};
 pub use epc::{PageType, Perms};
 pub use error::{AccessKind, FaultCause, FaultEvent, SgxError};
 pub use machine::{
-    AccessError, Machine, MachineConfig, MachineStats, TransitionEvent, TransitionKind,
-    TRANSITION_KINDS,
+    AccessError, EnclaveCapture, Machine, MachineConfig, MachineStats, PageCapture, TcsCapture,
+    TransitionEvent, TransitionKind, TRANSITION_KINDS,
 };
 pub use pagetable::{PageTable, Pte};
 pub use seal::SealedPage;

@@ -21,11 +21,11 @@ use std::collections::HashMap;
 
 use crate::addr::{pages_covering, EnclaveId, Frame, Va, Vpn, PAGE_SIZE};
 use crate::attest::{make_report, Measurement, Report};
-use crate::cost::{Clock, CostModel, CostTag};
+use crate::cost::{Clock, CostModel, CostTag, COST_TAGS};
 use crate::enclave::{Attributes, Secs, SsaExInfo, SsaFrame, Tcs};
 use crate::epc::{Epc, EpcmEntry, PageType, Perms};
 use crate::error::{AccessKind, FaultCause, FaultEvent, SgxError};
-use crate::pagetable::PageTable;
+use crate::pagetable::{PageTable, Pte};
 use crate::seal::{open_page, seal_page, SealedPage};
 use crate::tlb::{Tlb, TlbEntry};
 
@@ -128,6 +128,85 @@ pub struct MachineStats {
     pub eaugs: u64,
     /// `EACCEPT`/`EACCEPTCOPY` operations.
     pub eaccepts: u64,
+}
+
+/// Captured state of one TCS slot ([`Tcs`] is deliberately not `Clone`,
+/// so checkpointing goes through this explicit mirror).
+#[derive(Debug, Clone)]
+pub struct TcsCapture {
+    /// Saved SSA stack (including any pending exception frames).
+    pub ssa: Vec<SsaFrame>,
+    /// Provisioned SSA depth.
+    pub nssa: usize,
+    /// Autarky pending-exception flag at capture time.
+    pub pending_exception: bool,
+    /// Whether a logical core was executing on this TCS.
+    pub active: bool,
+}
+
+/// Captured state of one resident EPC page: EPCM metadata plus contents.
+#[derive(Debug, Clone)]
+pub struct PageCapture {
+    /// Linear page this frame backed.
+    pub vpn: Vpn,
+    /// EPCM page type.
+    pub page_type: PageType,
+    /// EPCM permissions.
+    pub perms: Perms,
+    /// EBLOCK state.
+    pub blocked: bool,
+    /// SGXv2 pending (`EAUG` not yet accepted) state.
+    pub pending: bool,
+    /// SGXv2 modified (`EMODPR`/`EMODT` not yet accepted) state.
+    pub modified: bool,
+    /// Page contents (exactly [`PAGE_SIZE`] bytes).
+    pub contents: Vec<u8>,
+}
+
+/// A pause-time capture of one enclave plus the machine timing state its
+/// continuation depends on.
+///
+/// This is the plaintext the snapshot subsystem seals. Frame numbers are
+/// deliberately absent from page captures: EPC frames die with the
+/// machine, so [`Machine::restore_enclave`] re-allocates frames and
+/// rewrites the captured PTEs/TLB entries to the fresh allocation.
+/// Machine-global timing state (clock, stats, TLB warmth and counters)
+/// rides along because a byte-identical continuation needs it; restore
+/// therefore targets a *fresh* machine dedicated to this enclave.
+///
+/// All fields are public so tamper-style regression tests can corrupt a
+/// capture before sealing and assert the restore path rejects it.
+#[derive(Debug, Clone)]
+pub struct EnclaveCapture {
+    /// Enclave identity (preserved across restore).
+    pub eid: EnclaveId,
+    /// SECS at capture time.
+    pub secs: Secs,
+    /// Per-TCS state.
+    pub tcs: Vec<TcsCapture>,
+    /// Next anti-replay version per page, sorted by page.
+    pub next_version: Vec<(Vpn, u64)>,
+    /// Outstanding evicted-blob versions (the Version Array), sorted by
+    /// page.
+    pub outstanding: Vec<(Vpn, u64)>,
+    /// Resident pages, sorted by page.
+    pub pages: Vec<PageCapture>,
+    /// Page-table entries (including non-present ones), sorted by page.
+    pub ptes: Vec<(Vpn, Pte)>,
+    /// Cached TLB translations for this enclave, sorted by page.
+    pub tlb: Vec<(Vpn, TlbEntry)>,
+    /// Global clock at capture time.
+    pub clock_cycles: u64,
+    /// Per-tag clock decomposition at capture time.
+    pub clock_tagged: [u64; COST_TAGS],
+    /// Machine event counters at capture time.
+    pub stats: MachineStats,
+    /// TLB fill counter at capture time.
+    pub tlb_fills: u64,
+    /// TLB hit counter at capture time.
+    pub tlb_hits: u64,
+    /// TLB flush counter at capture time.
+    pub tlb_flushes: u64,
 }
 
 struct EnclaveState {
@@ -1063,6 +1142,177 @@ impl Machine {
         let frame = self.frame_of(eid, vpn)?;
         Ok(self.epc.page(frame)?.to_vec())
     }
+
+    /// Trusted query of the anti-replay Version Array slot for one page:
+    /// the version of the currently outstanding evicted blob, or `None`
+    /// if the page has no sealed copy outstanding. The runtime uses this
+    /// to enforce seal *freshness* (a sealed blob that authenticates but
+    /// carries an older version is a downgrade, not a replay — `ELDU`
+    /// alone cannot tell the runtime which version it was waiting for).
+    pub fn outstanding_version(&self, eid: EnclaveId, vpn: Vpn) -> Result<Option<u64>, SgxError> {
+        Ok(self.enclave(eid)?.outstanding.get(&vpn).copied())
+    }
+
+    /// Capture a fully-built enclave (and the machine timing state its
+    /// continuation depends on) into a plaintext [`EnclaveCapture`].
+    ///
+    /// This models the pause side of checkpoint/restore: the machine is
+    /// about to lose power, so everything the enclave needs to continue
+    /// byte-identically — resident pages, EPCM metadata, page table, TLB
+    /// warmth, SSA stacks, version arrays, clock and event counters — is
+    /// exported in deterministic (page-sorted) order. The caller is
+    /// responsible for sealing the capture before it leaves trusted
+    /// hands; the machine itself never emits it to the OS.
+    ///
+    /// Fails with [`SgxError::LifecycleViolation`] if the enclave is not
+    /// yet initialized (a half-built enclave has no meaningful
+    /// continuation).
+    pub fn capture_enclave(&self, eid: EnclaveId) -> Result<EnclaveCapture, SgxError> {
+        let state = self.enclave(eid)?;
+        if !state.secs.initialized || state.building.is_some() {
+            return Err(SgxError::LifecycleViolation);
+        }
+        let mut pages = Vec::new();
+        for (frame, entry) in self.epc.iter_valid() {
+            if entry.eid != eid {
+                continue;
+            }
+            pages.push(PageCapture {
+                vpn: entry.vpn,
+                page_type: entry.page_type,
+                perms: entry.perms,
+                blocked: entry.blocked,
+                pending: entry.pending,
+                modified: entry.modified,
+                contents: self.epc.page(frame)?.to_vec(),
+            });
+        }
+        pages.sort_by_key(|p| p.vpn.0);
+        let mut ptes: Vec<(Vpn, Pte)> = self.page_table(eid)?.iter().collect();
+        ptes.sort_by_key(|&(vpn, _)| vpn.0);
+        let mut next_version: Vec<(Vpn, u64)> =
+            state.next_version.iter().map(|(&v, &n)| (v, n)).collect();
+        next_version.sort_by_key(|&(vpn, _)| vpn.0);
+        let mut outstanding: Vec<(Vpn, u64)> =
+            state.outstanding.iter().map(|(&v, &n)| (v, n)).collect();
+        outstanding.sort_by_key(|&(vpn, _)| vpn.0);
+        let tcs = state
+            .tcs
+            .iter()
+            .map(|t| TcsCapture {
+                ssa: t.ssa.clone(),
+                nssa: t.nssa,
+                pending_exception: t.pending_exception,
+                active: t.active,
+            })
+            .collect();
+        Ok(EnclaveCapture {
+            eid,
+            secs: state.secs.clone(),
+            tcs,
+            next_version,
+            outstanding,
+            pages,
+            ptes,
+            tlb: self.tlb.entries_of(eid),
+            clock_cycles: self.clock.now(),
+            clock_tagged: self.clock.tag_totals(),
+            stats: self.stats.clone(),
+            tlb_fills: self.tlb.fills(),
+            tlb_hits: self.tlb.hits(),
+            tlb_flushes: self.tlb.flushes(),
+        })
+    }
+
+    /// Rebuild a captured enclave on this machine (the restore side of
+    /// checkpoint/restore, modeling `ELDU`-style reconstruction of the
+    /// whole enclave at once).
+    ///
+    /// EPC frames are re-allocated fresh — the captured frame numbers
+    /// died with the old machine — and the present PTEs, TLB entries and
+    /// frame index are rewritten consistently to the new allocation.
+    /// Machine-global timing state (clock, stats, TLB counters) is
+    /// overwritten from the capture so the continuation is
+    /// byte-identical; restore therefore targets a *fresh* machine built
+    /// with the same [`MachineConfig`]. On error the machine may hold a
+    /// partially-restored enclave and must be discarded.
+    ///
+    /// Callers are responsible for freshness: this method checks
+    /// structural integrity (unseal happens upstream), not whether the
+    /// capture is the *latest* one. Fails with
+    /// [`SgxError::LifecycleViolation`] if the enclave id already exists
+    /// and [`SgxError::SealBroken`] on a malformed page capture.
+    pub fn restore_enclave(&mut self, capture: &EnclaveCapture) -> Result<(), SgxError> {
+        let eid = capture.eid;
+        if self.enclaves.contains_key(&eid) {
+            return Err(SgxError::LifecycleViolation);
+        }
+        if !capture.secs.initialized {
+            return Err(SgxError::LifecycleViolation);
+        }
+        let mut new_frames: HashMap<Vpn, Frame> = HashMap::new();
+        for page in &capture.pages {
+            if page.contents.len() != PAGE_SIZE {
+                return Err(SgxError::SealBroken);
+            }
+            let frame = self.epc.alloc(EpcmEntry {
+                valid: true,
+                eid,
+                vpn: page.vpn,
+                page_type: page.page_type,
+                perms: page.perms,
+                blocked: page.blocked,
+                pending: page.pending,
+                modified: page.modified,
+            })?;
+            self.epc.page_mut(frame)?.copy_from_slice(&page.contents);
+            self.frame_index.insert((eid, page.vpn), frame);
+            new_frames.insert(page.vpn, frame);
+        }
+        let mut table = PageTable::new();
+        for &(vpn, pte) in &capture.ptes {
+            let mut pte = pte;
+            if let Some(&frame) = new_frames.get(&vpn) {
+                pte.frame = frame;
+            }
+            table.map(vpn, pte);
+        }
+        self.page_tables.insert(eid, table);
+        for &(vpn, entry) in &capture.tlb {
+            let mut entry = entry;
+            if let Some(&frame) = new_frames.get(&vpn) {
+                entry.frame = frame;
+            }
+            self.tlb.reinstall(eid, vpn, entry);
+        }
+        let tcs = capture
+            .tcs
+            .iter()
+            .map(|c| {
+                let mut t = Tcs::new(c.nssa);
+                t.ssa = c.ssa.clone();
+                t.pending_exception = c.pending_exception;
+                t.active = c.active;
+                t
+            })
+            .collect();
+        self.enclaves.insert(
+            eid,
+            EnclaveState {
+                secs: capture.secs.clone(),
+                tcs,
+                building: None,
+                next_version: capture.next_version.iter().copied().collect(),
+                outstanding: capture.outstanding.iter().copied().collect(),
+            },
+        );
+        self.clock = Clock::from_parts(capture.clock_cycles, capture.clock_tagged);
+        self.stats = capture.stats.clone();
+        self.tlb
+            .restore_counters(capture.tlb_fills, capture.tlb_hits, capture.tlb_flushes);
+        self.next_eid = self.next_eid.max(eid.0 + 1);
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -1519,5 +1769,80 @@ mod tests {
         let (fills1, hits1, _) = machine.tlb_stats();
         assert_eq!(fills1 - fills0, 1, "one fill, then hits");
         assert!(hits1 >= 9);
+    }
+
+    #[test]
+    fn capture_restore_round_trip_continues_byte_identically() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let eid = build_enclave(&mut machine, true, 4);
+        machine
+            .write_bytes(eid, 0, Va(0x100010), &[0xCA, 0xFE])
+            .expect("write");
+        let capture = machine.capture_enclave(eid).expect("capture");
+
+        // The old machine dies; a fresh one with the same config takes over.
+        let mut fresh = Machine::new(MachineConfig::default());
+        fresh.restore_enclave(&capture).expect("restore");
+
+        // Contents, identity and timing state all carried across.
+        let mut buf = [0u8; 2];
+        fresh
+            .read_bytes(eid, 0, Va(0x100010), &mut buf)
+            .expect("read after restore");
+        assert_eq!(buf, [0xCA, 0xFE]);
+        assert_eq!(
+            fresh.capture_enclave(eid).expect("recapture").secs.base,
+            capture.secs.base
+        );
+        assert_eq!(fresh.stats().eenters, capture.stats.eenters);
+
+        // Clock and TLB warmth match the donor at capture time, plus
+        // exactly what the post-restore accesses added: the same access
+        // on the donor and on the restored machine must cost the same.
+        let mut donor = Machine::new(MachineConfig::default());
+        let donor_eid = build_enclave(&mut donor, true, 4);
+        donor
+            .write_bytes(donor_eid, 0, Va(0x100010), &[0xCA, 0xFE])
+            .expect("write");
+        let mut donor_buf = [0u8; 2];
+        donor
+            .read_bytes(donor_eid, 0, Va(0x100010), &mut donor_buf)
+            .expect("read");
+        assert_eq!(fresh.clock.now(), donor.clock.now());
+        assert_eq!(fresh.tlb_stats(), donor.tlb_stats());
+    }
+
+    #[test]
+    fn restore_rejects_existing_enclave_and_preserves_versions() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let eid = build_enclave(&mut machine, true, 4);
+        let capture = machine.capture_enclave(eid).expect("capture");
+        // Restoring over a live enclave with the same id must fail.
+        assert_eq!(
+            machine.restore_enclave(&capture),
+            Err(SgxError::LifecycleViolation),
+        );
+
+        let mut fresh = Machine::new(MachineConfig::default());
+        fresh.restore_enclave(&capture).expect("restore");
+        // Version-array state survives: no page had been evicted, so no
+        // outstanding versions, and new ids don't collide with the
+        // restored one.
+        assert_eq!(
+            fresh.outstanding_version(eid, Vpn(0x100)).expect("query"),
+            None
+        );
+        let other = fresh.ecreate(Va(0x900000), 4 * PAGE_SIZE as u64, Attributes::default());
+        assert_ne!(other, eid);
+    }
+
+    #[test]
+    fn capture_requires_initialized_enclave() {
+        let mut machine = Machine::new(MachineConfig::default());
+        let eid = machine.ecreate(Va(0x100000), 4 * PAGE_SIZE as u64, Attributes::default());
+        assert!(matches!(
+            machine.capture_enclave(eid),
+            Err(SgxError::LifecycleViolation)
+        ));
     }
 }

@@ -76,6 +76,33 @@ impl Tlb {
         self.entries.retain(|(e, _), _| *e != eid);
     }
 
+    /// Capture one enclave's cached translations, sorted by page, without
+    /// counting lookups (checkpoint support: TLB warmth changes the cycle
+    /// charges of the continuation, so a byte-identical restore must carry
+    /// the entries — and the counters — across).
+    pub fn entries_of(&self, eid: EnclaveId) -> Vec<(Vpn, TlbEntry)> {
+        let mut entries: Vec<(Vpn, TlbEntry)> = self
+            .entries
+            .iter()
+            .filter(|((e, _), _)| *e == eid)
+            .map(|((_, vpn), entry)| (*vpn, *entry))
+            .collect();
+        entries.sort_by_key(|(vpn, _)| vpn.0);
+        entries
+    }
+
+    /// Reinstall a captured translation without counting a fill.
+    pub fn reinstall(&mut self, eid: EnclaveId, vpn: Vpn, entry: TlbEntry) {
+        self.entries.insert((eid, vpn), entry);
+    }
+
+    /// Restore the fill/hit/flush counters from a capture.
+    pub fn restore_counters(&mut self, fills: u64, hits: u64, flushes: u64) {
+        self.fills = fills;
+        self.hits = hits;
+        self.flushes = flushes;
+    }
+
     /// Total fills since creation.
     pub fn fills(&self) -> u64 {
         self.fills

@@ -1,0 +1,380 @@
+//! Canonical byte codec for [`EnclaveCapture`] and the snapshot payload.
+//!
+//! The encoding is deterministic (the capture's collections are already
+//! sorted by the machine's capture path) and little-endian throughout, so
+//! the same enclave state always seals to the same plaintext. Decoding is
+//! strict: every enum discriminant is validated, lengths are checked, and
+//! trailing bytes are rejected, because the decoder's input is untrusted
+//! until the AEAD tag has verified — and even then a malformed payload
+//! must surface as an error, never a panic.
+
+use autarky_sgx_sim::enclave::SsaFrame;
+use autarky_sgx_sim::tlb::TlbEntry;
+use autarky_sgx_sim::{
+    AccessKind, Attributes, EnclaveCapture, EnclaveId, FaultCause, Frame, MachineStats,
+    PageCapture, PageType, Perms, Pte, Secs, SsaExInfo, Va, Vpn, COST_TAGS, PAGE_SIZE,
+};
+
+pub(crate) fn take_u8(input: &mut &[u8]) -> Option<u8> {
+    let (&byte, rest) = input.split_first()?;
+    *input = rest;
+    Some(byte)
+}
+
+pub(crate) fn take_u32(input: &mut &[u8]) -> Option<u32> {
+    if input.len() < 4 {
+        return None;
+    }
+    let (head, rest) = input.split_at(4);
+    *input = rest;
+    Some(u32::from_le_bytes(head.try_into().ok()?))
+}
+
+pub(crate) fn take_u64(input: &mut &[u8]) -> Option<u64> {
+    if input.len() < 8 {
+        return None;
+    }
+    let (head, rest) = input.split_at(8);
+    *input = rest;
+    Some(u64::from_le_bytes(head.try_into().ok()?))
+}
+
+fn take_bytes<'a>(input: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if input.len() < n {
+        return None;
+    }
+    let (head, rest) = input.split_at(n);
+    *input = rest;
+    Some(head)
+}
+
+fn put_bool(out: &mut Vec<u8>, value: bool) {
+    out.push(u8::from(value));
+}
+
+fn take_bool(input: &mut &[u8]) -> Option<bool> {
+    match take_u8(input)? {
+        0 => Some(false),
+        1 => Some(true),
+        _ => None,
+    }
+}
+
+fn perms_bits(perms: Perms) -> u8 {
+    u8::from(perms.r) | u8::from(perms.w) << 1 | u8::from(perms.x) << 2
+}
+
+fn perms_from_bits(bits: u8) -> Option<Perms> {
+    if bits > 0b111 {
+        return None;
+    }
+    Some(Perms {
+        r: bits & 1 != 0,
+        w: bits & 2 != 0,
+        x: bits & 4 != 0,
+    })
+}
+
+fn page_type_tag(page_type: PageType) -> u8 {
+    match page_type {
+        PageType::Reg => 0,
+        PageType::Tcs => 1,
+        PageType::Trim => 2,
+    }
+}
+
+fn page_type_from(tag: u8) -> Option<PageType> {
+    match tag {
+        0 => Some(PageType::Reg),
+        1 => Some(PageType::Tcs),
+        2 => Some(PageType::Trim),
+        _ => None,
+    }
+}
+
+fn access_kind_tag(kind: AccessKind) -> u8 {
+    match kind {
+        AccessKind::Read => 0,
+        AccessKind::Write => 1,
+        AccessKind::Execute => 2,
+    }
+}
+
+fn access_kind_from(tag: u8) -> Option<AccessKind> {
+    match tag {
+        0 => Some(AccessKind::Read),
+        1 => Some(AccessKind::Write),
+        2 => Some(AccessKind::Execute),
+        _ => None,
+    }
+}
+
+fn fault_cause_tag(cause: FaultCause) -> u8 {
+    match cause {
+        FaultCause::NotPresent => 0,
+        FaultCause::Permission => 1,
+        FaultCause::EpcmMismatch => 2,
+        FaultCause::EpcmBlocked => 3,
+        FaultCause::AdBitsClear => 4,
+    }
+}
+
+fn fault_cause_from(tag: u8) -> Option<FaultCause> {
+    match tag {
+        0 => Some(FaultCause::NotPresent),
+        1 => Some(FaultCause::Permission),
+        2 => Some(FaultCause::EpcmMismatch),
+        3 => Some(FaultCause::EpcmBlocked),
+        4 => Some(FaultCause::AdBitsClear),
+        _ => None,
+    }
+}
+
+fn encode_ssa_frame(out: &mut Vec<u8>, frame: &SsaFrame) {
+    match &frame.exinfo {
+        Some(info) => {
+            out.push(1);
+            out.extend_from_slice(&info.va.0.to_le_bytes());
+            out.push(access_kind_tag(info.kind));
+            out.push(fault_cause_tag(info.cause));
+        }
+        None => out.push(0),
+    }
+}
+
+fn decode_ssa_frame(input: &mut &[u8]) -> Option<SsaFrame> {
+    let exinfo = match take_u8(input)? {
+        0 => None,
+        1 => Some(SsaExInfo {
+            va: Va(take_u64(input)?),
+            kind: access_kind_from(take_u8(input)?)?,
+            cause: fault_cause_from(take_u8(input)?)?,
+        }),
+        _ => return None,
+    };
+    Some(SsaFrame { exinfo })
+}
+
+fn encode_vpn_u64_list(out: &mut Vec<u8>, list: &[(Vpn, u64)]) {
+    out.extend_from_slice(&(list.len() as u64).to_le_bytes());
+    for &(vpn, value) in list {
+        out.extend_from_slice(&vpn.0.to_le_bytes());
+        out.extend_from_slice(&value.to_le_bytes());
+    }
+}
+
+fn decode_vpn_u64_list(input: &mut &[u8]) -> Option<Vec<(Vpn, u64)>> {
+    let n = take_u64(input)? as usize;
+    let mut list = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let vpn = Vpn(take_u64(input)?);
+        let value = take_u64(input)?;
+        list.push((vpn, value));
+    }
+    Some(list)
+}
+
+/// Encode a full enclave capture into canonical bytes.
+pub fn encode_capture(capture: &EnclaveCapture) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&capture.eid.0.to_le_bytes());
+    // SECS.
+    out.extend_from_slice(&capture.secs.base.0.to_le_bytes());
+    out.extend_from_slice(&capture.secs.size.to_le_bytes());
+    put_bool(&mut out, capture.secs.attributes.self_paging);
+    put_bool(&mut out, capture.secs.attributes.debug);
+    out.extend_from_slice(&capture.secs.measurement);
+    put_bool(&mut out, capture.secs.initialized);
+    put_bool(&mut out, capture.secs.terminated);
+    // TCS slots.
+    out.extend_from_slice(&(capture.tcs.len() as u64).to_le_bytes());
+    for tcs in &capture.tcs {
+        out.extend_from_slice(&(tcs.nssa as u64).to_le_bytes());
+        put_bool(&mut out, tcs.pending_exception);
+        put_bool(&mut out, tcs.active);
+        out.extend_from_slice(&(tcs.ssa.len() as u64).to_le_bytes());
+        for frame in &tcs.ssa {
+            encode_ssa_frame(&mut out, frame);
+        }
+    }
+    // Anti-replay version state.
+    encode_vpn_u64_list(&mut out, &capture.next_version);
+    encode_vpn_u64_list(&mut out, &capture.outstanding);
+    // Resident pages.
+    out.extend_from_slice(&(capture.pages.len() as u64).to_le_bytes());
+    for page in &capture.pages {
+        out.extend_from_slice(&page.vpn.0.to_le_bytes());
+        out.push(page_type_tag(page.page_type));
+        out.push(perms_bits(page.perms));
+        put_bool(&mut out, page.blocked);
+        put_bool(&mut out, page.pending);
+        put_bool(&mut out, page.modified);
+        out.extend_from_slice(&page.contents);
+    }
+    // Page-table entries.
+    out.extend_from_slice(&(capture.ptes.len() as u64).to_le_bytes());
+    for &(vpn, pte) in &capture.ptes {
+        out.extend_from_slice(&vpn.0.to_le_bytes());
+        put_bool(&mut out, pte.present);
+        out.extend_from_slice(&pte.frame.0.to_le_bytes());
+        out.push(perms_bits(pte.perms));
+        put_bool(&mut out, pte.accessed);
+        put_bool(&mut out, pte.dirty);
+    }
+    // TLB entries.
+    out.extend_from_slice(&(capture.tlb.len() as u64).to_le_bytes());
+    for &(vpn, entry) in &capture.tlb {
+        out.extend_from_slice(&vpn.0.to_le_bytes());
+        out.extend_from_slice(&entry.frame.0.to_le_bytes());
+        out.push(perms_bits(entry.perms));
+        put_bool(&mut out, entry.dirty_ok);
+    }
+    // Timing and counters.
+    out.extend_from_slice(&capture.clock_cycles.to_le_bytes());
+    for tagged in capture.clock_tagged {
+        out.extend_from_slice(&tagged.to_le_bytes());
+    }
+    for stat in [
+        capture.stats.faults,
+        capture.stats.aexs,
+        capture.stats.eenters,
+        capture.stats.eresumes,
+        capture.stats.ewbs,
+        capture.stats.eldus,
+        capture.stats.eaugs,
+        capture.stats.eaccepts,
+    ] {
+        out.extend_from_slice(&stat.to_le_bytes());
+    }
+    out.extend_from_slice(&capture.tlb_fills.to_le_bytes());
+    out.extend_from_slice(&capture.tlb_hits.to_le_bytes());
+    out.extend_from_slice(&capture.tlb_flushes.to_le_bytes());
+    out
+}
+
+/// Decode an enclave capture, consuming exactly its encoding from the
+/// front of `input`. Returns `None` on any structural problem.
+pub fn decode_capture(input: &mut &[u8]) -> Option<EnclaveCapture> {
+    let eid = EnclaveId(take_u32(input)?);
+    let secs = Secs {
+        base: Va(take_u64(input)?),
+        size: take_u64(input)?,
+        attributes: Attributes {
+            self_paging: take_bool(input)?,
+            debug: take_bool(input)?,
+        },
+        measurement: take_bytes(input, 32)?.try_into().ok()?,
+        initialized: take_bool(input)?,
+        terminated: take_bool(input)?,
+    };
+    let n = take_u64(input)? as usize;
+    let mut tcs = Vec::with_capacity(n.min(1 << 10));
+    for _ in 0..n {
+        let nssa = take_u64(input)? as usize;
+        let pending_exception = take_bool(input)?;
+        let active = take_bool(input)?;
+        let frames = take_u64(input)? as usize;
+        let mut ssa = Vec::with_capacity(frames.min(1 << 10));
+        for _ in 0..frames {
+            ssa.push(decode_ssa_frame(input)?);
+        }
+        tcs.push(autarky_sgx_sim::TcsCapture {
+            ssa,
+            nssa,
+            pending_exception,
+            active,
+        });
+    }
+    let next_version = decode_vpn_u64_list(input)?;
+    let outstanding = decode_vpn_u64_list(input)?;
+    let n = take_u64(input)? as usize;
+    let mut pages = Vec::with_capacity(n.min(1 << 16));
+    for _ in 0..n {
+        let vpn = Vpn(take_u64(input)?);
+        let page_type = page_type_from(take_u8(input)?)?;
+        let perms = perms_from_bits(take_u8(input)?)?;
+        let blocked = take_bool(input)?;
+        let pending = take_bool(input)?;
+        let modified = take_bool(input)?;
+        let contents = take_bytes(input, PAGE_SIZE)?.to_vec();
+        pages.push(PageCapture {
+            vpn,
+            page_type,
+            perms,
+            blocked,
+            pending,
+            modified,
+            contents,
+        });
+    }
+    let n = take_u64(input)? as usize;
+    let mut ptes = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let vpn = Vpn(take_u64(input)?);
+        let present = take_bool(input)?;
+        let frame = Frame(take_u32(input)?);
+        let perms = perms_from_bits(take_u8(input)?)?;
+        let accessed = take_bool(input)?;
+        let dirty = take_bool(input)?;
+        ptes.push((
+            vpn,
+            Pte {
+                present,
+                frame,
+                perms,
+                accessed,
+                dirty,
+            },
+        ));
+    }
+    let n = take_u64(input)? as usize;
+    let mut tlb = Vec::with_capacity(n.min(1 << 20));
+    for _ in 0..n {
+        let vpn = Vpn(take_u64(input)?);
+        let frame = Frame(take_u32(input)?);
+        let perms = perms_from_bits(take_u8(input)?)?;
+        let dirty_ok = take_bool(input)?;
+        tlb.push((
+            vpn,
+            TlbEntry {
+                frame,
+                perms,
+                dirty_ok,
+            },
+        ));
+    }
+    let clock_cycles = take_u64(input)?;
+    let mut clock_tagged = [0u64; COST_TAGS];
+    for slot in &mut clock_tagged {
+        *slot = take_u64(input)?;
+    }
+    let stats = MachineStats {
+        faults: take_u64(input)?,
+        aexs: take_u64(input)?,
+        eenters: take_u64(input)?,
+        eresumes: take_u64(input)?,
+        ewbs: take_u64(input)?,
+        eldus: take_u64(input)?,
+        eaugs: take_u64(input)?,
+        eaccepts: take_u64(input)?,
+    };
+    let tlb_fills = take_u64(input)?;
+    let tlb_hits = take_u64(input)?;
+    let tlb_flushes = take_u64(input)?;
+    Some(EnclaveCapture {
+        eid,
+        secs,
+        tcs,
+        next_version,
+        outstanding,
+        pages,
+        ptes,
+        tlb,
+        clock_cycles,
+        clock_tagged,
+        stats,
+        tlb_fills,
+        tlb_hits,
+        tlb_flushes,
+    })
+}

@@ -199,7 +199,153 @@ impl Telemetry {
             + self.gauges.encoded_len()
             + self.hists.encoded_len()
     }
+
+    /// Full-fidelity state export for checkpoint/restore.
+    ///
+    /// Unlike [`Telemetry::snapshot_bytes`] (the aggregate-only *export*
+    /// path that deliberately omits the raw span ring), this encodes
+    /// everything — epoch, the ring with its individual records and drop
+    /// counter, the span aggregates, and all metrics — so a restored
+    /// enclave continues with telemetry byte-identical to an
+    /// uninterrupted run. The blob stays inside the sealed snapshot; it
+    /// is never exported to the OS in the clear.
+    pub fn state_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        out.extend_from_slice(b"AYTS");
+        out.extend_from_slice(&1u32.to_le_bytes());
+        out.extend_from_slice(&self.epoch.to_le_bytes());
+        out.extend_from_slice(&(self.ring.capacity() as u64).to_le_bytes());
+        out.extend_from_slice(&self.ring.dropped().to_le_bytes());
+        out.extend_from_slice(&(self.ring.len() as u64).to_le_bytes());
+        for record in self.ring.records() {
+            out.push(record.kind as u8);
+            out.extend_from_slice(&record.start_cycles.to_le_bytes());
+            out.extend_from_slice(&record.end_cycles.to_le_bytes());
+        }
+        for agg in &self.spans {
+            out.extend_from_slice(&agg.count.to_le_bytes());
+            out.extend_from_slice(&agg.total_cycles.to_le_bytes());
+            agg.hist.encode_into(&mut out);
+        }
+        self.counters.encode_into(&mut out);
+        self.gauges.encode_into(&mut out);
+        self.hists.encode_into(&mut out);
+        out
+    }
+
+    /// Restore the full state from [`Telemetry::state_bytes`] output.
+    ///
+    /// `self` must have been constructed with the same schema (ring
+    /// capacity and metric names) as the instance that produced the
+    /// blob. On error, `self` is left unchanged — the decode completes
+    /// into temporaries before anything is committed.
+    pub fn restore_state(&mut self, blob: &[u8]) -> Result<(), StateError> {
+        let mut input = blob;
+        if input.len() < 8 {
+            return Err(StateError::Malformed);
+        }
+        if &input[..4] != b"AYTS" {
+            return Err(StateError::BadMagic);
+        }
+        input = &input[4..];
+        let version = metrics::take_u32(&mut input).ok_or(StateError::Malformed)?;
+        if version != 1 {
+            return Err(StateError::BadVersion(version));
+        }
+        let epoch = metrics::take_u64(&mut input).ok_or(StateError::Malformed)?;
+        let capacity = metrics::take_u64(&mut input).ok_or(StateError::Malformed)? as usize;
+        if capacity != self.ring.capacity() {
+            return Err(StateError::SchemaMismatch);
+        }
+        let dropped = metrics::take_u64(&mut input).ok_or(StateError::Malformed)?;
+        let len = metrics::take_u64(&mut input).ok_or(StateError::Malformed)? as usize;
+        if len > capacity {
+            return Err(StateError::Malformed);
+        }
+        let mut records = Vec::with_capacity(len);
+        for _ in 0..len {
+            let (&kind, rest) = input.split_first().ok_or(StateError::Malformed)?;
+            input = rest;
+            let kind = SpanKind::from_u8(kind).ok_or(StateError::Malformed)?;
+            let start_cycles = metrics::take_u64(&mut input).ok_or(StateError::Malformed)?;
+            let end_cycles = metrics::take_u64(&mut input).ok_or(StateError::Malformed)?;
+            records.push(SpanRecord {
+                kind,
+                start_cycles,
+                end_cycles,
+            });
+        }
+        let ring =
+            SpanRing::restore_parts(capacity, records, dropped).ok_or(StateError::Malformed)?;
+        let mut spans: [SpanAgg; SPAN_KINDS] = core::array::from_fn(|_| SpanAgg::default());
+        for agg in &mut spans {
+            agg.count = metrics::take_u64(&mut input).ok_or(StateError::Malformed)?;
+            agg.total_cycles = metrics::take_u64(&mut input).ok_or(StateError::Malformed)?;
+            agg.hist = Histogram::decode_from(&mut input).ok_or(StateError::Malformed)?;
+        }
+        // A short tail is truncation; a full-length section that still
+        // fails to decode means the blob was written under a different
+        // metric schema.
+        let metrics_len =
+            self.counters.encoded_len() + self.gauges.encoded_len() + self.hists.encoded_len();
+        if input.len() < metrics_len {
+            return Err(StateError::Malformed);
+        }
+        let mut counters = self.counters.clone();
+        counters
+            .restore_from(&mut input)
+            .ok_or(StateError::SchemaMismatch)?;
+        let mut gauges = self.gauges.clone();
+        gauges
+            .restore_from(&mut input)
+            .ok_or(StateError::SchemaMismatch)?;
+        let mut hists = self.hists.clone();
+        hists
+            .restore_from(&mut input)
+            .ok_or(StateError::SchemaMismatch)?;
+        if !input.is_empty() {
+            return Err(StateError::Malformed);
+        }
+        self.epoch = epoch;
+        self.ring = ring;
+        self.spans = spans;
+        self.counters = counters;
+        self.gauges = gauges;
+        self.hists = hists;
+        Ok(())
+    }
 }
+
+/// Errors from [`Telemetry::restore_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StateError {
+    /// Blob does not start with the `AYTS` magic.
+    BadMagic,
+    /// Unknown state-format version.
+    BadVersion(u32),
+    /// Blob truncated or structurally malformed.
+    Malformed,
+    /// Blob was produced under a different metric schema or ring size.
+    SchemaMismatch,
+}
+
+impl core::fmt::Display for StateError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            StateError::BadMagic => write!(f, "telemetry state blob has bad magic"),
+            StateError::BadVersion(v) => write!(f, "unknown telemetry state version {v}"),
+            StateError::Malformed => write!(f, "telemetry state blob is malformed"),
+            StateError::SchemaMismatch => {
+                write!(
+                    f,
+                    "telemetry state blob does not match the registered schema"
+                )
+            }
+        }
+    }
+}
+
+impl std::error::Error for StateError {}
 
 #[cfg(test)]
 mod tests {
@@ -268,5 +414,76 @@ mod tests {
         let s1 = t.end_epoch();
         assert_eq!(s0.len(), s1.len());
         assert_ne!(s0, s1, "epoch counter is part of the snapshot");
+    }
+
+    #[test]
+    fn state_round_trip_is_exact() {
+        let mut t = schema();
+        t.span(SpanKind::FaultHandler, 100, 150);
+        t.span(SpanKind::Seal, 200, 260);
+        t.incr("faults");
+        t.add("retries", 3);
+        t.gauge_set("stash", 11);
+        t.hist_record("batch", 42);
+        t.end_epoch();
+
+        let blob = t.state_bytes();
+        let mut restored = schema();
+        restored.restore_state(&blob).expect("restore");
+        assert_eq!(restored, t, "full state including ring and epoch");
+
+        // The restored instance continues identically.
+        for x in [&mut t, &mut restored] {
+            x.span(SpanKind::Open, 300, 310);
+            x.incr("faults");
+        }
+        assert_eq!(restored.snapshot_bytes(), t.snapshot_bytes());
+        assert_eq!(restored.state_bytes(), t.state_bytes());
+    }
+
+    #[test]
+    fn state_restore_preserves_ring_overflow() {
+        // A saturated ring (capacity 8) round-trips exactly: retained
+        // prefix, drop counter, and post-restore drop behaviour.
+        let mut t = schema();
+        for i in 0..20 {
+            t.span(SpanKind::FaultHandler, i * 10, i * 10 + 5);
+        }
+        assert_eq!(t.ring().len(), 8);
+        assert_eq!(t.ring().dropped(), 12);
+
+        let mut restored = schema();
+        restored.restore_state(&t.state_bytes()).expect("restore");
+        assert_eq!(restored.ring().records(), t.ring().records());
+        assert_eq!(restored.ring().dropped(), 12);
+        restored.span(SpanKind::Seal, 999, 1000);
+        assert_eq!(restored.ring().dropped(), 13, "still saturated");
+    }
+
+    #[test]
+    fn state_restore_rejects_bad_blobs() {
+        let t = schema();
+        let blob = t.state_bytes();
+
+        let mut other_schema = Telemetry::new(8, &["faults"], &["stash"], &["batch"]);
+        assert_eq!(
+            other_schema.restore_state(&blob),
+            Err(StateError::SchemaMismatch)
+        );
+        let mut other_ring = Telemetry::new(4, &["faults", "retries"], &["stash"], &["batch"]);
+        assert_eq!(
+            other_ring.restore_state(&blob),
+            Err(StateError::SchemaMismatch)
+        );
+
+        let mut fresh = schema();
+        assert_eq!(
+            fresh.restore_state(&blob[..blob.len() - 1]),
+            Err(StateError::Malformed)
+        );
+        let mut bad_magic = blob.clone();
+        bad_magic[0] ^= 0xFF;
+        assert_eq!(fresh.restore_state(&bad_magic), Err(StateError::BadMagic));
+        assert_eq!(fresh, schema(), "failed restores leave state untouched");
     }
 }

@@ -145,6 +145,51 @@ impl Histogram {
             out.extend_from_slice(&b.to_le_bytes());
         }
     }
+
+    /// Rebuild a histogram from its canonical encoding (the inverse of
+    /// [`Histogram::encode_into`]), consuming from `input`. The encoding
+    /// stores `min()` (0 when empty), so an empty histogram decodes back
+    /// to the internal `u64::MAX` sentinel and keeps recording correctly.
+    /// Returns `None` on truncation.
+    pub fn decode_from(input: &mut &[u8]) -> Option<Histogram> {
+        let count = take_u64(input)?;
+        let sum = take_u64(input)?;
+        let min = take_u64(input)?;
+        let max = take_u64(input)?;
+        let mut buckets = [0u64; HIST_BUCKETS];
+        for b in &mut buckets {
+            *b = take_u64(input)?;
+        }
+        Some(Histogram {
+            buckets,
+            count,
+            sum,
+            min: if count == 0 { u64::MAX } else { min },
+            max,
+        })
+    }
+}
+
+/// Consume a little-endian `u64` from the front of `input`.
+pub(crate) fn take_u64(input: &mut &[u8]) -> Option<u64> {
+    if input.len() < 8 {
+        return None;
+    }
+    let mut bytes = [0u8; 8];
+    bytes.copy_from_slice(&input[..8]);
+    *input = &input[8..];
+    Some(u64::from_le_bytes(bytes))
+}
+
+/// Consume a little-endian `u32` from the front of `input`.
+pub(crate) fn take_u32(input: &mut &[u8]) -> Option<u32> {
+    if input.len() < 4 {
+        return None;
+    }
+    let mut bytes = [0u8; 4];
+    bytes.copy_from_slice(&input[..4]);
+    *input = &input[4..];
+    Some(u32::from_le_bytes(bytes))
 }
 
 /// A fixed set of named `u64` counters.
@@ -205,6 +250,20 @@ impl CounterSet {
     /// Encoded size for this schema.
     pub fn encoded_len(&self) -> usize {
         4 + self.values.len() * 8
+    }
+
+    /// Overwrite the values from a canonical encoding produced under the
+    /// same schema, consuming from `input`. Returns `None` on truncation
+    /// or if the encoded count differs from the registered schema.
+    pub fn restore_from(&mut self, input: &mut &[u8]) -> Option<()> {
+        let n = take_u32(input)? as usize;
+        if n != self.names.len() {
+            return None;
+        }
+        for v in &mut self.values {
+            *v = take_u64(input)?;
+        }
+        Some(())
     }
 }
 
@@ -268,6 +327,22 @@ impl GaugeSet {
     pub fn encoded_len(&self) -> usize {
         4 + self.names.len() * 24
     }
+
+    /// Overwrite the gauge state from a canonical encoding produced under
+    /// the same schema, consuming from `input`. Returns `None` on
+    /// truncation or schema-count mismatch.
+    pub fn restore_from(&mut self, input: &mut &[u8]) -> Option<()> {
+        let n = take_u32(input)? as usize;
+        if n != self.names.len() {
+            return None;
+        }
+        for i in 0..self.names.len() {
+            self.last[i] = take_u64(input)?;
+            self.max[i] = take_u64(input)?;
+            self.samples[i] = take_u64(input)?;
+        }
+        Some(())
+    }
 }
 
 /// A fixed set of named histograms.
@@ -315,6 +390,20 @@ impl HistSet {
     /// Encoded size for this schema.
     pub fn encoded_len(&self) -> usize {
         4 + self.names.len() * Histogram::ENCODED_LEN
+    }
+
+    /// Overwrite the histograms from a canonical encoding produced under
+    /// the same schema, consuming from `input`. Returns `None` on
+    /// truncation or schema-count mismatch.
+    pub fn restore_from(&mut self, input: &mut &[u8]) -> Option<()> {
+        let n = take_u32(input)? as usize;
+        if n != self.names.len() {
+            return None;
+        }
+        for h in &mut self.hists {
+            *h = Histogram::decode_from(input)?;
+        }
+        Some(())
     }
 }
 

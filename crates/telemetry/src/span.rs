@@ -46,6 +46,12 @@ impl SpanKind {
         SpanKind::RetryBackoff,
     ];
 
+    /// Kind for a stable discriminant (wire/state decode); `None` if out
+    /// of range.
+    pub fn from_u8(discriminant: u8) -> Option<SpanKind> {
+        Self::ALL.get(discriminant as usize).copied()
+    }
+
     /// Stable display name.
     pub fn name(self) -> &'static str {
         match self {
@@ -169,6 +175,22 @@ impl SpanRing {
     /// of the exported aggregate state).
     pub fn clear(&mut self) {
         self.records.clear();
+    }
+
+    /// Rebuild a ring from captured parts (checkpoint restore). Fails if
+    /// more records than `capacity` are supplied.
+    pub fn restore_parts(
+        capacity: usize,
+        records: Vec<SpanRecord>,
+        dropped: u64,
+    ) -> Option<SpanRing> {
+        if records.len() > capacity {
+            return None;
+        }
+        let mut ring = SpanRing::new(capacity);
+        ring.records.extend(records);
+        ring.dropped = dropped;
+        Some(ring)
     }
 }
 
