@@ -1,0 +1,221 @@
+//! CI smoke scenario: a three-member fleet under bursty load with one
+//! staged mid-run enclave crash.
+//!
+//! Asserts the victim is detected, restored byte-identically from its
+//! sealed snapshot within the restart budget, and that no accepted
+//! request is silently dropped. Writes two artifacts for CI upload:
+//!
+//! * `fleet-latency-report.md` — per-member p50/p99/p999 + throughput;
+//! * `fleet-forensics.txt` — flight-recorder timeline and the causal
+//!   root of the staged attack.
+//!
+//! ```text
+//! cargo run --release -p autarky-fleet --bin fleet_smoke [artifact-dir]
+//! ```
+//!
+//! Exits nonzero on any violated invariant (artifacts are still
+//! written first, so a failing CI run uploads the evidence).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use autarky_fleet::{
+    kv_stream, spell_stream, Arrivals, Fleet, FleetConfig, FleetReport, LoadConfig, MemberConfig,
+    StagedCrash, TimedRequest, WorkloadKind,
+};
+use autarky_os_sim::flight::{causal_root_of_attack, render_timeline};
+use autarky_os_sim::FaultPlan;
+use autarky_runtime::RuntimeConfig;
+
+const KV_ITEMS: u64 = 64;
+const DICT_WORDS: usize = 600;
+const REQUESTS: usize = 150;
+
+fn kv_member(name: &str) -> MemberConfig {
+    MemberConfig {
+        name: name.into(),
+        workload: WorkloadKind::Kv {
+            items: KV_ITEMS,
+            value_size: 2048,
+        },
+        heap_pages: 192,
+        epc_quota: 0,
+        runtime: RuntimeConfig {
+            budget: 16,
+            ..Default::default()
+        },
+    }
+}
+
+fn bursty(seed: u64) -> LoadConfig {
+    LoadConfig {
+        seed,
+        requests: REQUESTS,
+        arrivals: Arrivals::Bursty {
+            burst_gap_cycles: 20_000,
+            burst_len: 25,
+            idle_gap_cycles: 30_000_000,
+        },
+        start_cycles: 1_000,
+    }
+}
+
+fn traffic() -> Vec<Vec<TimedRequest>> {
+    vec![
+        kv_stream(bursty(101), KV_ITEMS, 0.2),
+        kv_stream(bursty(102), KV_ITEMS, 0.99),
+        spell_stream(bursty(103), "en", DICT_WORDS, 12),
+    ]
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/fleet-artifacts"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "fleet_smoke: cannot create artifact dir {}: {e}",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    let cfg = FleetConfig {
+        epc_frames: 2048,
+        members: vec![
+            kv_member("kv-a"),
+            kv_member("kv-b"),
+            MemberConfig {
+                name: "spell-a".into(),
+                workload: WorkloadKind::Spell {
+                    dict_words: DICT_WORDS,
+                },
+                heap_pages: 256,
+                epc_quota: 0,
+                runtime: RuntimeConfig {
+                    budget: 24,
+                    ..Default::default()
+                },
+            },
+        ],
+        queue_cap: 64,
+        watchdog_cycles: 50_000_000,
+        restart_budget_cycles: 500_000_000,
+        restart_cost_cycles: 5_000_000,
+        max_retries: 3,
+        retry_backoff_cycles: 100_000,
+        max_watchdog_strikes: 1,
+        max_restarts: 3,
+        snapshot_every: 32,
+        epc_reserve_frames: 32,
+        shrink_floor_pages: 16,
+        flight_capacity: 1 << 18,
+        // The staged crash: after 25 served requests fleet-wide, the OS
+        // spuriously evicts pinned pages of kv-a until a touch of a
+        // victim page surfaces as an unexpected fault on a
+        // supposedly-resident page — AttackDetected — and the
+        // supervisor must fail over to the sealed snapshot (disarming
+        // the plan, which ends the staged window).
+        staged_crash: Some(StagedCrash {
+            after_total_served: 25,
+            member: 0,
+            plan: FaultPlan {
+                spurious_evict: 1.0,
+                max_injections: None,
+                ..FaultPlan::quiescent(424242)
+            },
+        }),
+    };
+
+    let mut fleet = match Fleet::new(cfg) {
+        Ok(fleet) => fleet,
+        Err(e) => {
+            eprintln!("fleet_smoke: boot failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let stats = match fleet.run(traffic()) {
+        Ok(stats) => stats,
+        Err(e) => {
+            eprintln!("fleet_smoke: run failed: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let report = FleetReport::from_stats(&stats, fleet.now());
+
+    // Artifacts first: a failing gate must still upload its evidence.
+    let report_path = dir.join("fleet-latency-report.md");
+    if let Err(e) = std::fs::write(&report_path, report.render()) {
+        eprintln!("fleet_smoke: cannot write {}: {e}", report_path.display());
+        return ExitCode::FAILURE;
+    }
+    let records = fleet.flight_log();
+    let mut forensics = render_timeline(&records, 60);
+    forensics.push('\n');
+    let causal_root = causal_root_of_attack(&records);
+    match causal_root {
+        Some((attack, injection)) => {
+            forensics.push_str(&format!(
+                "causal root of staged attack:\n  verdict:   {}\n  caused by: {}\n",
+                attack.event.describe(),
+                injection.event.describe()
+            ));
+        }
+        None => forensics.push_str("causal root of staged attack: none found\n"),
+    }
+    let forensics_path = dir.join("fleet-forensics.txt");
+    if let Err(e) = std::fs::write(&forensics_path, &forensics) {
+        eprintln!(
+            "fleet_smoke: cannot write {}: {e}",
+            forensics_path.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    print!("{}", report.render());
+    println!("\nartifacts: {}", dir.display());
+
+    // The gate.
+    let mut failures = Vec::new();
+    if !report.all_accounted() {
+        failures.push("a request was silently dropped".to_owned());
+    }
+    if !report.all_byte_identical() {
+        failures.push("a restore diverged from its sealed checkpoint".to_owned());
+    }
+    if stats[0].restarts < 1 {
+        failures.push(format!(
+            "staged crash did not trigger a failover (restarts={})",
+            stats[0].restarts
+        ));
+    }
+    if stats[0].evicted {
+        failures.push("victim was evicted instead of recovered".to_owned());
+    }
+    for s in &stats[1..] {
+        if s.restarts != 0 {
+            failures.push(format!("{} restarted despite not being targeted", s.name));
+        }
+    }
+    if stats[0].max_recovery_cycles > 500_000_000 {
+        failures.push(format!(
+            "recovery exceeded the restart budget ({} cycles)",
+            stats[0].max_recovery_cycles
+        ));
+    }
+    if causal_root.is_none() {
+        failures.push("forensics could not name the attack's causal root".to_owned());
+    }
+    if failures.is_empty() {
+        println!(
+            "fleet_smoke: OK — crash detected, snapshot failover byte-identical, zero silent drops"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("fleet_smoke: FAIL — {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,189 @@
+//! Per-enclave latency/throughput reporting and the zero-silent-drop
+//! accounting check.
+//!
+//! The supervisor's [`MemberStats`] carry raw counters and an
+//! end-to-end latency histogram per member; this module turns them
+//! into the p50/p99/p999 report the CI job uploads, and into the
+//! accounting verdict the smoke test and property tests gate on:
+//! every offered request must end **served or explicitly rejected**.
+
+use autarky_sgx_sim::CLOCK_HZ;
+
+use crate::supervisor::MemberStats;
+
+/// One member's digested numbers.
+#[derive(Debug, Clone)]
+pub struct MemberReport {
+    /// Member name.
+    pub name: String,
+    /// Requests offered by the load generator.
+    pub offered: u64,
+    /// Requests served to completion.
+    pub served: u64,
+    /// Requests explicitly rejected (queue-full + evicted).
+    pub rejected: u64,
+    /// Median end-to-end latency, cycles.
+    pub p50_cycles: u64,
+    /// 99th-percentile end-to-end latency, cycles.
+    pub p99_cycles: u64,
+    /// 99.9th-percentile end-to-end latency, cycles.
+    pub p999_cycles: u64,
+    /// Mean end-to-end latency, cycles.
+    pub mean_cycles: f64,
+    /// Served throughput over the run, requests per simulated second.
+    pub throughput_rps: f64,
+    /// Snapshot restarts performed.
+    pub restarts: u32,
+    /// Whether the member ended the run permanently evicted.
+    pub evicted: bool,
+    /// Whether every restore was byte-identical to its checkpoint.
+    pub byte_identical: bool,
+    /// Worst detection-to-restored latency over all restarts, cycles.
+    pub max_recovery_cycles: u64,
+    /// `offered == served + rejected` for this member.
+    pub accounted: bool,
+}
+
+/// The fleet-wide report.
+#[derive(Debug, Clone)]
+pub struct FleetReport {
+    /// One row per member, in boot order.
+    pub members: Vec<MemberReport>,
+    /// Wall-clock of the run in simulated cycles.
+    pub run_cycles: u64,
+}
+
+impl FleetReport {
+    /// Digest raw supervisor stats into a report. `run_cycles` is the
+    /// simulated duration of the run (for throughput).
+    pub fn from_stats(stats: &[MemberStats], run_cycles: u64) -> Self {
+        let secs = (run_cycles as f64 / CLOCK_HZ as f64).max(f64::MIN_POSITIVE);
+        let members = stats
+            .iter()
+            .map(|s| {
+                let rejected = s.rejected_queue_full + s.rejected_evicted;
+                MemberReport {
+                    name: s.name.clone(),
+                    offered: s.offered,
+                    served: s.served,
+                    rejected,
+                    p50_cycles: s.latency.quantile(0.50),
+                    p99_cycles: s.latency.quantile(0.99),
+                    p999_cycles: s.latency.quantile(0.999),
+                    mean_cycles: s.latency.mean(),
+                    throughput_rps: s.served as f64 / secs,
+                    restarts: s.restarts,
+                    evicted: s.evicted,
+                    byte_identical: s.byte_identical,
+                    max_recovery_cycles: s.max_recovery_cycles,
+                    accounted: s.offered == s.served + rejected,
+                }
+            })
+            .collect();
+        Self {
+            members,
+            run_cycles,
+        }
+    }
+
+    /// True iff no member silently dropped a request.
+    pub fn all_accounted(&self) -> bool {
+        self.members.iter().all(|m| m.accounted)
+    }
+
+    /// True iff every restore across the fleet resumed byte-identically.
+    pub fn all_byte_identical(&self) -> bool {
+        self.members.iter().all(|m| m.byte_identical)
+    }
+
+    /// Render the report as a markdown table (the CI artifact).
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        out.push_str("# Fleet latency report\n\n");
+        out.push_str(&format!(
+            "run: {} simulated cycles ({:.3} s at {} GHz)\n\n",
+            self.run_cycles,
+            self.run_cycles as f64 / CLOCK_HZ as f64,
+            CLOCK_HZ / 1_000_000_000
+        ));
+        out.push_str(
+            "| member | offered | served | rejected | p50 (cyc) | p99 (cyc) | p999 (cyc) | mean (cyc) | req/s | restarts | evicted | byte-identical | max recovery (cyc) | accounted |\n",
+        );
+        out.push_str(
+            "|--------|--------:|-------:|---------:|----------:|----------:|-----------:|-----------:|------:|---------:|---------|----------------|-------------------:|-----------|\n",
+        );
+        for m in &self.members {
+            out.push_str(&format!(
+                "| {} | {} | {} | {} | {} | {} | {} | {:.0} | {:.1} | {} | {} | {} | {} | {} |\n",
+                m.name,
+                m.offered,
+                m.served,
+                m.rejected,
+                m.p50_cycles,
+                m.p99_cycles,
+                m.p999_cycles,
+                m.mean_cycles,
+                m.throughput_rps,
+                m.restarts,
+                m.evicted,
+                m.byte_identical,
+                m.max_recovery_cycles,
+                if m.accounted {
+                    "yes"
+                } else {
+                    "NO — SILENT DROP"
+                },
+            ));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use autarky_sgx_sim::EnclaveId;
+    use autarky_telemetry::Histogram;
+
+    fn stats(offered: u64, served: u64, rejected: u64) -> MemberStats {
+        let mut latency = Histogram::new();
+        for i in 0..served {
+            latency.record(1000 + i * 10);
+        }
+        MemberStats {
+            name: "kv-a".into(),
+            eid: EnclaveId(1),
+            offered,
+            served,
+            rejected_queue_full: rejected,
+            rejected_evicted: 0,
+            retries: 0,
+            watchdog_strikes: 0,
+            restarts: 1,
+            shrinks: 0,
+            evicted: false,
+            byte_identical: true,
+            max_recovery_cycles: 5000,
+            latency,
+            fault_count: 0,
+        }
+    }
+
+    #[test]
+    fn accounting_detects_silent_drops() {
+        let good = FleetReport::from_stats(&[stats(100, 90, 10)], 1_000_000);
+        assert!(good.all_accounted());
+        let bad = FleetReport::from_stats(&[stats(100, 90, 5)], 1_000_000);
+        assert!(!bad.all_accounted());
+    }
+
+    #[test]
+    fn report_renders_quantiles_and_throughput() {
+        let report = FleetReport::from_stats(&[stats(100, 100, 0)], CLOCK_HZ);
+        let text = report.render();
+        assert!(text.contains("kv-a"), "member row present");
+        assert!(report.members[0].p50_cycles >= 1000);
+        assert!(report.members[0].p99_cycles >= report.members[0].p50_cycles);
+        assert!((report.members[0].throughput_rps - 100.0).abs() < 1.0);
+    }
+}

@@ -23,13 +23,21 @@
 //!   sealed blob's transport chunks. The chunk sequence must be
 //!   independent of the secret (MI ≤ threshold): this is the size
 //!   channel the snapshot payload padding exists to close.
+//! * **fleet** (multi-tenant EPC): two enclaves share one machine's
+//!   EPC; the *secret tenant* processes the cell workload's secret
+//!   phase while a neighbor serves a fixed public request sequence.
+//!   The adversary view is every kernel event attributable to the
+//!   *neighbor* — the gate asks whether the co-tenant's secret
+//!   modulates the neighbor's paging trace through the shared machine
+//!   (MI ≤ threshold), i.e. whether self-paging budgets actually
+//!   isolate tenants from each other's access patterns.
 
 use autarky::{Profile, SystemBuilder};
-use autarky_os_sim::Os;
-use autarky_runtime::{is_telemetry_export_key, RateLimit};
+use autarky_os_sim::{EnclaveImage, Observation, Os};
+use autarky_runtime::{is_telemetry_export_key, RateLimit, RuntimeConfig};
 use autarky_sgx_sim::machine::MachineConfig;
-use autarky_sgx_sim::MonotonicCounter;
-use autarky_workloads::{font, jpeg, kvstore, spell, EncHeap, World};
+use autarky_sgx_sim::{EnclaveId, MonotonicCounter};
+use autarky_workloads::{font, jpeg, kvstore, spell, EncHeap, EnclaveHandle, World};
 
 use crate::capture::Capture;
 use crate::metrics::{distinguishability, Distinguishability};
@@ -72,16 +80,21 @@ enum Policy {
     /// restore; the audit isolates the snapshot transport channel and
     /// gates its distinguishability.
     Restore,
+    /// Two self-paging tenants on one shared EPC; the audit isolates
+    /// the *neighbor's* trace and gates whether the co-tenant's secret
+    /// bleeds into it.
+    Fleet,
 }
 
 impl Policy {
-    const ALL: [Policy; 6] = [
+    const ALL: [Policy; 7] = [
         Policy::Baseline,
         Policy::RateLimit,
         Policy::Clusters,
         Policy::CachedOram,
         Policy::Telemetry,
         Policy::Restore,
+        Policy::Fleet,
     ];
 
     fn name(self) -> &'static str {
@@ -92,6 +105,7 @@ impl Policy {
             Policy::CachedOram => "cached-oram",
             Policy::Telemetry => "telemetry",
             Policy::Restore => "restore",
+            Policy::Fleet => "fleet",
         }
     }
 }
@@ -357,6 +371,32 @@ fn audit_cell(config: &AuditConfig, policy: Policy, workload: Workload) -> CellR
                 )
             }
         }
+        Policy::Fleet => {
+            if dist.mean_symbols[0] == 0.0 && dist.mean_symbols[1] == 0.0 {
+                (
+                    Gate::Fail,
+                    "fleet cell captured no neighbor traffic".to_owned(),
+                )
+            } else if dist.mi_bits <= config.oram_max_mi {
+                (
+                    Gate::Pass,
+                    format!(
+                        "cross-tenant isolation holds: neighbor trace leaks \
+                         {:.2} ≤ {:.2} bits/run",
+                        dist.mi_bits, config.oram_max_mi
+                    ),
+                )
+            } else {
+                (
+                    Gate::Fail,
+                    format!(
+                        "neighbor trace leaks {:.2} > {:.2} bits/run of the \
+                         co-tenant's secret",
+                        dist.mi_bits, config.oram_max_mi
+                    ),
+                )
+            }
+        }
     };
 
     CellResult {
@@ -437,6 +477,16 @@ fn build_world(policy: Policy, seed: u64) -> (World, EncHeap) {
             },
             BUDGET_PAGES,
         ),
+        // The fleet cell's observed neighbor: ordinary self-paging whose
+        // fixed working set (sized in `run_fleet_cell`) exceeds this
+        // budget, so the neighbor pages continuously — an empty neighbor
+        // trace would make the isolation gate vacuous.
+        Policy::Fleet => (
+            Profile::Clusters {
+                pages_per_cluster: 10,
+            },
+            BUDGET_PAGES,
+        ),
     };
     let (world, heap) = SystemBuilder::new("leakage-audit", profile)
         .epc_pages(4096)
@@ -489,6 +539,9 @@ fn crash_and_restore(world: &mut World) -> Vec<autarky_os_sim::Observation> {
 }
 
 fn run_one(policy: Policy, workload: Workload, secret: u32, seed: u64) -> (Trace, RunStats) {
+    if policy == Policy::Fleet {
+        return run_fleet_cell(workload, secret, seed);
+    }
     let (mut world, mut heap) = build_world(policy, seed);
     let mut events = match workload {
         Workload::Jpeg => run_jpeg(policy, secret, &mut world, &mut heap),
@@ -658,6 +711,210 @@ fn run_kvstore(
     let mut events = capture.finish(&world.os, heap);
     events.extend(transport);
     events
+}
+
+// ----------------------------------------------------------------------
+// The fleet cell: two tenants on one shared EPC.
+// ----------------------------------------------------------------------
+
+/// Fleet-cell sizing for the observed neighbor: 128 items at two per
+/// page is a 64-page value working set, deliberately wider than
+/// [`BUDGET_PAGES`] so the neighbor's public trace always carries
+/// paging traffic.
+const FLEET_NEIGHBOR_ITEMS: u64 = 128;
+const FLEET_NEIGHBOR_VALUE: usize = 2048;
+
+/// The enclave an observation is attributable to, if any (untrusted
+/// buffer accesses carry no enclave identity).
+fn observation_eid(ev: &Observation) -> Option<EnclaveId> {
+    match ev {
+        Observation::Fault { eid, .. }
+        | Observation::FetchSyscall { eid, .. }
+        | Observation::EvictSyscall { eid, .. }
+        | Observation::AllocSyscall { eid, .. }
+        | Observation::SetEnclaveManaged { eid, .. }
+        | Observation::SetOsManaged { eid, .. }
+        | Observation::DemandPaging { eid, .. }
+        | Observation::AdBitObserved { eid, .. }
+        | Observation::FaultInjected { eid, .. } => Some(*eid),
+        Observation::UntrustedAccess { .. } => None,
+    }
+}
+
+/// Serve four fixed public GETs on the neighbor tenant (the enclave the
+/// adversary watches), then hand the shared host back. The stride walk
+/// is deterministic and secret-independent, and wider than the paging
+/// budget, so every chunk pages.
+fn fleet_neighbor_chunk(
+    os: Os,
+    handle: EnclaveHandle,
+    heap: &mut EncHeap,
+    store: &mut kvstore::KvStore,
+    cursor: &mut u64,
+) -> (Os, EnclaveHandle) {
+    let mut world = World::join(os, handle);
+    for _ in 0..4 {
+        let key = cursor.wrapping_mul(29) % FLEET_NEIGHBOR_ITEMS;
+        *cursor += 1;
+        store
+            .get(&mut world, heap, key)
+            .expect("neighbor get")
+            .expect("neighbor key present");
+    }
+    world.split()
+}
+
+/// One run of the fleet cell: tenant B processes the cell workload's
+/// secret phase while neighbor A serves fixed public kvstore GETs,
+/// interleaved so both tenants page against the shared EPC at once.
+/// The trace keeps only events attributable to A — what an adversary
+/// colocated with the *neighbor* learns about B's secret.
+fn run_fleet_cell(workload: Workload, secret: u32, seed: u64) -> (Trace, RunStats) {
+    // Neighbor A (the observed tenant) comes up through the ordinary
+    // builder path; its profile and budget live in `build_world`.
+    let (world_a, mut heap_a) = build_world(Policy::Fleet, seed);
+    let eid_a = world_a.eid;
+    let (os, handle_a) = world_a.split();
+    let mut world = World::join(os, handle_a);
+    let mut store_a = kvstore::KvStore::new(
+        &mut world,
+        &mut heap_a,
+        FLEET_NEIGHBOR_ITEMS,
+        FLEET_NEIGHBOR_VALUE,
+        kvstore::ItemClustering::None,
+    )
+    .expect("neighbor store");
+    store_a
+        .load(&mut world, &mut heap_a, FLEET_NEIGHBOR_ITEMS)
+        .expect("neighbor load");
+    let (mut os, handle_a) = world.split();
+
+    // Tenant B (the secret tenant) attaches to the same host, sharing
+    // its EPC. Everything before the mark — including B's workload
+    // setup below, which is secret-independent — is public; the
+    // A-filtered capture only sees what A does afterwards anyway.
+    let mut image = EnclaveImage::named("fleet-secret-tenant");
+    image.heap_pages = 1024;
+    let handle_b = World::attach_to(
+        &mut os,
+        image,
+        RuntimeConfig {
+            budget: BUDGET_PAGES,
+            ..Default::default()
+        },
+    )
+    .expect("secret tenant attaches");
+    let mut heap_b = EncHeap::direct();
+    let mut cursor = 0u64;
+    let mark = os.observation_mark();
+
+    let (os, handle_a, handle_b) = match workload {
+        Workload::Jpeg => {
+            const SIDE: usize = 32;
+            let (img0, img1) = jpeg::secret_pair(SIDE);
+            let px = if secret == 0 { img0 } else { img1 };
+            let compressed = jpeg::encode(SIDE, SIDE, &px);
+            let mut wb = World::join(os, handle_b);
+            let mut decoder =
+                jpeg::Decoder::new(&mut wb, &mut heap_b, SIDE, SIDE).expect("decoder");
+            let (os, hb) = wb.split();
+            let (os, ha) =
+                fleet_neighbor_chunk(os, handle_a, &mut heap_a, &mut store_a, &mut cursor);
+            let mut wb = World::join(os, hb);
+            decoder
+                .decode(&mut wb, &mut heap_b, &compressed)
+                .expect("decode");
+            let (os, hb) = wb.split();
+            let (os, ha) = fleet_neighbor_chunk(os, ha, &mut heap_a, &mut store_a, &mut cursor);
+            (os, ha, hb)
+        }
+        Workload::Font => {
+            const LEN: usize = 16;
+            let (t0, t1) = font::secret_pair(LEN);
+            let text = if secret == 0 { t0 } else { t1 };
+            let mut wb = World::join(os, handle_b);
+            let mut renderer =
+                font::FontRenderer::new(&mut wb, &mut heap_b, LEN).expect("renderer");
+            let (os, hb) = wb.split();
+            let (os, ha) =
+                fleet_neighbor_chunk(os, handle_a, &mut heap_a, &mut store_a, &mut cursor);
+            let mut wb = World::join(os, hb);
+            renderer
+                .render_text(&mut wb, &mut heap_b, &text)
+                .expect("render");
+            let (os, hb) = wb.split();
+            let (os, ha) = fleet_neighbor_chunk(os, ha, &mut heap_a, &mut store_a, &mut cursor);
+            (os, ha, hb)
+        }
+        Workload::Spell => {
+            const DICT_WORDS: usize = 300;
+            const QUERY_WORDS: usize = 24;
+            let mut wb = World::join(os, handle_b);
+            let dict =
+                spell::Dictionary::load(&mut wb, &mut heap_b, "en", DICT_WORDS).expect("dict");
+            let (t0, t1) = spell::secret_pair("en", DICT_WORDS, QUERY_WORDS);
+            let text = if secret == 0 { t0 } else { t1 };
+            let (mut os, mut hb) = wb.split();
+            let mut ha = handle_a;
+            for (i, word) in text.iter().enumerate() {
+                let mut wb = World::join(os, hb);
+                dict.check(&mut wb, &mut heap_b, word).expect("check");
+                (os, hb) = wb.split();
+                if (i + 1) % 6 == 0 {
+                    (os, ha) = fleet_neighbor_chunk(os, ha, &mut heap_a, &mut store_a, &mut cursor);
+                }
+            }
+            (os, ha, hb)
+        }
+        Workload::Kvstore => {
+            const ITEMS: u64 = 128;
+            const VALUE_SIZE: usize = 512;
+            const GETS: usize = 48;
+            let mut wb = World::join(os, handle_b);
+            let mut store_b = kvstore::KvStore::new(
+                &mut wb,
+                &mut heap_b,
+                ITEMS,
+                VALUE_SIZE,
+                kvstore::ItemClustering::None,
+            )
+            .expect("secret store");
+            store_b.load(&mut wb, &mut heap_b, ITEMS).expect("load");
+            let (keys0, keys1) = kvstore::secret_pair(ITEMS, GETS);
+            let keys = if secret == 0 { keys0 } else { keys1 };
+            let (mut os, mut hb) = wb.split();
+            let mut ha = handle_a;
+            for (i, &key) in keys.iter().enumerate() {
+                let mut wb = World::join(os, hb);
+                store_b
+                    .get(&mut wb, &mut heap_b, key)
+                    .expect("get")
+                    .expect("present");
+                (os, hb) = wb.split();
+                if (i + 1) % 12 == 0 {
+                    (os, ha) = fleet_neighbor_chunk(os, ha, &mut heap_a, &mut store_a, &mut cursor);
+                }
+            }
+            (os, ha, hb)
+        }
+    };
+
+    let events: Vec<Observation> = os
+        .observations_since(mark)
+        .iter()
+        .filter(|ev| observation_eid(ev) == Some(eid_a))
+        .cloned()
+        .collect();
+    let meta = handle_a.rt.policy_meta();
+    let stats = RunStats {
+        faults: handle_a.rt.fault_count(),
+        progress: handle_a.rt.progress_total(),
+        tracked_pages: meta.tracked_pages,
+        rate_limit: meta.rate_limit,
+        terminated: handle_a.rt.is_terminated() || handle_b.rt.is_terminated(),
+    };
+    let trace = Trace::new("fleet", workload.name(), secret, seed, events);
+    (trace, stats)
 }
 
 // ----------------------------------------------------------------------
@@ -834,6 +1091,32 @@ mod tests {
             assert!(
                 cell.dist.mean_symbols[0] > 0.0,
                 "{}: snapshot transport was captured",
+                workload.name()
+            );
+            assert!(
+                cell.dist.mi_bits <= 0.25,
+                "{}: MI {:.3}",
+                workload.name(),
+                cell.dist.mi_bits
+            );
+        }
+    }
+
+    #[test]
+    fn fleet_neighbor_trace_is_secret_independent() {
+        let config = AuditConfig::default();
+        for workload in [Workload::Kvstore, Workload::Spell] {
+            let cell = audit_cell(&config, Policy::Fleet, workload);
+            assert_eq!(
+                cell.gate,
+                Gate::Pass,
+                "{}: {}",
+                workload.name(),
+                cell.reason
+            );
+            assert!(
+                cell.dist.mean_symbols[0] > 0.0,
+                "{}: neighbor traffic was captured",
                 workload.name()
             );
             assert!(

@@ -130,6 +130,60 @@ impl BackingStore {
         }
     }
 
+    /// Clone every current and stale sealed blob owned by one enclave
+    /// (fleet checkpointing: the supervisor bundles this with the sealed
+    /// runtime checkpoint so a snapshot-based restart can reinstate the
+    /// exact untrusted backing the enclave will demand-fault against).
+    pub fn clone_enclave_sealed(&self, eid: EnclaveId) -> (Vec<SealedPage>, Vec<SealedPage>) {
+        let collect = |map: &HashMap<(EnclaveId, Vpn), SealedPage>| {
+            let mut pages: Vec<SealedPage> = map
+                .iter()
+                .filter(|((e, _), _)| *e == eid)
+                .map(|(_, p)| p.clone())
+                .collect();
+            pages.sort_by_key(|p| p.vpn.0);
+            pages
+        };
+        (collect(&self.sealed), collect(&self.stale))
+    }
+
+    /// Clone every raw blob in one enclave's software-sealing key range
+    /// (`eid << 40 | vpn`). Telemetry exports (bit 63) and snapshot
+    /// transport chunks (bit 62) fall outside every enclave's range and
+    /// are never captured here.
+    pub fn clone_enclave_blobs(&self, eid: EnclaveId) -> Vec<(u64, Vec<u8>)> {
+        let mut blobs: Vec<(u64, Vec<u8>)> = self
+            .blobs
+            .iter()
+            .filter(|(key, _)| *key >> 40 == u64::from(eid.0))
+            .map(|(key, data)| (*key, data.clone()))
+            .collect();
+        blobs.sort_by_key(|(key, _)| *key);
+        blobs
+    }
+
+    /// Drop every sealed page, stale copy, and software-sealing blob
+    /// owned by one enclave (fleet retirement: the supervisor tears an
+    /// enclave's untrusted residue down before reinstating a checkpoint
+    /// or evicting the member for good). Snapshot history is kept — it
+    /// is the adversary's rollback surface, not per-enclave state.
+    pub fn purge_enclave(&mut self, eid: EnclaveId) {
+        self.sealed.retain(|(e, _), _| *e != eid);
+        self.stale.retain(|(e, _), _| *e != eid);
+        self.blobs.retain(|key, _| *key >> 40 != u64::from(eid.0));
+    }
+
+    /// Reinstate a captured set of sealed pages (current and stale) for
+    /// an enclave being restarted from a checkpoint.
+    pub fn reinstate_enclave_sealed(&mut self, current: Vec<SealedPage>, stale: Vec<SealedPage>) {
+        for page in current {
+            self.sealed.insert((page.eid, page.vpn), page);
+        }
+        for page in stale {
+            self.stale.insert((page.eid, page.vpn), page);
+        }
+    }
+
     /// Raw untrusted buffer write (runtime software-sealing path, ORAM
     /// buckets). Keys are chosen by the writer.
     pub fn put_blob(&mut self, key: u64, data: Vec<u8>) {

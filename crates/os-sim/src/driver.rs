@@ -41,7 +41,7 @@ impl Os {
             eid,
             pages: pages.to_vec(),
         });
-        let decision = self.inject_decide(SyscallKind::SetEnclaveManaged, pages.len());
+        let decision = self.inject_decide(eid, SyscallKind::SetEnclaveManaged, pages.len());
         match decision {
             Some(FaultKind::Delay) => self.apply_injected_delay(eid),
             Some(FaultKind::Suspend) => return Err(self.apply_injected_suspend(eid, 0)),
@@ -76,7 +76,7 @@ impl Os {
             eid,
             pages: pages.to_vec(),
         });
-        match self.inject_decide(SyscallKind::SetOsManaged, pages.len()) {
+        match self.inject_decide(eid, SyscallKind::SetOsManaged, pages.len()) {
             Some(FaultKind::Delay) => self.apply_injected_delay(eid),
             Some(FaultKind::Suspend) => return Err(self.apply_injected_suspend(eid, 0)),
             _ => {}
@@ -111,7 +111,7 @@ impl Os {
             eid,
             pages: pages.to_vec(),
         });
-        let decision = self.inject_decide(SyscallKind::Fetch, pages.len());
+        let decision = self.inject_decide(eid, SyscallKind::Fetch, pages.len());
         // Faults that shape the whole call.
         let mut stop_after = usize::MAX; // PartialBatch / Suspend prefix
         let mut dropped = usize::MAX; // DropPage index
@@ -230,7 +230,7 @@ impl Os {
             eid,
             pages: pages.to_vec(),
         });
-        let decision = self.inject_decide(SyscallKind::Evict, pages.len());
+        let decision = self.inject_decide(eid, SyscallKind::Evict, pages.len());
         let mut stop_after = usize::MAX;
         match decision {
             Some(FaultKind::Delay) => self.apply_injected_delay(eid),
@@ -287,7 +287,7 @@ impl Os {
             eid,
             pages: pages.to_vec(),
         });
-        let decision = self.inject_decide(SyscallKind::Alloc, pages.len());
+        let decision = self.inject_decide(eid, SyscallKind::Alloc, pages.len());
         let mut stop_after = usize::MAX;
         match decision {
             Some(FaultKind::Delay) => self.apply_injected_delay(eid),
@@ -361,7 +361,7 @@ impl Os {
     ) -> Result<(), OsError> {
         self.charge_syscall();
         self.resume_injected_suspend()?;
-        if let Some(FaultKind::Delay) = self.inject_decide(SyscallKind::Protect, pages.len()) {
+        if let Some(FaultKind::Delay) = self.inject_decide(eid, SyscallKind::Protect, pages.len()) {
             self.apply_injected_delay(eid);
         }
         for &vpn in pages {
@@ -382,7 +382,7 @@ impl Os {
     pub fn ay_remove_pages(&mut self, eid: EnclaveId, pages: &[Vpn]) -> Result<(), OsError> {
         self.charge_syscall();
         self.resume_injected_suspend()?;
-        if let Some(FaultKind::Delay) = self.inject_decide(SyscallKind::Remove, pages.len()) {
+        if let Some(FaultKind::Delay) = self.inject_decide(eid, SyscallKind::Remove, pages.len()) {
             self.apply_injected_delay(eid);
         }
         for &vpn in pages {
@@ -399,9 +399,11 @@ impl Os {
     /// access itself are all adversary-visible.
     pub fn sys_untrusted_write(&mut self, key: u64, data: Vec<u8>) {
         self.charge_syscall();
-        if let Some(FaultKind::Delay) = self.inject_decide(SyscallKind::Untrusted, 0) {
-            let eid = EnclaveId(0);
-            self.apply_injected_delay(eid);
+        // Untrusted accesses are not attributable to an enclave at this
+        // layer; EnclaveId(0) stands in, so targeted plans skip them.
+        if let Some(FaultKind::Delay) = self.inject_decide(EnclaveId(0), SyscallKind::Untrusted, 0)
+        {
+            self.apply_injected_delay(EnclaveId(0));
         }
         self.observe(Observation::UntrustedAccess { key, write: true });
         self.backing.put_blob(key, data);
@@ -410,9 +412,11 @@ impl Os {
     /// Untrusted-memory read on behalf of the enclave.
     pub fn sys_untrusted_read(&mut self, key: u64) -> Option<Vec<u8>> {
         self.charge_syscall();
-        if let Some(FaultKind::Delay) = self.inject_decide(SyscallKind::Untrusted, 0) {
-            let eid = EnclaveId(0);
-            self.apply_injected_delay(eid);
+        // Untrusted accesses are not attributable to an enclave at this
+        // layer; EnclaveId(0) stands in, so targeted plans skip them.
+        if let Some(FaultKind::Delay) = self.inject_decide(EnclaveId(0), SyscallKind::Untrusted, 0)
+        {
+            self.apply_injected_delay(EnclaveId(0));
         }
         self.observe(Observation::UntrustedAccess { key, write: false });
         self.backing.get_blob(key).map(|b| b.to_vec())

@@ -138,6 +138,12 @@ pub struct FaultPlan {
     pub suspend: f64,
     /// Stop injecting after this many faults (`None` = unbounded).
     pub max_injections: Option<u64>,
+    /// Restrict the campaign to one enclave of a fleet. `None` (the
+    /// default) targets every enclave and consumes one RNG draw per
+    /// syscall — bit-identical to the pre-fleet schedule. When set, calls
+    /// from other enclaves are passed through *without* consuming a draw,
+    /// so the RNG stream indexes only the target's own syscall sequence.
+    pub target: Option<EnclaveId>,
 }
 
 impl FaultPlan {
@@ -156,6 +162,15 @@ impl FaultPlan {
             delay_cycles: 0,
             suspend: 0.0,
             max_injections: None,
+            target: None,
+        }
+    }
+
+    /// Restrict this plan to one fleet member (see [`FaultPlan::target`]).
+    pub fn targeting(self, eid: EnclaveId) -> Self {
+        Self {
+            target: Some(eid),
+            ..self
         }
     }
 
@@ -307,12 +322,28 @@ impl FaultInjector {
         self.injected
     }
 
-    /// Decide the fault (if any) for one syscall over a batch of
-    /// `batch_len` pages. Exactly one uniform draw is consumed per call;
-    /// secondary draws (victim index, prefix length) happen only when a
-    /// fault fires, so the schedule stays deterministic for a fixed
-    /// syscall sequence.
-    pub fn decide(&mut self, syscall: SyscallKind, batch_len: usize) -> Option<FaultKind> {
+    /// Decide the fault (if any) for one syscall issued by `eid` over a
+    /// batch of `batch_len` pages. Exactly one uniform draw is consumed
+    /// per call the plan applies to; secondary draws (victim index,
+    /// prefix length) happen only when a fault fires, so the schedule
+    /// stays deterministic for a fixed syscall sequence.
+    ///
+    /// The target filter runs *before* the draw: an untargeted plan
+    /// (`target: None`) consumes a draw for every call, exactly as the
+    /// single-enclave schedule always has, while a targeted plan skips
+    /// non-target calls without touching the RNG — its stream indexes
+    /// the target's own syscall sequence.
+    pub fn decide(
+        &mut self,
+        eid: EnclaveId,
+        syscall: SyscallKind,
+        batch_len: usize,
+    ) -> Option<FaultKind> {
+        if let Some(target) = self.plan.target {
+            if target != eid {
+                return None;
+            }
+        }
         let u = self.rng.gen_f64();
         if let Some(max) = self.plan.max_injections {
             if self.injected >= max {
@@ -381,7 +412,7 @@ mod tests {
     fn quiescent_plan_never_fires() {
         let mut inj = FaultInjector::new(FaultPlan::quiescent(1));
         for _ in 0..1000 {
-            assert_eq!(inj.decide(SyscallKind::Fetch, 4), None);
+            assert_eq!(inj.decide(EnclaveId(1), SyscallKind::Fetch, 4), None);
         }
     }
 
@@ -396,7 +427,11 @@ mod tests {
                 SyscallKind::Alloc,
                 SyscallKind::SetEnclaveManaged,
             ][i % 4];
-            assert_eq!(a.decide(kind, 3), b.decide(kind, 3), "call {i}");
+            assert_eq!(
+                a.decide(EnclaveId(1), kind, 3),
+                b.decide(EnclaveId(1), kind, 3),
+                "call {i}"
+            );
         }
     }
 
@@ -404,7 +439,7 @@ mod tests {
     fn rates_roughly_respected() {
         let mut inj = FaultInjector::new(FaultPlan::transient_only(7, 0.1));
         let fired = (0..10_000)
-            .filter(|_| inj.decide(SyscallKind::Fetch, 4).is_some())
+            .filter(|_| inj.decide(EnclaveId(1), SyscallKind::Fetch, 4).is_some())
             .count();
         // delay + no_memory + partial + suspend/4 = 0.325 expected.
         assert!((2800..3700).contains(&fired), "fired {fired}");
@@ -414,10 +449,10 @@ mod tests {
     fn kinds_respect_applicability() {
         let mut inj = FaultInjector::new(FaultPlan::hostile(3, 0.08));
         for _ in 0..5000 {
-            if let Some(kind) = inj.decide(SyscallKind::Protect, 2) {
+            if let Some(kind) = inj.decide(EnclaveId(1), SyscallKind::Protect, 2) {
                 assert_eq!(kind, FaultKind::Delay, "only delay applies to protect");
             }
-            if let Some(kind) = inj.decide(SyscallKind::SetEnclaveManaged, 2) {
+            if let Some(kind) = inj.decide(EnclaveId(1), SyscallKind::SetEnclaveManaged, 2) {
                 assert!(
                     matches!(
                         kind,
@@ -438,12 +473,48 @@ mod tests {
         let mut inj = FaultInjector::new(plan);
         let mut applied = 0;
         for _ in 0..1000 {
-            if inj.decide(SyscallKind::Fetch, 4).is_some() {
+            if inj.decide(EnclaveId(1), SyscallKind::Fetch, 4).is_some() {
                 inj.record();
                 applied += 1;
             }
         }
         assert_eq!(applied, 3);
+    }
+
+    #[test]
+    fn untargeted_plan_matches_pre_fleet_schedule() {
+        // `target: None` must consume one draw per call regardless of the
+        // calling enclave, reproducing the single-enclave stream exactly.
+        let mut legacy = FaultInjector::new(FaultPlan::hostile(11, 0.07));
+        let mut fleet = FaultInjector::new(FaultPlan::hostile(11, 0.07));
+        for i in 0..2000 {
+            let eid = EnclaveId((i % 3) as u32);
+            assert_eq!(
+                legacy.decide(EnclaveId(1), SyscallKind::Fetch, 4),
+                fleet.decide(eid, SyscallKind::Fetch, 4),
+                "call {i}"
+            );
+        }
+    }
+
+    #[test]
+    fn targeted_plan_skips_other_enclaves_without_draws() {
+        let plan = FaultPlan::hostile(13, 0.07).targeting(EnclaveId(2));
+        let mut solo = FaultInjector::new(plan.clone());
+        let mut interleaved = FaultInjector::new(plan);
+        // Non-target calls must not perturb the target's schedule.
+        for i in 0..500 {
+            assert_eq!(
+                interleaved.decide(EnclaveId(1), SyscallKind::Fetch, 4),
+                None,
+                "non-target call {i} must pass through"
+            );
+            assert_eq!(
+                solo.decide(EnclaveId(2), SyscallKind::Fetch, 4),
+                interleaved.decide(EnclaveId(2), SyscallKind::Fetch, 4),
+                "target call {i}"
+            );
+        }
     }
 
     #[test]
@@ -453,9 +524,9 @@ mod tests {
             ..FaultPlan::quiescent(9)
         };
         let mut inj = FaultInjector::new(plan);
-        assert_eq!(inj.decide(SyscallKind::Fetch, 0), None);
+        assert_eq!(inj.decide(EnclaveId(1), SyscallKind::Fetch, 0), None);
         assert_eq!(
-            inj.decide(SyscallKind::Fetch, 4),
+            inj.decide(EnclaveId(1), SyscallKind::Fetch, 4),
             Some(FaultKind::PartialBatch)
         );
     }

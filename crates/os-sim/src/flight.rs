@@ -135,6 +135,23 @@ pub enum FlightEvent {
         /// Counter value sealed inside the presented snapshot.
         counter: u64,
     },
+    /// A fleet-supervisor decision about one enclave of a rotation
+    /// (escalation-ladder step, admission-control shed, degradation
+    /// order). Recorded in the same causal log as runtime decisions so a
+    /// forensics pass can name *why* an enclave was restarted, but it is
+    /// NOT a trusted-runtime decision: the supervisor lives in the
+    /// untrusted host, so `is_runtime_decision()` excludes it and the
+    /// decisions-resolved forensics gate is unaffected.
+    Supervisor {
+        /// Fleet member the decision is about.
+        eid: EnclaveId,
+        /// Ladder step or control action, as a single lowercase token
+        /// (e.g. `retry`, `quarantine`, `restart`, `evict`, `shed`,
+        /// `shrink`).
+        action: String,
+        /// Free-text reason (health verdict, budget numbers, ...).
+        why: String,
+    },
     /// A telemetry span closed (span↔event linkage: the span kind plus
     /// its exact cycle bracket, so a timeline row maps onto the telemetry
     /// aggregate that timed it).
@@ -150,12 +167,13 @@ pub enum FlightEvent {
 
 impl FlightEvent {
     /// Trust domain the event originates from: `"hw"` (architectural
-    /// transitions), `"os"` (kernel observations), or `"enclave"`
-    /// (trusted-runtime decisions).
+    /// transitions), `"os"` (kernel observations), `"fleet"` (untrusted
+    /// supervisor decisions), or `"enclave"` (trusted-runtime decisions).
     pub fn domain(&self) -> &'static str {
         match self {
             FlightEvent::Transition { .. } => "hw",
             FlightEvent::Kernel(_) => "os",
+            FlightEvent::Supervisor { .. } => "fleet",
             _ => "enclave",
         }
     }
@@ -219,6 +237,9 @@ impl FlightEvent {
             }
             FlightEvent::SnapshotRestore { counter } => {
                 format!("snapshot restore attempted (sealed counter {counter})")
+            }
+            FlightEvent::Supervisor { eid, action, why } => {
+                format!("supervisor: {action} eid={} ({why})", eid.0)
             }
             FlightEvent::SpanClose {
                 kind,

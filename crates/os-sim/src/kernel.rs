@@ -158,6 +158,7 @@ pub enum FaultDisposition {
     HandlerRequired,
 }
 
+#[derive(Clone)]
 pub(crate) struct Proc {
     pub image: EnclaveImage,
     /// Pages the OS may page at will.
@@ -261,15 +262,18 @@ impl Os {
         Ok(())
     }
 
-    /// Draw the fault decision for one driver call (one RNG draw).
+    /// Draw the fault decision for one driver call issued by `eid` (one
+    /// RNG draw for untargeted plans; targeted plans skip other enclaves
+    /// without a draw — see [`FaultPlan::target`]).
     pub(crate) fn inject_decide(
         &mut self,
+        eid: EnclaveId,
         syscall: SyscallKind,
         batch_len: usize,
     ) -> Option<FaultKind> {
         self.injector
             .as_mut()
-            .and_then(|inj| inj.decide(syscall, batch_len))
+            .and_then(|inj| inj.decide(eid, syscall, batch_len))
     }
 
     /// Record an applied fault in the log and the injector's count.
@@ -943,5 +947,91 @@ impl Os {
             self.flight = Some(flight);
         }
         Ok(())
+    }
+
+    // ----------------------------------------------------------------
+    // Fleet support: per-enclave retire/reinstate on a *shared* host.
+    // ----------------------------------------------------------------
+
+    /// Capture one enclave's untrusted host state — process bookkeeping
+    /// plus its slice of the backing store (sealed pages, stale copies,
+    /// software-sealing blobs) — without disturbing the live kernel.
+    ///
+    /// Unlike [`Os::adopt_untrusted_state`], which moves a whole host's
+    /// worth of state to a fresh machine, this clones exactly one fleet
+    /// member's share so a supervisor can later tear that member down
+    /// ([`Os::retire_enclave`]) and reinstate it
+    /// ([`Os::reinstate_untrusted_state`]) while its neighbors keep
+    /// running. Capture it at the same pause point as the sealed runtime
+    /// checkpoint so the two stay consistent.
+    pub fn capture_untrusted_state(
+        &self,
+        eid: EnclaveId,
+    ) -> Result<UntrustedEnclaveState, OsError> {
+        let proc = self.procs.get(&eid).ok_or(OsError::NotLoaded(eid))?;
+        let (sealed, stale) = self.backing.clone_enclave_sealed(eid);
+        let blobs = self.backing.clone_enclave_blobs(eid);
+        Ok(UntrustedEnclaveState {
+            eid,
+            proc: proc.clone(),
+            sealed,
+            stale,
+            blobs,
+        })
+    }
+
+    /// Reinstate a captured bundle for an enclave that has been retired
+    /// (or crashed): process bookkeeping and backing-store slice return
+    /// exactly as captured. EPC contents and runtime state do NOT come
+    /// back this way — they arrive only through the sealed-snapshot
+    /// restore path, which verifies freshness against the monotonic
+    /// counter.
+    pub fn reinstate_untrusted_state(
+        &mut self,
+        state: &UntrustedEnclaveState,
+    ) -> Result<(), OsError> {
+        if self.procs.contains_key(&state.eid) {
+            return Err(OsError::BadRequest("enclave still loaded; retire it first"));
+        }
+        self.procs.insert(state.eid, state.proc.clone());
+        self.backing
+            .reinstate_enclave_sealed(state.sealed.clone(), state.stale.clone());
+        for (key, data) in &state.blobs {
+            self.backing.put_blob(*key, data.clone());
+        }
+        Ok(())
+    }
+
+    /// Tear one fleet member down completely: destroy its machine-side
+    /// enclave (freeing every EPC frame for the survivors), drop its
+    /// process bookkeeping, and purge its backing-store residue. The
+    /// observation log and snapshot vault are untouched — both are
+    /// adversary-visible history, not per-enclave state.
+    pub fn retire_enclave(&mut self, eid: EnclaveId) -> Result<(), OsError> {
+        self.procs.remove(&eid).ok_or(OsError::NotLoaded(eid))?;
+        self.machine.destroy_enclave(eid)?;
+        self.backing.purge_enclave(eid);
+        Ok(())
+    }
+}
+
+/// Opaque per-enclave bundle captured by [`Os::capture_untrusted_state`].
+///
+/// Everything inside is untrusted host state (the adversary can read all
+/// of it); holding it in the supervisor merely models an honest host
+/// keeping the enclave's swap residue around for a restart.
+#[derive(Clone)]
+pub struct UntrustedEnclaveState {
+    eid: EnclaveId,
+    proc: Proc,
+    sealed: Vec<autarky_sgx_sim::SealedPage>,
+    stale: Vec<autarky_sgx_sim::SealedPage>,
+    blobs: Vec<(u64, Vec<u8>)>,
+}
+
+impl UntrustedEnclaveState {
+    /// Enclave this bundle belongs to.
+    pub fn eid(&self) -> EnclaveId {
+        self.eid
     }
 }

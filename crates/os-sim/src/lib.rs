@@ -51,5 +51,5 @@ pub use fault::{FaultInjector, FaultKind, FaultPlan, InjectedFault, SyscallKind}
 pub use flight::{FlightEvent, FlightRecord, FlightRecorder};
 pub use hypervisor::{BalloonOutcome, Hypervisor, VmId};
 pub use image::EnclaveImage;
-pub use kernel::{FaultDisposition, Observation, Os, OsError};
+pub use kernel::{FaultDisposition, Observation, Os, OsError, UntrustedEnclaveState};
 pub use wire::WireError;

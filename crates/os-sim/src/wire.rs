@@ -348,7 +348,7 @@ pub fn encode_fault_plan(plan: &FaultPlan) -> String {
         .max_injections
         .map(|m| m.to_string())
         .unwrap_or_else(|| "-".to_owned());
-    format!(
+    let mut line = format!(
         "plan seed={} nomem={:016x} partial={:016x} wrongres={:016x} drop={:016x} \
          spurious={:016x} corrupt={:016x} replay={:016x} delay={:016x} delay_cycles={} \
          suspend={:016x} max={}",
@@ -364,7 +364,13 @@ pub fn encode_fault_plan(plan: &FaultPlan) -> String {
         plan.delay_cycles,
         plan.suspend.to_bits(),
         max,
-    )
+    );
+    // Emitted only when targeted, so untargeted plans (every pre-fleet
+    // artifact) keep their exact historical encoding.
+    if let Some(target) = plan.target {
+        line.push_str(&format!(" tgt={}", target.0));
+    }
+    line
 }
 
 /// Decode a fault plan line produced by [`encode_fault_plan`].
@@ -403,6 +409,7 @@ pub fn decode_fault_plan(line: &str) -> Result<FaultPlan, WireError> {
                     Some(parse_u64(value, line)?)
                 }
             }
+            "tgt" => plan.target = Some(parse_eid(value, line)?),
             _ => return err("plan key", line),
         }
     }
@@ -462,6 +469,9 @@ pub fn encode_flight_event(event: &FlightEvent) -> String {
         FlightEvent::RateLimitKill => "rlkill".to_owned(),
         FlightEvent::SnapshotCapture { counter } => format!("snapcap {counter}"),
         FlightEvent::SnapshotRestore { counter } => format!("snaprest {counter}"),
+        FlightEvent::Supervisor { eid, action, why } => {
+            format!("sup {} {action} {why}", eid.0)
+        }
         FlightEvent::SpanClose {
             kind,
             start_cycles,
@@ -522,6 +532,11 @@ fn decode_flight_event_fields(fields: &[&str], line: &str) -> Result<FlightEvent
         }),
         ("snaprest", [counter]) => Ok(FlightEvent::SnapshotRestore {
             counter: parse_u64(counter, line)?,
+        }),
+        ("sup", [eid, action, why @ ..]) => Ok(FlightEvent::Supervisor {
+            eid: parse_eid(eid, line)?,
+            action: (*action).to_owned(),
+            why: rest_of_line(why, line)?,
         }),
         ("span", [kind, start, end]) => Ok(FlightEvent::SpanClose {
             kind: (*kind).to_owned(),
@@ -739,6 +754,11 @@ mod tests {
                 } else {
                     None
                 },
+                target: if rng.gen_bool(0.5) {
+                    Some(EnclaveId(rng.next_u32() >> 8))
+                } else {
+                    None
+                },
             };
             let line = encode_fault_plan(&plan);
             assert_eq!(decode_fault_plan(&line).expect("decode"), plan);
@@ -780,7 +800,7 @@ mod tests {
     }
 
     fn random_flight_event(rng: &mut SimRng) -> FlightEvent {
-        match rng.gen_range(0..14) {
+        match rng.gen_range(0..15) {
             0 => FlightEvent::Transition {
                 kind: TransitionKind::ALL[rng.gen_range_usize(0..TransitionKind::ALL.len())],
                 eid: EnclaveId(rng.next_u32() >> 8),
@@ -825,6 +845,13 @@ mod tests {
             },
             12 => FlightEvent::SnapshotRestore {
                 counter: rng.next_u64() >> 32,
+            },
+            13 => FlightEvent::Supervisor {
+                eid: EnclaveId(rng.next_u32() >> 8),
+                action: ["retry", "quarantine", "restart", "evict", "shed", "shrink"]
+                    [rng.gen_range_usize(0..6)]
+                .to_owned(),
+                why: random_why(rng),
             },
             _ => FlightEvent::SpanClose {
                 kind: ["fault_handler", "ay_fetch_pages", "seal", "retry_backoff"]
@@ -893,6 +920,8 @@ mod tests {
             "ev 1 2 3 snaprest one",
             "ev 1 2 3 k inj 1 stalesnap",
             "ev 1 2 3 k inj 1 truncsnap -4",
+            "ev 1 2 3 sup 4 restart",
+            "ev 1 2 3 sup x restart wedged",
         ] {
             assert!(
                 decode_flight_record(bad).is_err(),

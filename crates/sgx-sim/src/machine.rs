@@ -1243,6 +1243,28 @@ impl Machine {
     /// [`SgxError::LifecycleViolation`] if the enclave id already exists
     /// and [`SgxError::SealBroken`] on a malformed page capture.
     pub fn restore_enclave(&mut self, capture: &EnclaveCapture) -> Result<(), SgxError> {
+        self.restore_enclave_inner(capture, true)
+    }
+
+    /// Rebuild a captured enclave on a machine that *kept running* while
+    /// the enclave was down (fleet in-place restart: neighbors sharing
+    /// this EPC never stopped).
+    ///
+    /// Identical to [`Machine::restore_enclave`] except that
+    /// machine-global timing state — the clock, event stats, and TLB
+    /// counters — is left at its live values instead of being rewound to
+    /// the capture's. The restored enclave's *contents* are still
+    /// byte-identical to the capture; only the shared wall-clock moved
+    /// on, exactly as a real restart on a busy host would see.
+    pub fn restore_enclave_shared(&mut self, capture: &EnclaveCapture) -> Result<(), SgxError> {
+        self.restore_enclave_inner(capture, false)
+    }
+
+    fn restore_enclave_inner(
+        &mut self,
+        capture: &EnclaveCapture,
+        overwrite_timing: bool,
+    ) -> Result<(), SgxError> {
         let eid = capture.eid;
         if self.enclaves.contains_key(&eid) {
             return Err(SgxError::LifecycleViolation);
@@ -1306,10 +1328,12 @@ impl Machine {
                 outstanding: capture.outstanding.iter().copied().collect(),
             },
         );
-        self.clock = Clock::from_parts(capture.clock_cycles, capture.clock_tagged);
-        self.stats = capture.stats.clone();
-        self.tlb
-            .restore_counters(capture.tlb_fills, capture.tlb_hits, capture.tlb_flushes);
+        if overwrite_timing {
+            self.clock = Clock::from_parts(capture.clock_cycles, capture.clock_tagged);
+            self.stats = capture.stats.clone();
+            self.tlb
+                .restore_counters(capture.tlb_fills, capture.tlb_hits, capture.tlb_flushes);
+        }
         self.next_eid = self.next_eid.max(eid.0 + 1);
         Ok(())
     }

@@ -318,6 +318,37 @@ pub fn restore(
     counter: &mut MonotonicCounter,
     blob: &[u8],
 ) -> Result<Runtime, SnapError> {
+    restore_inner(os, counter, blob, false)
+}
+
+/// Restore a sealed snapshot onto an `os` whose machine *kept running*
+/// (fleet in-place restart: the enclave's neighbors never stopped, so
+/// the shared clock, stats and TLB counters must not be rewound to the
+/// capture's values).
+///
+/// Same verification order and counter discipline as [`restore`]; the
+/// only difference is the hardware restore uses
+/// [`Machine::restore_enclave_shared`], which preserves live machine
+/// timing. The restored enclave's own contents are still byte-identical
+/// to the capture. The caller must have retired the crashed incarnation
+/// first (`Os::retire_enclave`) and reinstated its untrusted state
+/// (`Os::reinstate_untrusted_state`).
+///
+/// [`Machine::restore_enclave_shared`]: autarky_sgx_sim::Machine::restore_enclave_shared
+pub fn restore_in_place(
+    os: &mut Os,
+    counter: &mut MonotonicCounter,
+    blob: &[u8],
+) -> Result<Runtime, SnapError> {
+    restore_inner(os, counter, blob, true)
+}
+
+fn restore_inner(
+    os: &mut Os,
+    counter: &mut MonotonicCounter,
+    blob: &[u8],
+    shared_machine: bool,
+) -> Result<Runtime, SnapError> {
     let platform_key = *os.machine.platform_key();
     if blob.len() < HEADER_LEN + aead::TAG_LEN || &blob[..8] != MAGIC {
         record_restore_attack(os, 0, "snapshot blob truncated or not a sealed snapshot");
@@ -372,7 +403,11 @@ pub fn restore(
     if capture.eid != eid {
         return Err(SnapError::Malformed);
     }
-    os.machine.restore_enclave(&capture)?;
+    if shared_machine {
+        os.machine.restore_enclave_shared(&capture)?;
+    } else {
+        os.machine.restore_enclave(&capture)?;
+    }
     let mut rt = Runtime::restore_from_bytes(&runtime_bytes).ok_or(SnapError::Malformed)?;
     if rt.eid != eid {
         return Err(SnapError::Malformed);

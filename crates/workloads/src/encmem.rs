@@ -37,6 +37,24 @@ pub struct World {
     pub image: EnclaveImage,
 }
 
+/// One fleet member detached from the shared host: the trusted runtime
+/// and identity of a single enclave, without the OS that (together with
+/// its neighbors) it runs on.
+///
+/// A multi-enclave host holds one [`Os`] and N handles; to run workload
+/// code for member *i* it temporarily assembles a [`World`] view with
+/// [`World::join`] and takes it apart again with [`World::split`]. The
+/// moves are free (no copying of enclave state) and keep the single-
+/// enclave workload API unchanged.
+pub struct EnclaveHandle {
+    /// The trusted runtime.
+    pub rt: Runtime,
+    /// The enclave id.
+    pub eid: EnclaveId,
+    /// The image the enclave was loaded from.
+    pub image: EnclaveImage,
+}
+
 impl World {
     /// Build a world: boot the OS, load `image`, attach the runtime.
     pub fn new(
@@ -48,6 +66,43 @@ impl World {
         let eid = os.load_enclave(&image)?;
         let rt = Runtime::attach(&mut os, eid, runtime)?;
         Ok(Self { os, rt, eid, image })
+    }
+
+    /// Load an additional enclave into an *existing* host and attach a
+    /// runtime to it, returning the detached per-enclave handle. This is
+    /// how fleet members after the first come up: they share the host's
+    /// machine (and thus its EPC) with every enclave already loaded.
+    pub fn attach_to(
+        os: &mut Os,
+        image: EnclaveImage,
+        runtime: RuntimeConfig,
+    ) -> Result<EnclaveHandle, RtError> {
+        let eid = os.load_enclave(&image)?;
+        let rt = Runtime::attach(os, eid, runtime)?;
+        Ok(EnclaveHandle { rt, eid, image })
+    }
+
+    /// Assemble a world view over the shared host for one fleet member.
+    pub fn join(os: Os, handle: EnclaveHandle) -> Self {
+        Self {
+            os,
+            rt: handle.rt,
+            eid: handle.eid,
+            image: handle.image,
+        }
+    }
+
+    /// Take the world apart again: the shared host goes back to the
+    /// supervisor, the per-enclave pieces back into the handle.
+    pub fn split(self) -> (Os, EnclaveHandle) {
+        (
+            self.os,
+            EnclaveHandle {
+                rt: self.rt,
+                eid: self.eid,
+                image: self.image,
+            },
+        )
     }
 
     /// Cycles elapsed on the machine clock.

@@ -26,8 +26,10 @@ pub mod kvstore;
 pub mod nbench;
 pub mod parsec;
 pub mod phoenix;
+pub mod request;
 pub mod spell;
 pub mod uthash;
 pub mod ycsb;
 
-pub use encmem::{EncHeap, EncVecF64, EncVecU64, Ptr, World};
+pub use encmem::{EncHeap, EncVecF64, EncVecU64, EnclaveHandle, Ptr, World};
+pub use request::{Request, RequestSource, Response, Service};

@@ -1,0 +1,300 @@
+//! Uniform request plumbing between load sources and enclave services.
+//!
+//! The example servers used to hardcode their own input loops, which
+//! meant nothing else — a load generator, a fleet scheduler, a replay
+//! harness — could drive them. This module splits the two roles:
+//!
+//! * a [`RequestSource`] produces a stream of [`Request`]s (a key
+//!   generator, a text chunker, a seeded open-loop arrival process);
+//! * a [`Service`] consumes one request at a time against a [`World`] +
+//!   [`EncHeap`] pair and returns a [`Response`].
+//!
+//! [`KvStore`] and [`SpellServer`] implement [`Service`] directly, so
+//! any source can drive either server unmodified.
+
+use autarky_runtime::RtError;
+
+use crate::encmem::{EncHeap, World};
+use crate::kvstore::KvStore;
+use crate::spell::SpellServer;
+use crate::ycsb::KeyGenerator;
+
+/// One request a client could send to an enclave-hosted service.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// Fetch the value under `key` (kvstore).
+    Get {
+        /// Key to fetch.
+        key: u64,
+    },
+    /// Store `value` under `key` (kvstore).
+    Set {
+        /// Key to store under.
+        key: u64,
+        /// Value bytes.
+        value: Vec<u8>,
+    },
+    /// Spell-check `text` against dictionary `lang` (spell server).
+    Check {
+        /// Dictionary language code.
+        lang: String,
+        /// Words to check.
+        text: Vec<String>,
+    },
+}
+
+/// A service's answer to one [`Request`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Response {
+    /// GET result: the value, or `None` for a missing key.
+    Value(Option<Vec<u8>>),
+    /// SET acknowledged.
+    Stored,
+    /// CHECK result: number of correctly spelled words.
+    Correct(u64),
+}
+
+/// A stream of requests. `None` means the source is drained.
+pub trait RequestSource {
+    /// Produce the next request, or `None` when done.
+    fn next_request(&mut self) -> Option<Request>;
+}
+
+/// An enclave-hosted service that can serve the uniform request type.
+pub trait Service {
+    /// Serve one request. A request kind the service does not speak is
+    /// an error, not a panic — a fleet scheduler may route anything.
+    fn serve(
+        &mut self,
+        world: &mut World,
+        heap: &mut EncHeap,
+        request: &Request,
+    ) -> Result<Response, RtError>;
+}
+
+impl Service for KvStore {
+    fn serve(
+        &mut self,
+        world: &mut World,
+        heap: &mut EncHeap,
+        request: &Request,
+    ) -> Result<Response, RtError> {
+        match request {
+            Request::Get { key } => Ok(Response::Value(self.get(world, heap, *key)?)),
+            Request::Set { key, value } => {
+                self.set(world, heap, *key, value)?;
+                Ok(Response::Stored)
+            }
+            Request::Check { .. } => Err(RtError::BadCluster("spell request sent to a kv store")),
+        }
+    }
+}
+
+impl Service for SpellServer {
+    fn serve(
+        &mut self,
+        world: &mut World,
+        heap: &mut EncHeap,
+        request: &Request,
+    ) -> Result<Response, RtError> {
+        match request {
+            Request::Check { lang, text } => {
+                Ok(Response::Correct(self.check_text(world, heap, lang, text)?))
+            }
+            Request::Get { .. } | Request::Set { .. } => {
+                Err(RtError::BadCluster("kv request sent to a spell server"))
+            }
+        }
+    }
+}
+
+/// A finite stream of GET requests drawn from a [`KeyGenerator`]
+/// (uniform, Zipfian, or latest-biased key skew).
+pub struct KeyStream {
+    generator: KeyGenerator,
+    remaining: u64,
+}
+
+impl KeyStream {
+    /// `count` GETs from `generator`.
+    pub fn new(generator: KeyGenerator, count: u64) -> Self {
+        Self {
+            generator,
+            remaining: count,
+        }
+    }
+}
+
+impl RequestSource for KeyStream {
+    fn next_request(&mut self) -> Option<Request> {
+        if self.remaining == 0 {
+            return None;
+        }
+        self.remaining -= 1;
+        Some(Request::Get {
+            key: self.generator.next_key(),
+        })
+    }
+}
+
+/// A text split into fixed-size CHECK requests against one dictionary.
+pub struct TextStream {
+    lang: String,
+    words: Vec<String>,
+    words_per_request: usize,
+    cursor: usize,
+}
+
+impl TextStream {
+    /// Chunk `words` into requests of `words_per_request` words each
+    /// (the final request may be shorter).
+    pub fn new(lang: &str, words: Vec<String>, words_per_request: usize) -> Self {
+        Self {
+            lang: lang.to_owned(),
+            words,
+            words_per_request: words_per_request.max(1),
+            cursor: 0,
+        }
+    }
+}
+
+impl RequestSource for TextStream {
+    fn next_request(&mut self) -> Option<Request> {
+        if self.cursor >= self.words.len() {
+            return None;
+        }
+        let end = (self.cursor + self.words_per_request).min(self.words.len());
+        let text = self.words[self.cursor..end].to_vec();
+        self.cursor = end;
+        Some(Request::Check {
+            lang: self.lang.clone(),
+            text,
+        })
+    }
+}
+
+/// A canned request list, replayed in order (tests, recorded traces).
+pub struct ReplaySource {
+    requests: std::vec::IntoIter<Request>,
+}
+
+impl ReplaySource {
+    /// Replay `requests` front to back.
+    pub fn new(requests: Vec<Request>) -> Self {
+        Self {
+            requests: requests.into_iter(),
+        }
+    }
+}
+
+impl RequestSource for ReplaySource {
+    fn next_request(&mut self) -> Option<Request> {
+        self.requests.next()
+    }
+}
+
+/// Drain `source` through `service`, returning the responses in order.
+pub fn serve_all(
+    world: &mut World,
+    heap: &mut EncHeap,
+    service: &mut dyn Service,
+    source: &mut dyn RequestSource,
+) -> Result<Vec<Response>, RtError> {
+    let mut responses = Vec::new();
+    while let Some(request) = source.next_request() {
+        responses.push(service.serve(world, heap, &request)?);
+    }
+    Ok(responses)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kvstore::ItemClustering;
+    use crate::spell::synth_text;
+    use crate::ycsb::Distribution;
+    use autarky_os_sim::EnclaveImage;
+    use autarky_runtime::RuntimeConfig;
+    use autarky_sgx_sim::machine::MachineConfig;
+
+    fn world(heap_pages: usize) -> World {
+        let mut img = EnclaveImage::named("request-test");
+        img.heap_pages = heap_pages;
+        World::new(
+            MachineConfig {
+                epc_frames: heap_pages + 64,
+                ..Default::default()
+            },
+            img,
+            RuntimeConfig::default(),
+        )
+        .expect("world")
+    }
+
+    #[test]
+    fn key_stream_drives_kv_store() {
+        let mut w = world(256);
+        let mut heap = EncHeap::direct();
+        let mut store = KvStore::new(&mut w, &mut heap, 64, 32, ItemClustering::None).expect("kv");
+        store.load(&mut w, &mut heap, 64).expect("load");
+        let mut source = KeyStream::new(
+            KeyGenerator::new(64, Distribution::Zipfian { theta: 0.99 }, 7),
+            40,
+        );
+        let responses = serve_all(&mut w, &mut heap, &mut store, &mut source).expect("serve");
+        assert_eq!(responses.len(), 40);
+        assert!(responses
+            .iter()
+            .all(|r| matches!(r, Response::Value(Some(_)))));
+    }
+
+    #[test]
+    fn text_stream_drives_spell_server() {
+        let mut w = world(512);
+        let mut heap = EncHeap::direct();
+        let mut server =
+            SpellServer::start(&mut w, &mut heap, &["en"], 200, false).expect("server");
+        let words = synth_text("en", 200, 30, 5);
+        let mut source = TextStream::new("en", words, 10);
+        let responses = serve_all(&mut w, &mut heap, &mut server, &mut source).expect("serve");
+        assert_eq!(responses.len(), 3, "30 words in requests of 10");
+        let correct: u64 = responses
+            .iter()
+            .map(|r| match r {
+                Response::Correct(n) => *n,
+                _ => 0,
+            })
+            .sum();
+        assert!(correct > 0, "synthetic text contains dictionary words");
+    }
+
+    #[test]
+    fn wrong_request_kind_is_an_error_not_a_panic() {
+        let mut w = world(256);
+        let mut heap = EncHeap::direct();
+        let mut store = KvStore::new(&mut w, &mut heap, 16, 32, ItemClustering::None).expect("kv");
+        let req = Request::Check {
+            lang: "en".into(),
+            text: vec!["word".into()],
+        };
+        assert!(store.serve(&mut w, &mut heap, &req).is_err());
+    }
+
+    #[test]
+    fn replay_source_preserves_order() {
+        let reqs = vec![
+            Request::Get { key: 3 },
+            Request::Set {
+                key: 4,
+                value: vec![1, 2],
+            },
+            Request::Get { key: 5 },
+        ];
+        let mut source = ReplaySource::new(reqs.clone());
+        let mut seen = Vec::new();
+        while let Some(r) = source.next_request() {
+            seen.push(r);
+        }
+        assert_eq!(seen, reqs);
+    }
+}

@@ -10,6 +10,7 @@
 
 use autarky::prelude::*;
 use autarky::workloads::kvstore::{ItemClustering, KvStore};
+use autarky::workloads::request::{KeyStream, Request, RequestSource, Response, Service};
 use autarky::workloads::ycsb::{Distribution, KeyGenerator};
 use autarky::{Profile, SystemBuilder};
 
@@ -38,17 +39,23 @@ fn main() {
         store.value_size()
     );
 
-    // Serve a skewed workload; verify every value.
-    let mut generator = KeyGenerator::new(1000, Distribution::Zipfian { theta: 0.99 }, 3);
+    // Serve a skewed workload from a pluggable request source (the same
+    // interface the fleet load generator drives); verify every value.
+    let mut source = KeyStream::new(
+        KeyGenerator::new(1000, Distribution::Zipfian { theta: 0.99 }, 3),
+        500,
+    );
     let t0 = world.now();
-    let requests = 500;
-    for _ in 0..requests {
-        let key = generator.next_key();
-        let value = store
-            .get(&mut world, &mut heap, key)
-            .expect("get")
-            .expect("loaded key present");
-        assert_eq!(value, KvStore::value_for(key, 512), "integrity holds");
+    let mut requests = 0u64;
+    while let Some(request) = source.next_request() {
+        let response = store
+            .serve(&mut world, &mut heap, &request)
+            .expect("serve request");
+        if let (Request::Get { key }, Response::Value(value)) = (&request, &response) {
+            let value = value.as_deref().expect("loaded key present");
+            assert_eq!(value, KvStore::value_for(*key, 512), "integrity holds");
+        }
+        requests += 1;
     }
     let cycles = world.now() - t0;
     println!(

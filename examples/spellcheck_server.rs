@@ -10,6 +10,7 @@
 //! ```
 
 use autarky::prelude::*;
+use autarky::workloads::request::{RequestSource, Response, Service, TextStream};
 use autarky::workloads::spell::{synth_text, SpellServer};
 use autarky::{Profile, SystemBuilder};
 
@@ -28,7 +29,7 @@ fn main() {
 
     // Load five dictionaries; each becomes one application-defined cluster.
     let langs = ["en", "de", "fr", "es", "it"];
-    let server =
+    let mut server =
         SpellServer::start(&mut world, &mut heap, &langs, 1500, true).expect("dictionaries load");
     for dict in &server.dictionaries {
         println!(
@@ -43,21 +44,28 @@ fn main() {
         );
     }
 
-    // Serve requests: a text checked against English.
+    // Serve requests from a pluggable request source (the same interface
+    // the fleet load generator drives): a 500-word English text arriving
+    // as 100-word check requests.
     let text = synth_text("en", 1500, 500, 42);
+    let words = text.len();
+    let mut source = TextStream::new("en", text, 100);
     let t0 = world.now();
-    let correct = server
-        .check_text(&mut world, &mut heap, "en", &text)
-        .expect("spell check");
+    let mut correct = 0u64;
+    while let Some(request) = source.next_request() {
+        match server
+            .serve(&mut world, &mut heap, &request)
+            .expect("spell check")
+        {
+            Response::Correct(n) => correct += n,
+            other => panic!("unexpected response {other:?}"),
+        }
+    }
     let cycles = world.now() - t0;
-    println!(
-        "\nchecked {} words: {} spelled correctly",
-        text.len(),
-        correct
-    );
+    println!("\nchecked {words} words: {correct} spelled correctly");
     println!(
         "throughput: {:.1} kwd/s (simulated)",
-        text.len() as f64 / 1000.0 / (cycles as f64 / CLOCK_HZ as f64)
+        words as f64 / 1000.0 / (cycles as f64 / CLOCK_HZ as f64)
     );
 
     // What did the OS see? Only whole-cluster fetches.
