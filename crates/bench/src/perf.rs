@@ -5,11 +5,15 @@
 //! Every number here is *simulated* cycles, so a run is bit-stable across
 //! machines: the CI `bench-smoke` job regenerates the report and fails if
 //! any workload's cycles/op regressed by more than the tolerance against
-//! the committed `BENCH_PR4_baseline.json`.
+//! the committed `baselines/bench-v1.json`.
 //!
 //! The JSON is hand-rolled (the offline build has no serde); the baseline
 //! parser below reads exactly the format [`PerfReport::to_json`] writes —
 //! one key per line — and is not a general JSON parser.
+//!
+//! Besides the whole-suite pipeline, single workloads are addressable by
+//! name ([`measure_one`]) so external matrix drivers (the campaign
+//! runner) can gate one `workload × baseline` cell at a time.
 
 use autarky::prelude::*;
 use autarky::telemetry::SpanKind;
@@ -240,6 +244,31 @@ pub fn measure_font(scale: u32) -> WorkloadPerf {
     measure_phase("font", glyphs as u64, &mut world, |world| {
         font.render_text(world, &mut heap, &text).expect("render");
     })
+}
+
+/// Stable names of the perf-suite workloads, in suite order (the
+/// campaign runner's bench axis vocabulary).
+pub const WORKLOAD_NAMES: [&str; 4] = ["paging", "spell", "kvstore", "font"];
+
+/// Measure one suite workload by name; `None` for names outside
+/// [`WORKLOAD_NAMES`].
+pub fn measure_one(name: &str, scale: u32) -> Option<WorkloadPerf> {
+    match name {
+        "paging" => Some(measure_paging(scale)),
+        "spell" => Some(measure_spell(scale)),
+        "kvstore" => Some(measure_kvstore(scale)),
+        "font" => Some(measure_font(scale)),
+        _ => None,
+    }
+}
+
+/// Look up one workload's committed cycles/op in a baseline written by
+/// [`PerfReport::to_json`].
+pub fn baseline_cycles_per_op(baseline_json: &str, name: &str) -> Option<f64> {
+    parse_baseline(baseline_json)
+        .into_iter()
+        .find(|(n, _)| n == name)
+        .map(|(_, v)| v)
 }
 
 /// Run the whole suite.

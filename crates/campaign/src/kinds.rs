@@ -1,0 +1,551 @@
+//! Cell executors: the bridge from a [`CellSpec`] to the subsystem it
+//! exercises.
+//!
+//! Each kind wraps an existing crate as a *library call* — no
+//! subprocesses, no re-parsing of CLI output — so a campaign cell sees
+//! exactly what the subsystem's own tests see:
+//!
+//! * `bench` → [`autarky_bench::perf`] single-workload measurement with
+//!   the baseline regression gate;
+//! * `leakage` → [`autarky_leakage::run_audit_filtered`] on one
+//!   (policy × workload) audit cell;
+//! * `replay` → [`autarky_flightrec::verify_replay`] record → replay →
+//!   diff determinism check;
+//! * `fleet` → [`autarky_fleet::Fleet`] load-generated run with latency
+//!   percentiles and the zero-silent-drop accounting gate.
+//!
+//! Executors are pure functions of the spec (plus, for bench, the
+//! baseline file named in it), so a cell's outcome is reproducible from
+//! its content address alone.
+
+use autarky_fleet::{
+    kv_stream, spell_stream, Arrivals, Fleet, FleetConfig, FleetReport, LoadConfig, MemberConfig,
+    StagedCrash, TimedRequest, WorkloadKind,
+};
+use autarky_flightrec::{verify_replay, Schedule, SchedulePolicy, ScheduleWorkload};
+use autarky_leakage::{run_audit_filtered, AuditConfig, Gate};
+use autarky_os_sim::FaultPlan;
+use autarky_runtime::RuntimeConfig;
+
+use crate::cell::{CellKind, CellOutcome, CellSpec, GateOutcome};
+
+/// Execute one cell against its subsystem.
+pub fn execute_cell(spec: &CellSpec) -> CellOutcome {
+    match spec.kind {
+        CellKind::Bench => run_bench(spec),
+        CellKind::Leakage => run_leakage(spec),
+        CellKind::Replay => run_replay(spec),
+        CellKind::Fleet => run_fleet(spec),
+    }
+}
+
+// ---------------------------------------------------------------- bench
+
+fn run_bench(spec: &CellSpec) -> CellOutcome {
+    let Some(perf) = autarky_bench::perf::measure_one(&spec.workload, spec.params.scale) else {
+        return CellOutcome::fail(format!("unknown bench workload {:?}", spec.workload));
+    };
+    let cur = perf.cycles_per_op();
+    let mut metrics = vec![
+        ("ops".to_owned(), perf.ops as f64),
+        ("cycles".to_owned(), perf.cycles as f64),
+        ("cycles_per_op".to_owned(), cur),
+        ("faults".to_owned(), perf.faults as f64),
+        ("fault_rate".to_owned(), perf.fault_rate()),
+    ];
+    // Telemetry tie-in: surface the hottest span so a regression's
+    // *where* rides along with its *how much*.
+    if let Some(top) = perf.spans.iter().max_by_key(|s| s.cycles) {
+        metrics.push((format!("top_span_{}_cycles", top.name), top.cycles as f64));
+    }
+    let Some(baseline_path) = &spec.params.baseline else {
+        return CellOutcome {
+            gate: GateOutcome::Info,
+            metrics,
+            reason: format!("{:.1} cycles/op (no baseline configured)", cur),
+        };
+    };
+    let json = match std::fs::read_to_string(baseline_path) {
+        Ok(json) => json,
+        Err(e) => {
+            return CellOutcome {
+                gate: GateOutcome::Fail,
+                metrics,
+                reason: format!("baseline {baseline_path} unreadable: {e}"),
+            }
+        }
+    };
+    let Some(base) = autarky_bench::perf::baseline_cycles_per_op(&json, &spec.workload) else {
+        return CellOutcome {
+            gate: GateOutcome::Fail,
+            metrics,
+            reason: format!(
+                "workload {:?} missing from baseline {baseline_path}",
+                spec.workload
+            ),
+        };
+    };
+    if base <= 0.0 {
+        return CellOutcome {
+            gate: GateOutcome::Fail,
+            metrics,
+            reason: format!("baseline cycles/op for {:?} is not positive", spec.workload),
+        };
+    }
+    let delta_pct = (cur / base - 1.0) * 100.0;
+    metrics.push(("baseline_cycles_per_op".to_owned(), base));
+    metrics.push(("delta_pct".to_owned(), delta_pct));
+    let gate = if delta_pct <= spec.params.max_growth_pct {
+        GateOutcome::Pass
+    } else {
+        GateOutcome::Fail
+    };
+    CellOutcome {
+        gate,
+        metrics,
+        reason: format!(
+            "{cur:.1} cycles/op vs baseline {base:.1} ({delta_pct:+.1}%, limit +{:.1}%)",
+            spec.params.max_growth_pct
+        ),
+    }
+}
+
+// -------------------------------------------------------------- leakage
+
+fn run_leakage(spec: &CellSpec) -> CellOutcome {
+    let Some(policy) = &spec.policy else {
+        return CellOutcome::fail("leakage cell without a policy axis");
+    };
+    let cfg = AuditConfig {
+        seeds: spec.params.samples,
+        baseline_min_mi: spec.params.baseline_min_mi,
+        oram_max_mi: spec.params.oram_max_mi,
+    };
+    let label = format!("{policy}/{}", spec.workload);
+    let report = run_audit_filtered(&cfg, std::slice::from_ref(&label));
+    let Some(cell) = report.cells.first() else {
+        return CellOutcome::fail(format!("audit matrix has no cell {label}"));
+    };
+    let mut metrics = vec![
+        ("mi_bits".to_owned(), cell.dist.mi_bits),
+        ("accuracy".to_owned(), cell.dist.accuracy),
+        ("mean_cross_tv".to_owned(), cell.dist.mean_cross_tv),
+        ("mean_within_tv".to_owned(), cell.dist.mean_within_tv),
+        ("mean_symbols_0".to_owned(), cell.dist.mean_symbols[0]),
+        ("mean_symbols_1".to_owned(), cell.dist.mean_symbols[1]),
+    ];
+    if let Some(rate) = &cell.rate {
+        metrics.push(("rate_faults".to_owned(), rate.faults as f64));
+        metrics.push((
+            "rate_bits_per_progress".to_owned(),
+            rate.measured_bits_per_progress,
+        ));
+    }
+    let gate = match cell.gate {
+        Gate::Pass => GateOutcome::Pass,
+        Gate::Fail => GateOutcome::Fail,
+        Gate::Info => GateOutcome::Info,
+    };
+    CellOutcome {
+        gate,
+        metrics,
+        reason: cell.reason.clone(),
+    }
+}
+
+// --------------------------------------------------------------- replay
+
+/// Injection rate for the named replay fault plans. Matches the
+/// moderate rates the flight-recorder tests drive: high enough that
+/// injections actually land, low enough that hostile runs usually
+/// terminate with a detection rather than an early wedge.
+const REPLAY_TRANSIENT_RATE: f64 = 0.0625;
+const REPLAY_HOSTILE_RATE: f64 = 0.03;
+
+fn run_replay(spec: &CellSpec) -> CellOutcome {
+    let (Some(policy), Some(plan_name), Some(seed)) = (&spec.policy, &spec.fault_plan, spec.seed)
+    else {
+        return CellOutcome::fail("replay cell missing policy/fault_plan/seed axis");
+    };
+    let Some(policy) = SchedulePolicy::from_name(policy) else {
+        return CellOutcome::fail(format!("unknown replay policy {policy:?}"));
+    };
+    let Some(workload) = ScheduleWorkload::from_name(&spec.workload) else {
+        return CellOutcome::fail(format!("unknown replay workload {:?}", spec.workload));
+    };
+    // The plan RNG seed is derived from the cell's content address, so
+    // two cells differing only in their seed axis inject differently —
+    // while record and replay of the *same* cell share one plan.
+    let plan_seed = spec.derived_seed();
+    let fault_plan = match plan_name.as_str() {
+        "quiet" => None,
+        "transient" => Some(FaultPlan::transient_only(plan_seed, REPLAY_TRANSIENT_RATE)),
+        "hostile" => Some(FaultPlan::hostile(plan_seed, REPLAY_HOSTILE_RATE)),
+        other => return CellOutcome::fail(format!("unknown replay fault plan {other:?}")),
+    };
+    let schedule = Schedule {
+        policy,
+        workload,
+        secret: spec.params.secret,
+        seed,
+        fault_plan,
+    };
+    let verdict = verify_replay(&schedule);
+    let metrics = vec![
+        ("events".to_owned(), verdict.record.records.len() as f64),
+        (
+            "telemetry_bytes".to_owned(),
+            verdict.record.telemetry_snapshot.len() as f64,
+        ),
+        ("dropped".to_owned(), verdict.record.dropped as f64),
+        (
+            "outcome_ok".to_owned(),
+            f64::from(u8::from(verdict.record.outcome == "ok")),
+        ),
+    ];
+    if verdict.deterministic() {
+        return CellOutcome {
+            gate: GateOutcome::Pass,
+            metrics,
+            reason: format!(
+                "deterministic ({} events, outcome {})",
+                verdict.record.records.len(),
+                verdict.record.outcome
+            ),
+        };
+    }
+    let mut why = Vec::new();
+    if !verdict.log_identical {
+        why.push("log diverged".to_owned());
+    }
+    if !verdict.telemetry_identical {
+        why.push("telemetry diverged".to_owned());
+    }
+    if !verdict.outcome_identical {
+        why.push(format!(
+            "outcome {:?} vs {:?}",
+            verdict.record.outcome, verdict.replay.outcome
+        ));
+    }
+    if !verdict.decisions_resolved {
+        why.push("unresolved decision chain".to_owned());
+    }
+    if let Some(div) = &verdict.divergence {
+        why.push(format!("first divergence at log line {}", div.index + 1));
+    }
+    CellOutcome {
+        gate: GateOutcome::Fail,
+        metrics,
+        reason: format!("replay not deterministic: {}", why.join("; ")),
+    }
+}
+
+// ---------------------------------------------------------------- fleet
+
+/// KV members preload this many items; with 2 KiB values that is two
+/// items per page, so a small paging budget keeps members faulting.
+const FLEET_KV_ITEMS: u64 = 64;
+const FLEET_KV_VALUE_SIZE: usize = 2048;
+const FLEET_SPELL_DICT_WORDS: usize = 600;
+const FLEET_SPELL_WORDS_PER_REQ: usize = 12;
+/// Near-uniform key skew: working set stays larger than the budget.
+const FLEET_KV_THETA: f64 = 0.2;
+
+fn run_fleet(spec: &CellSpec) -> CellOutcome {
+    let (Some(shape), Some(plan_name), Some(enclave_size), Some(_seed)) = (
+        &spec.traffic_shape,
+        &spec.fault_plan,
+        spec.enclave_size,
+        spec.seed,
+    ) else {
+        return CellOutcome::fail("fleet cell missing traffic_shape/fault_plan/enclave_size/seed");
+    };
+    let heap_pages = enclave_size as usize;
+    // Budget scales with the enclave so bigger cells are not trivially
+    // all-resident; the floor keeps tiny cells making progress.
+    let budget = (heap_pages / 12).clamp(12, 48);
+    let member = |name: &str, workload: WorkloadKind| MemberConfig {
+        name: name.into(),
+        workload,
+        heap_pages,
+        epc_quota: 0,
+        runtime: RuntimeConfig {
+            budget,
+            ..Default::default()
+        },
+    };
+    let kv = || WorkloadKind::Kv {
+        items: FLEET_KV_ITEMS,
+        value_size: FLEET_KV_VALUE_SIZE,
+    };
+    let spell = || WorkloadKind::Spell {
+        dict_words: FLEET_SPELL_DICT_WORDS,
+    };
+    let members = match spec.workload.as_str() {
+        "kvstore" => vec![
+            member("kv-a", kv()),
+            member("kv-b", kv()),
+            member("kv-c", kv()),
+        ],
+        "spell" => vec![
+            member("spell-a", spell()),
+            member("spell-b", spell()),
+            member("spell-c", spell()),
+        ],
+        "mixed" => vec![
+            member("kv-a", kv()),
+            member("kv-b", kv()),
+            member("spell-a", spell()),
+        ],
+        other => return CellOutcome::fail(format!("unknown fleet workload {other:?}")),
+    };
+    let member_count = members.len();
+    let requests = spec.params.requests;
+    let plan_seed = spec.derived_seed();
+    let staged_crash = match plan_name.as_str() {
+        "quiet" => None,
+        "transient" => Some(StagedCrash {
+            after_total_served: (requests as u64 / 6).max(5),
+            member: 0,
+            plan: FaultPlan::transient_only(plan_seed, 0.05),
+        }),
+        "staged-evict" => Some(StagedCrash {
+            after_total_served: (requests as u64 / 6).max(5),
+            member: 0,
+            plan: FaultPlan {
+                // Unbounded continuous eviction: guarantees detection
+                // (see the fleet tests' attack_plan rationale); the
+                // supervisor disarms it at the first failover.
+                spurious_evict: 1.0,
+                max_injections: None,
+                ..FaultPlan::quiescent(plan_seed)
+            },
+        }),
+        other => return CellOutcome::fail(format!("unknown fleet fault plan {other:?}")),
+    };
+    let cfg = FleetConfig {
+        epc_frames: spec.params.epc_frames,
+        members,
+        queue_cap: 256,
+        watchdog_cycles: 50_000_000,
+        restart_budget_cycles: 500_000_000,
+        restart_cost_cycles: 5_000_000,
+        max_retries: 3,
+        retry_backoff_cycles: 100_000,
+        max_watchdog_strikes: 1,
+        max_restarts: 3,
+        snapshot_every: 32,
+        epc_reserve_frames: 0,
+        shrink_floor_pages: 16,
+        flight_capacity: 1 << 18,
+        staged_crash,
+    };
+    let traffic: Vec<Vec<TimedRequest>> = (0..member_count)
+        .map(|i| {
+            let load = LoadConfig {
+                seed: plan_seed.wrapping_add(0x9e37_79b9 * (i as u64 + 1)),
+                requests,
+                arrivals: arrivals_for(shape),
+                start_cycles: 1_000,
+            };
+            match spec.workload.as_str() {
+                "spell" => spell_stream(
+                    load,
+                    "en",
+                    FLEET_SPELL_DICT_WORDS,
+                    FLEET_SPELL_WORDS_PER_REQ,
+                ),
+                "mixed" if i == member_count - 1 => spell_stream(
+                    load,
+                    "en",
+                    FLEET_SPELL_DICT_WORDS,
+                    FLEET_SPELL_WORDS_PER_REQ,
+                ),
+                _ => kv_stream(load, FLEET_KV_ITEMS, FLEET_KV_THETA),
+            }
+        })
+        .collect();
+    let mut fleet = match Fleet::new(cfg) {
+        Ok(fleet) => fleet,
+        Err(e) => return CellOutcome::fail(format!("fleet boot failed: {e}")),
+    };
+    let stats = match fleet.run(traffic) {
+        Ok(stats) => stats,
+        Err(e) => return CellOutcome::fail(format!("fleet run failed: {e}")),
+    };
+    let report = FleetReport::from_stats(&stats, fleet.now());
+
+    let offered: u64 = report.members.iter().map(|m| m.offered).sum();
+    let served: u64 = report.members.iter().map(|m| m.served).sum();
+    let rejected: u64 = report.members.iter().map(|m| m.rejected).sum();
+    let restarts: u32 = report.members.iter().map(|m| m.restarts).sum();
+    let worst = |f: &dyn Fn(&autarky_fleet::MemberReport) -> u64| {
+        report.members.iter().map(f).max().unwrap_or(0)
+    };
+    let metrics = vec![
+        ("offered".to_owned(), offered as f64),
+        ("served".to_owned(), served as f64),
+        ("rejected".to_owned(), rejected as f64),
+        ("restarts".to_owned(), f64::from(restarts)),
+        (
+            "p50_worst_cycles".to_owned(),
+            worst(&|m| m.p50_cycles) as f64,
+        ),
+        (
+            "p99_worst_cycles".to_owned(),
+            worst(&|m| m.p99_cycles) as f64,
+        ),
+        (
+            "p999_worst_cycles".to_owned(),
+            worst(&|m| m.p999_cycles) as f64,
+        ),
+        ("run_cycles".to_owned(), report.run_cycles as f64),
+    ];
+
+    let mut failures = Vec::new();
+    if !report.all_accounted() {
+        failures.push("silent request drop (offered != served + rejected)".to_owned());
+    }
+    if plan_name == "staged-evict" {
+        if !report.all_byte_identical() {
+            failures.push("a restore was not byte-identical".to_owned());
+        }
+        if report.members.first().map_or(0, |m| m.restarts) == 0 {
+            failures.push("victim was never failed over".to_owned());
+        }
+    }
+    if failures.is_empty() {
+        CellOutcome {
+            gate: GateOutcome::Pass,
+            metrics,
+            reason: format!(
+                "accounted: {served} served + {rejected} rejected of {offered}, {restarts} restarts"
+            ),
+        }
+    } else {
+        CellOutcome {
+            gate: GateOutcome::Fail,
+            metrics,
+            reason: failures.join("; "),
+        }
+    }
+}
+
+fn arrivals_for(shape: &str) -> Arrivals {
+    match shape {
+        // A burst longer than any cell's request count degenerates to a
+        // fixed inter-arrival gap: steady, clocklike load.
+        "steady" => Arrivals::Bursty {
+            burst_gap_cycles: 200_000,
+            burst_len: u32::MAX,
+            idle_gap_cycles: 0,
+        },
+        "poisson" => Arrivals::Poisson {
+            mean_gap_cycles: 200_000,
+        },
+        // Matches the fleet smoke scenario: tight bursts, long idles.
+        _ => Arrivals::Bursty {
+            burst_gap_cycles: 20_000,
+            burst_len: 25,
+            idle_gap_cycles: 30_000_000,
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::SuiteParams;
+
+    #[test]
+    fn bench_cell_without_baseline_is_informational() {
+        let spec = CellSpec::new(
+            CellKind::Bench,
+            None,
+            "spell".into(),
+            None,
+            None,
+            None,
+            None,
+            SuiteParams::default(),
+        );
+        let out = execute_cell(&spec);
+        assert_eq!(out.gate, GateOutcome::Info);
+        assert!(out.metrics.iter().any(|(k, _)| k == "cycles_per_op"));
+    }
+
+    #[test]
+    fn bench_cell_fails_on_unreadable_baseline() {
+        let spec = CellSpec::new(
+            CellKind::Bench,
+            None,
+            "spell".into(),
+            None,
+            None,
+            None,
+            None,
+            SuiteParams {
+                baseline: Some("/nonexistent/baseline.json".into()),
+                ..SuiteParams::default()
+            },
+        );
+        let out = execute_cell(&spec);
+        assert_eq!(out.gate, GateOutcome::Fail);
+        assert!(out.reason.contains("unreadable"));
+    }
+
+    #[test]
+    fn replay_quiet_cell_is_deterministic() {
+        let spec = CellSpec::new(
+            CellKind::Replay,
+            Some("clusters".into()),
+            "spell".into(),
+            None,
+            Some("quiet".into()),
+            None,
+            Some(1),
+            SuiteParams::default(),
+        );
+        let out = execute_cell(&spec);
+        assert_eq!(out.gate, GateOutcome::Pass, "reason: {}", out.reason);
+        assert!(out.reason.contains("deterministic"));
+    }
+
+    #[test]
+    fn leakage_cell_reports_mi() {
+        let spec = CellSpec::new(
+            CellKind::Leakage,
+            Some("baseline".into()),
+            "jpeg".into(),
+            None,
+            None,
+            None,
+            None,
+            SuiteParams::default(),
+        );
+        let out = execute_cell(&spec);
+        // The unprotected baseline must leak, so this cell gates Pass.
+        assert_eq!(out.gate, GateOutcome::Pass, "reason: {}", out.reason);
+        assert!(out.metrics.iter().any(|(k, _)| k == "mi_bits"));
+    }
+
+    #[test]
+    fn fleet_quiet_cell_accounts_every_request() {
+        let spec = CellSpec::new(
+            CellKind::Fleet,
+            None,
+            "kvstore".into(),
+            Some(192),
+            Some("quiet".into()),
+            Some("steady".into()),
+            Some(1),
+            SuiteParams {
+                requests: 40,
+                ..SuiteParams::default()
+            },
+        );
+        let out = execute_cell(&spec);
+        assert_eq!(out.gate, GateOutcome::Pass, "reason: {}", out.reason);
+        assert!(out.metrics.iter().any(|(k, _)| k == "p99_worst_cycles"));
+    }
+}

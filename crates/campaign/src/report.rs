@@ -1,0 +1,284 @@
+//! The campaign report: one JSON document plus one markdown summary
+//! covering every cell.
+//!
+//! The report is a pure function of the cell specs and their journaled
+//! outcomes — no wall-clock, no hostnames, no resumed-vs-fresh marks —
+//! so a campaign interrupted and resumed produces a report
+//! byte-identical to an uninterrupted run (the resume property test
+//! pins this).
+
+use crate::cell::{json_f64, GateOutcome};
+use crate::runner::CellRun;
+
+/// A finished campaign, ready to render.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name from the config.
+    pub name: String,
+    /// Every cell, in expansion order.
+    pub runs: Vec<CellRun>,
+}
+
+impl CampaignReport {
+    /// Cells whose gate passed.
+    pub fn passed(&self) -> usize {
+        self.count(GateOutcome::Pass)
+    }
+
+    /// Cells whose gate failed.
+    pub fn failed(&self) -> usize {
+        self.count(GateOutcome::Fail)
+    }
+
+    /// Ungated (informational) cells.
+    pub fn info(&self) -> usize {
+        self.count(GateOutcome::Info)
+    }
+
+    fn count(&self, gate: GateOutcome) -> usize {
+        self.runs.iter().filter(|r| r.outcome.gate == gate).count()
+    }
+
+    /// The campaign verdict: true iff no gate failed.
+    pub fn pass(&self) -> bool {
+        self.failed() == 0
+    }
+
+    /// Serialize as JSON (stable key order, hand-rolled like every
+    /// codec in this workspace).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"campaign\": \"{}\",\n", esc(&self.name)));
+        out.push_str(&format!("  \"cells\": {},\n", self.runs.len()));
+        out.push_str(&format!("  \"passed\": {},\n", self.passed()));
+        out.push_str(&format!("  \"failed\": {},\n", self.failed()));
+        out.push_str(&format!("  \"info\": {},\n", self.info()));
+        out.push_str(&format!("  \"pass\": {},\n", self.pass()));
+        out.push_str("  \"results\": [\n");
+        for (i, run) in self.runs.iter().enumerate() {
+            let spec = &run.spec;
+            out.push_str("    {\n");
+            out.push_str(&format!("      \"id\": \"{}\",\n", esc(&spec.id)));
+            out.push_str(&format!("      \"kind\": \"{}\",\n", spec.kind.name()));
+            out.push_str(&format!(
+                "      \"policy\": {},\n",
+                opt_str(spec.policy.as_deref())
+            ));
+            out.push_str(&format!(
+                "      \"workload\": \"{}\",\n",
+                esc(&spec.workload)
+            ));
+            out.push_str(&format!(
+                "      \"enclave_size\": {},\n",
+                opt_u64(spec.enclave_size)
+            ));
+            out.push_str(&format!(
+                "      \"fault_plan\": {},\n",
+                opt_str(spec.fault_plan.as_deref())
+            ));
+            out.push_str(&format!(
+                "      \"traffic_shape\": {},\n",
+                opt_str(spec.traffic_shape.as_deref())
+            ));
+            out.push_str(&format!("      \"seed\": {},\n", opt_u64(spec.seed)));
+            out.push_str(&format!(
+                "      \"gate\": \"{}\",\n",
+                run.outcome.gate.name()
+            ));
+            out.push_str("      \"metrics\": {");
+            for (j, (key, value)) in run.outcome.metrics.iter().enumerate() {
+                if j > 0 {
+                    out.push_str(", ");
+                }
+                out.push_str(&format!("\"{}\": {}", esc(key), json_f64(*value)));
+            }
+            out.push_str("},\n");
+            out.push_str(&format!(
+                "      \"reason\": \"{}\"\n",
+                esc(&run.outcome.reason)
+            ));
+            out.push_str(if i + 1 < self.runs.len() {
+                "    },\n"
+            } else {
+                "    }\n"
+            });
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Render as a markdown summary (the CI artifact).
+    pub fn to_markdown(&self) -> String {
+        let mut out = format!("# Campaign report: {}\n\n", self.name);
+        out.push_str(&format!(
+            "{} cells — {} passed, {} failed, {} informational — verdict **{}**\n\n",
+            self.runs.len(),
+            self.passed(),
+            self.failed(),
+            self.info(),
+            if self.pass() { "PASS" } else { "FAIL" }
+        ));
+        out.push_str("| cell | kind | coordinates | gate | reason |\n");
+        out.push_str("|------|------|-------------|------|--------|\n");
+        for run in &self.runs {
+            let spec = &run.spec;
+            let coords = [
+                spec.policy.as_deref(),
+                Some(spec.workload.as_str()),
+                spec.fault_plan.as_deref(),
+                spec.traffic_shape.as_deref(),
+            ]
+            .into_iter()
+            .flatten()
+            .collect::<Vec<_>>()
+            .join(" × ");
+            let mut coords = coords;
+            if let Some(size) = spec.enclave_size {
+                coords.push_str(&format!(" × {size}p"));
+            }
+            if let Some(seed) = spec.seed {
+                coords.push_str(&format!(" × s{seed}"));
+            }
+            out.push_str(&format!(
+                "| `{}` | {} | {} | {} | {} |\n",
+                spec.id,
+                spec.kind.name(),
+                coords,
+                run.outcome.gate.name(),
+                run.outcome.reason.replace('|', "\\|").replace('\n', " ")
+            ));
+        }
+        // Failures get their metrics spelled out; passing cells stay
+        // one-line so big sweeps remain skimmable.
+        let failures: Vec<&CellRun> = self
+            .runs
+            .iter()
+            .filter(|r| r.outcome.gate == GateOutcome::Fail)
+            .collect();
+        if !failures.is_empty() {
+            out.push_str("\n## Failed cells\n\n");
+            for run in failures {
+                out.push_str(&format!("### `{}` {}\n\n", run.spec.id, run.spec.coords()));
+                out.push_str(&format!("{}\n\n", run.outcome.reason));
+                for (key, value) in &run.outcome.metrics {
+                    out.push_str(&format!("- {key}: {}\n", json_f64(*value)));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Minimal JSON string escape (quotes, backslashes, control chars).
+fn esc(text: &str) -> String {
+    let mut out = String::with_capacity(text.len());
+    for c in text.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn opt_str(value: Option<&str>) -> String {
+    match value {
+        Some(s) => format!("\"{}\"", esc(s)),
+        None => "null".to_owned(),
+    }
+}
+
+fn opt_u64(value: Option<u64>) -> String {
+    match value {
+        Some(v) => v.to_string(),
+        None => "null".to_owned(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cell::{CellKind, CellOutcome, CellSpec, SuiteParams};
+
+    fn run(gate: GateOutcome, reason: &str) -> CellRun {
+        CellRun {
+            spec: CellSpec::new(
+                CellKind::Replay,
+                Some("clusters".into()),
+                "spell".into(),
+                None,
+                Some("quiet".into()),
+                None,
+                Some(1),
+                SuiteParams::default(),
+            ),
+            outcome: CellOutcome {
+                gate,
+                metrics: vec![("events".into(), 42.0)],
+                reason: reason.into(),
+            },
+            resumed: false,
+        }
+    }
+
+    #[test]
+    fn verdict_is_conjunction_of_gates() {
+        let report = CampaignReport {
+            name: "t".into(),
+            runs: vec![run(GateOutcome::Pass, "ok"), run(GateOutcome::Info, "fyi")],
+        };
+        assert!(report.pass());
+        let report = CampaignReport {
+            name: "t".into(),
+            runs: vec![run(GateOutcome::Pass, "ok"), run(GateOutcome::Fail, "no")],
+        };
+        assert!(!report.pass());
+        assert_eq!(report.failed(), 1);
+    }
+
+    #[test]
+    fn report_ignores_the_resumed_flag() {
+        let mut a = CampaignReport {
+            name: "t".into(),
+            runs: vec![run(GateOutcome::Pass, "ok")],
+        };
+        let json_fresh = a.to_json();
+        let md_fresh = a.to_markdown();
+        a.runs[0].resumed = true;
+        assert_eq!(
+            a.to_json(),
+            json_fresh,
+            "resume must not perturb the report"
+        );
+        assert_eq!(a.to_markdown(), md_fresh);
+    }
+
+    #[test]
+    fn json_escapes_quotes_and_reason_text() {
+        let report = CampaignReport {
+            name: "t".into(),
+            runs: vec![run(GateOutcome::Fail, "said \"no\"\nline two")],
+        };
+        let json = report.to_json();
+        assert!(json.contains("said \\\"no\\\"\\nline two"));
+        assert!(json.contains("\"pass\": false"));
+    }
+
+    #[test]
+    fn markdown_lists_failures_with_metrics() {
+        let report = CampaignReport {
+            name: "t".into(),
+            runs: vec![run(GateOutcome::Fail, "broke")],
+        };
+        let md = report.to_markdown();
+        assert!(md.contains("## Failed cells"));
+        assert!(md.contains("- events: 42"));
+        assert!(md.contains("verdict **FAIL**"));
+    }
+}

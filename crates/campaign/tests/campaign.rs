@@ -1,0 +1,229 @@
+//! Campaign integration and property tests.
+//!
+//! Two properties anchor the subsystem:
+//!
+//! 1. **Expansion** — a suite expands to exactly the product of its
+//!    consumed axes, with content-addressed IDs that are stable across
+//!    re-expansions and distinct across axis values.
+//! 2. **Resume** — a campaign killed mid-run (journal cut to an
+//!    arbitrary prefix, tail line torn mid-write) re-runs only the
+//!    missing cells and produces a report byte-identical to the
+//!    uninterrupted run, at any `--jobs` level.
+
+use std::collections::BTreeSet;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+use autarky_campaign::{
+    execute_cell, run_cells, CampaignConfig, CampaignReport, CellOutcome, CellSpec, GateOutcome,
+    Journal,
+};
+
+/// A deterministic fake executor: outcome derived from the spec alone,
+/// so reports are comparable across runs without real subsystem cost.
+fn fake_execute(spec: &CellSpec) -> CellOutcome {
+    CellOutcome {
+        gate: if spec.seed == Some(13) {
+            GateOutcome::Fail
+        } else {
+            GateOutcome::Pass
+        },
+        metrics: vec![("derived_seed".to_owned(), spec.derived_seed() as f64)],
+        reason: format!("fake outcome for {}", spec.coords()),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("ay-campaign-it-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+const SWEEP: &str = r#"
+[campaign]
+name = "it-sweep"
+
+[matrix]
+seed = [1, 2, 3]
+
+[[suite]]
+kind = "bench"
+workload = ["paging", "spell", "kvstore", "font"]
+
+[[suite]]
+kind = "leakage"
+policy = ["baseline", "clusters", "cached-oram"]
+workload = ["jpeg", "spell"]
+
+[[suite]]
+kind = "replay"
+policy = ["clusters", "rate-limit"]
+workload = ["spell", "kvstore"]
+fault_plan = ["quiet", "transient"]
+
+[[suite]]
+kind = "fleet"
+workload = ["kvstore", "mixed"]
+traffic_shape = ["steady", "bursty"]
+fault_plan = ["quiet"]
+enclave_size = [128, 192]
+"#;
+
+/// Consumed-axis products: bench 4 (seed unconsumed), leakage 3×2,
+/// replay 2×2×2×3, fleet 2×2×1×2×3.
+const SWEEP_CELLS: usize = 4 + 6 + 24 + 24;
+
+#[test]
+fn expansion_matches_the_axis_product_with_stable_distinct_ids() {
+    let config = CampaignConfig::from_toml(SWEEP).expect("parses");
+    let cells = config.expand();
+    assert_eq!(cells.len(), SWEEP_CELLS);
+
+    let ids: BTreeSet<&str> = cells.iter().map(|c| c.id.as_str()).collect();
+    assert_eq!(ids.len(), cells.len(), "content addresses are distinct");
+
+    // Re-expansion (fresh parse included) reproduces the same IDs in
+    // the same order: the address depends only on cell content.
+    let again = CampaignConfig::from_toml(SWEEP).expect("parses").expand();
+    let id_pairs: Vec<(&str, &str)> = cells
+        .iter()
+        .zip(&again)
+        .map(|(a, b)| (a.id.as_str(), b.id.as_str()))
+        .collect();
+    assert!(id_pairs.iter().all(|(a, b)| a == b), "IDs are stable");
+}
+
+#[test]
+fn report_is_independent_of_parallelism() {
+    let cells = CampaignConfig::from_toml(SWEEP).expect("parses").expand();
+    let reports: Vec<String> = [1usize, 4, 16]
+        .into_iter()
+        .map(|jobs| {
+            let mut journal = Journal::ephemeral();
+            let runs = run_cells(&cells, jobs, &mut journal, &fake_execute, true);
+            CampaignReport {
+                name: "it-sweep".into(),
+                runs,
+            }
+            .to_json()
+        })
+        .collect();
+    assert_eq!(reports[0], reports[1]);
+    assert_eq!(reports[1], reports[2]);
+}
+
+#[test]
+fn resume_after_a_torn_journal_skips_done_cells_and_reproduces_the_report() {
+    let cells = CampaignConfig::from_toml(SWEEP).expect("parses").expand();
+    let dir = temp_dir("resume");
+    let full_path = dir.join("full.log");
+
+    // Uninterrupted reference run.
+    let reference = {
+        let mut journal = Journal::open(&full_path).expect("opens");
+        let runs = run_cells(&cells, 4, &mut journal, &fake_execute, true);
+        CampaignReport {
+            name: "it-sweep".into(),
+            runs,
+        }
+        .to_json()
+    };
+
+    let full_text = std::fs::read_to_string(&full_path).expect("journal readable");
+    let lines: Vec<&str> = full_text.lines().collect();
+    assert_eq!(lines.len(), SWEEP_CELLS + 1, "header + one line per cell");
+
+    // Kill the campaign at several points: keep `k` completed lines,
+    // then tear the next line in half as an in-flight append would.
+    for keep in [0usize, 1, SWEEP_CELLS / 3, SWEEP_CELLS - 1] {
+        let torn_path = dir.join(format!("torn-{keep}.log"));
+        let mut torn = lines[..=keep].join("\n");
+        torn.push('\n');
+        let half = lines[keep + 1];
+        torn.push_str(&half[..half.len() / 2]);
+        std::fs::write(&torn_path, &torn).expect("write torn journal");
+
+        let executed = AtomicUsize::new(0);
+        let counting = |spec: &CellSpec| {
+            executed.fetch_add(1, Ordering::Relaxed);
+            fake_execute(spec)
+        };
+        let mut journal = Journal::open(&torn_path).expect("opens torn journal");
+        assert_eq!(journal.len(), keep, "torn tail line must not count");
+        let runs = run_cells(&cells, 4, &mut journal, &counting, true);
+
+        assert_eq!(
+            executed.load(Ordering::Relaxed),
+            SWEEP_CELLS - keep,
+            "only unjournaled cells re-run (keep={keep})"
+        );
+        assert_eq!(
+            runs.iter().filter(|r| r.resumed).count(),
+            keep,
+            "journaled cells are resumed (keep={keep})"
+        );
+        let report = CampaignReport {
+            name: "it-sweep".into(),
+            runs,
+        }
+        .to_json();
+        assert_eq!(
+            report, reference,
+            "resumed report byte-identical (keep={keep})"
+        );
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn real_cells_of_every_kind_run_and_gate() {
+    let config = CampaignConfig::from_toml(
+        r#"
+[campaign]
+name = "it-real"
+
+[[suite]]
+kind = "bench"
+workload = "spell"
+
+[[suite]]
+kind = "leakage"
+policy = "baseline"
+workload = "jpeg"
+
+[[suite]]
+kind = "replay"
+policy = "clusters"
+workload = "spell"
+fault_plan = "quiet"
+seed = 1
+
+[[suite]]
+kind = "fleet"
+workload = "kvstore"
+traffic_shape = "steady"
+fault_plan = "quiet"
+enclave_size = 192
+requests = 30
+seed = 1
+"#,
+    )
+    .expect("parses");
+    let cells = config.expand();
+    assert_eq!(cells.len(), 4);
+    let mut journal = Journal::ephemeral();
+    let runs = run_cells(&cells, 2, &mut journal, &execute_cell, true);
+    let report = CampaignReport {
+        name: config.name.clone(),
+        runs,
+    };
+    // Bench has no baseline configured → info; the other three gate pass.
+    assert!(report.pass(), "markdown:\n{}", report.to_markdown());
+    assert_eq!(report.failed(), 0);
+    assert_eq!(report.info(), 1);
+    assert_eq!(report.passed(), 3);
+    let json = report.to_json();
+    assert!(json.contains("\"campaign\": \"it-real\""));
+    assert!(json.contains("\"pass\": true"));
+}

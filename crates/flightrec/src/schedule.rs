@@ -46,7 +46,9 @@ impl SchedulePolicy {
         }
     }
 
-    fn from_name(tag: &str) -> Option<Self> {
+    /// Resolve a wire tag back to a policy (external matrix drivers
+    /// name cells by these tags).
+    pub fn from_name(tag: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|p| p.name() == tag)
     }
 }
@@ -83,7 +85,8 @@ impl ScheduleWorkload {
         }
     }
 
-    fn from_name(tag: &str) -> Option<Self> {
+    /// Resolve a wire tag back to a workload.
+    pub fn from_name(tag: &str) -> Option<Self> {
         Self::ALL.into_iter().find(|w| w.name() == tag)
     }
 }

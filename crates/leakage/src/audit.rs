@@ -203,6 +203,17 @@ pub struct AuditReport {
     pub pass: bool,
 }
 
+/// Stable policy labels of the audit matrix, in report order (the
+/// vocabulary external matrix drivers select cells by).
+pub fn policy_names() -> [&'static str; 7] {
+    Policy::ALL.map(Policy::name)
+}
+
+/// Stable workload labels of the audit matrix, in report order.
+pub fn workload_names() -> [&'static str; 4] {
+    Workload::ALL.map(Workload::name)
+}
+
 /// Run the full audit matrix.
 pub fn run_audit(config: &AuditConfig) -> AuditReport {
     run_audit_filtered(config, &[])

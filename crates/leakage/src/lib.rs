@@ -36,7 +36,10 @@ pub mod capture;
 pub mod metrics;
 pub mod trace;
 
-pub use audit::{run_audit, AuditConfig, AuditReport, CellResult, Gate, RateGate};
+pub use audit::{
+    policy_names, run_audit, run_audit_filtered, workload_names, AuditConfig, AuditReport,
+    CellResult, Gate, RateGate,
+};
 pub use capture::Capture;
 pub use metrics::{
     distinguishability, edit_distance_normalized, normalized_histogram, tv_distance,
