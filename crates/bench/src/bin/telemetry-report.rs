@@ -12,6 +12,7 @@
 
 use std::process::ExitCode;
 
+use autarky_bench::harness::WallTimer;
 use autarky_bench::perf::{compare, run_suite};
 
 fn die(msg: &str) -> ! {
@@ -81,7 +82,14 @@ fn main() -> ExitCode {
         i += 1;
     }
 
+    let timer = WallTimer::new();
     let report = run_suite(scale);
+    let total_ops: u64 = report.workloads.iter().map(|w| w.ops).sum();
+    let total_cycles: u64 = report.workloads.iter().map(|w| w.cycles).sum();
+    let wall = timer.finish(total_ops, total_cycles);
+    // Host-side simulator speed: printed only, never written into the
+    // JSON/markdown artifacts (those stay bit-stable across machines).
+    println!("wall clock: {}", wall.render());
     let json = report.to_json();
     match &out {
         Some(path) => {

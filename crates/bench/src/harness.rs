@@ -12,6 +12,85 @@
 
 use std::time::Instant;
 
+/// Host wall-clock accounting for one measured phase: real elapsed time
+/// paired with the operations and *simulated* cycles retired during it.
+///
+/// This is the only place host time is allowed to leak into reports —
+/// it measures the simulator (ops/sec, simulated cycles/sec of the host
+/// process), never the enclave, so it must stay out of any artifact that
+/// is compared byte-for-byte across runs (baselines, campaign journals,
+/// folded profiles). Printing it to stdout alongside the deterministic
+/// numbers is fine; persisting it next to them is not.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct WallAccount {
+    /// Host nanoseconds the phase took.
+    pub wall_nanos: u128,
+    /// Operations retired during the phase.
+    pub ops: u64,
+    /// Simulated cycles retired during the phase.
+    pub sim_cycles: u64,
+}
+
+impl WallAccount {
+    /// Host seconds the phase took.
+    pub fn wall_secs(&self) -> f64 {
+        self.wall_nanos as f64 / 1e9
+    }
+
+    /// Simulator throughput in operations per host second.
+    pub fn ops_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.ops as f64 / self.wall_secs()
+    }
+
+    /// Simulator speed in simulated cycles per host second.
+    pub fn sim_cycles_per_sec(&self) -> f64 {
+        if self.wall_nanos == 0 {
+            return 0.0;
+        }
+        self.sim_cycles as f64 / self.wall_secs()
+    }
+
+    /// One-line human rendering (for bin stdout, not for artifacts).
+    pub fn render(&self) -> String {
+        format!(
+            "{} ops in {:.3} s host time -> {:.0} ops/s, {:.1} M simulated cycles/s",
+            self.ops,
+            self.wall_secs(),
+            self.ops_per_sec(),
+            self.sim_cycles_per_sec() / 1e6
+        )
+    }
+}
+
+/// Stopwatch producing a [`WallAccount`]: start it, run the phase, then
+/// close it with the op/cycle counts the phase retired.
+#[derive(Debug)]
+pub struct WallTimer {
+    start: Instant,
+}
+
+impl WallTimer {
+    /// Start timing now.
+    #[allow(clippy::new_without_default)]
+    pub fn new() -> Self {
+        Self {
+            start: Instant::now(),
+        }
+    }
+
+    /// Stop timing and account the phase.
+    pub fn finish(self, ops: u64, sim_cycles: u64) -> WallAccount {
+        WallAccount {
+            wall_nanos: self.start.elapsed().as_nanos(),
+            ops,
+            sim_cycles,
+        }
+    }
+}
+
 /// Top-level harness handle (mirrors `criterion::Criterion`).
 #[derive(Debug, Default)]
 pub struct Criterion {
@@ -140,6 +219,36 @@ macro_rules! criterion_main {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn wall_account_computes_rates() {
+        let account = WallAccount {
+            wall_nanos: 2_000_000_000, // 2 s
+            ops: 500,
+            sim_cycles: 3_000_000_000,
+        };
+        assert!((account.wall_secs() - 2.0).abs() < 1e-9);
+        assert!((account.ops_per_sec() - 250.0).abs() < 1e-6);
+        assert!((account.sim_cycles_per_sec() - 1.5e9).abs() < 1.0);
+        assert!(account.render().contains("ops/s"));
+        // A zero-duration phase reports zero rates, not NaN/inf.
+        let instant = WallAccount {
+            wall_nanos: 0,
+            ops: 10,
+            sim_cycles: 10,
+        };
+        assert_eq!(instant.ops_per_sec(), 0.0);
+        assert_eq!(instant.sim_cycles_per_sec(), 0.0);
+    }
+
+    #[test]
+    fn wall_timer_accounts_elapsed_time() {
+        let timer = WallTimer::new();
+        std::hint::black_box((0..1000).sum::<u64>());
+        let account = timer.finish(7, 4200);
+        assert_eq!(account.ops, 7);
+        assert_eq!(account.sim_cycles, 4200);
+    }
 
     #[test]
     fn group_runs_each_sample() {

@@ -24,15 +24,21 @@ pub enum CellKind {
     /// Fleet load-gen run with accounting/failover gates and latency
     /// percentiles.
     Fleet,
+    /// Cycle-attribution profile with residual and hot-path gates.
+    Profile,
+    /// Paper-figure reproduction (currently fig5's latency breakdown).
+    Figure,
 }
 
 impl CellKind {
     /// Every kind, in report order.
-    pub const ALL: [CellKind; 4] = [
+    pub const ALL: [CellKind; 6] = [
         CellKind::Bench,
         CellKind::Leakage,
         CellKind::Replay,
         CellKind::Fleet,
+        CellKind::Profile,
+        CellKind::Figure,
     ];
 
     /// Stable config/report tag.
@@ -42,6 +48,8 @@ impl CellKind {
             CellKind::Leakage => "leakage",
             CellKind::Replay => "replay",
             CellKind::Fleet => "fleet",
+            CellKind::Profile => "profile",
+            CellKind::Figure => "figure",
         }
     }
 
@@ -74,6 +82,8 @@ pub struct SuiteParams {
     pub requests: usize,
     /// Fleet: EPC frames shared by the members.
     pub epc_frames: usize,
+    /// Profile: max unattributed-cycle share, percent.
+    pub residual_max_pct: f64,
 }
 
 impl Default for SuiteParams {
@@ -88,6 +98,7 @@ impl Default for SuiteParams {
             secret: 0,
             requests: 60,
             epc_frames: 2048,
+            residual_max_pct: 5.0,
         }
     }
 }
@@ -197,6 +208,29 @@ impl CellSpec {
                     self.seed.unwrap_or(1),
                     self.params.requests,
                     self.params.epc_frames,
+                ));
+            }
+            CellKind::Profile => {
+                out.push_str(&format!(
+                    " policy={} workload={} scale={} residual_max_pct={} baseline={} \
+                     max_growth_pct={}",
+                    self.policy.as_deref().unwrap_or("-"),
+                    self.workload,
+                    self.params.scale,
+                    self.params.residual_max_pct,
+                    self.params.baseline.as_deref().unwrap_or("-"),
+                    self.params.max_growth_pct,
+                ));
+            }
+            CellKind::Figure => {
+                // The workload axis carries the figure name, the policy
+                // axis the paging mechanism — keeps the matrix axes
+                // reusable as more figures become cells.
+                out.push_str(&format!(
+                    " figure={} mechanism={} scale={}",
+                    self.workload,
+                    self.policy.as_deref().unwrap_or("sgx1"),
+                    self.params.scale,
                 ));
             }
         }

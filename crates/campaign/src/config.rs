@@ -8,8 +8,8 @@
 //! * `[matrix]` — the shared axis vocabulary: `policy`, `workload`,
 //!   `enclave_size`, `fault_plan`, `traffic_shape`, `seed`;
 //! * `[[suite]]` — one experiment kind each (`bench`, `leakage`,
-//!   `replay`, `fleet`), inheriting the matrix axes unless overridden,
-//!   plus the kind's gate parameters.
+//!   `replay`, `fleet`, `profile`, `figure`), inheriting the matrix
+//!   axes unless overridden, plus the kind's gate parameters.
 //!
 //! Each kind consumes only the axes that can change its outcome (a
 //! bench cell has no policy; a leakage cell folds the seed axis into
@@ -33,6 +33,11 @@ pub const FLEET_FAULT_PLANS: [&str; 3] = ["quiet", "transient", "staged-evict"];
 pub const TRAFFIC_SHAPES: [&str; 3] = ["steady", "poisson", "bursty"];
 /// Valid fleet member mixes.
 pub const FLEET_WORKLOADS: [&str; 3] = ["kvstore", "spell", "mixed"];
+/// Valid figure names for figure cells (the workload axis carries the
+/// figure, the policy axis the paging mechanism).
+pub const FIGURE_NAMES: [&str; 1] = ["fig5"];
+/// Valid paging-mechanism tags for figure cells.
+pub const FIGURE_MECHANISMS: [&str; 2] = ["sgx1", "sgx2"];
 
 /// A config-level failure (parse or validation).
 #[derive(Debug, Clone, PartialEq)]
@@ -146,6 +151,7 @@ impl Suite {
                     * a.enclave_size.len()
                     * a.seed.len()
             }
+            CellKind::Profile | CellKind::Figure => a.policy.len() * a.workload.len(),
         }
     }
 
@@ -224,6 +230,22 @@ impl Suite {
                                 }
                             }
                         }
+                    }
+                }
+            }
+            CellKind::Profile | CellKind::Figure => {
+                for policy in &a.policy {
+                    for workload in &a.workload {
+                        cells.push(CellSpec::new(
+                            self.kind,
+                            Some(policy.clone()),
+                            workload.clone(),
+                            None,
+                            None,
+                            None,
+                            None,
+                            self.params.clone(),
+                        ));
                     }
                 }
             }
@@ -306,6 +328,33 @@ impl Suite {
                     }
                 }
             }
+            CellKind::Profile => {
+                check(
+                    "policy",
+                    &self.axes.policy,
+                    &autarky_profile::PROFILE_POLICIES,
+                )?;
+                check(
+                    "workload",
+                    &self.axes.workload,
+                    &autarky_profile::PROFILE_WORKLOADS,
+                )?;
+                if self.params.scale == 0 {
+                    return Err(ConfigError("profile suite: scale must be ≥ 1".into()));
+                }
+                if !self.params.residual_max_pct.is_finite() || self.params.residual_max_pct < 0.0 {
+                    return Err(ConfigError(
+                        "profile suite: residual_max_pct must be a non-negative number".into(),
+                    ));
+                }
+            }
+            CellKind::Figure => {
+                check("workload", &self.axes.workload, &FIGURE_NAMES)?;
+                check("policy", &self.axes.policy, &FIGURE_MECHANISMS)?;
+                if self.params.scale == 0 {
+                    return Err(ConfigError("figure suite: scale must be ≥ 1".into()));
+                }
+            }
         }
         Ok(())
     }
@@ -357,7 +406,8 @@ impl CampaignConfig {
                 .ok_or_else(|| ConfigError(format!("suite #{}: missing `kind`", i + 1)))?;
             let kind = CellKind::from_name(kind_tag).ok_or_else(|| {
                 ConfigError(format!(
-                    "suite #{}: unknown kind {kind_tag:?} (valid: bench, leakage, replay, fleet)",
+                    "suite #{}: unknown kind {kind_tag:?} (valid: bench, leakage, replay, \
+                     fleet, profile, figure)",
                     i + 1
                 ))
             })?;
@@ -447,6 +497,12 @@ fn parse_params(table: &Table, mut params: SuiteParams) -> Result<SuiteParams, C
             .filter(|v| (64..=1 << 20).contains(v))
             .ok_or_else(|| bad("epc_frames", "an integer in 64..=1048576"))?
             as usize;
+    }
+    if table.has("residual_max_pct") {
+        params.residual_max_pct = table
+            .get_f64("residual_max_pct")
+            .filter(|v| v.is_finite() && *v >= 0.0)
+            .ok_or_else(|| bad("residual_max_pct", "a non-negative number"))?;
     }
     Ok(params)
 }

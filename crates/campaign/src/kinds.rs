@@ -12,11 +12,19 @@
 //! * `replay` → [`autarky_flightrec::verify_replay`] record → replay →
 //!   diff determinism check;
 //! * `fleet` → [`autarky_fleet::Fleet`] load-generated run with latency
-//!   percentiles and the zero-silent-drop accounting gate.
+//!   percentiles and the zero-silent-drop accounting gate;
+//! * `profile` → [`autarky_profile::collect`] cycle-attribution profile
+//!   with the unattributed-residual gate and a hot-path cycles/fault
+//!   baseline gate;
+//! * `figure` → paper-figure reproduction (fig5's tag-ledger latency
+//!   breakdown), gated on the breakdown being non-degenerate.
 //!
-//! Executors are pure functions of the spec (plus, for bench, the
-//! baseline file named in it), so a cell's outcome is reproducible from
-//! its content address alone.
+//! Executors are pure functions of the spec (plus, for bench and
+//! profile, the baseline file named in it), so a cell's outcome is
+//! reproducible from its content address alone. Profile cells
+//! deliberately report only simulated-cycle metrics — the collector's
+//! host wall-clock account stays out of the journal so resumed and
+//! fresh campaigns stay byte-identical.
 
 use autarky_fleet::{
     kv_stream, spell_stream, Arrivals, Fleet, FleetConfig, FleetReport, LoadConfig, MemberConfig,
@@ -25,7 +33,7 @@ use autarky_fleet::{
 use autarky_flightrec::{verify_replay, Schedule, SchedulePolicy, ScheduleWorkload};
 use autarky_leakage::{run_audit_filtered, AuditConfig, Gate};
 use autarky_os_sim::FaultPlan;
-use autarky_runtime::RuntimeConfig;
+use autarky_runtime::{PagingMechanism, RuntimeConfig};
 
 use crate::cell::{CellKind, CellOutcome, CellSpec, GateOutcome};
 
@@ -36,6 +44,8 @@ pub fn execute_cell(spec: &CellSpec) -> CellOutcome {
         CellKind::Leakage => run_leakage(spec),
         CellKind::Replay => run_replay(spec),
         CellKind::Fleet => run_fleet(spec),
+        CellKind::Profile => run_profile(spec),
+        CellKind::Figure => run_figure(spec),
     }
 }
 
@@ -431,6 +441,158 @@ fn run_fleet(spec: &CellSpec) -> CellOutcome {
     }
 }
 
+// -------------------------------------------------------------- profile
+
+fn run_profile(spec: &CellSpec) -> CellOutcome {
+    let Some(policy) = &spec.policy else {
+        return CellOutcome::fail("profile cell without a policy axis");
+    };
+    let collect_spec = autarky_profile::CollectSpec {
+        workload: spec.workload.clone(),
+        policy: policy.clone(),
+        scale: spec.params.scale,
+    };
+    let got = match autarky_profile::collect(&collect_spec) {
+        Ok(got) => got,
+        Err(e) => return CellOutcome::fail(format!("profile collection failed: {e}")),
+    };
+    // Simulated-cycle metrics only: the wall-clock account in
+    // `got.wall` is host time and must never reach the journal.
+    let p = &got.profile;
+    let mut metrics = vec![
+        ("ops".to_owned(), p.ops as f64),
+        ("total_cycles".to_owned(), p.total_cycles as f64),
+        ("attributed_pct".to_owned(), p.attributed_pct()),
+        ("residual_pct".to_owned(), p.residual_pct()),
+        ("orphan_cycles".to_owned(), p.orphan_cycles as f64),
+        ("faults".to_owned(), p.faults as f64),
+        ("fault_p50_cycles".to_owned(), p.fault_latency.p50 as f64),
+        ("fault_p99_cycles".to_owned(), p.fault_latency.p99 as f64),
+        (
+            "hot_path_cycles_per_fault".to_owned(),
+            p.hot_path_cycles_per_fault(),
+        ),
+    ];
+    let mut failures = Vec::new();
+    if !p.passes_residual_gate(spec.params.residual_max_pct) {
+        failures.push(format!(
+            "residual {:.2}% > {:.2}% allowed",
+            p.residual_pct(),
+            spec.params.residual_max_pct
+        ));
+    }
+    let mut hot_line = String::new();
+    if let Some(baseline_path) = &spec.params.baseline {
+        match std::fs::read_to_string(baseline_path) {
+            Err(e) => failures.push(format!("baseline {baseline_path} unreadable: {e}")),
+            Ok(json) => match autarky_profile::baseline_hot_path(&json, &p.name()) {
+                None => failures.push(format!(
+                    "profile {:?} missing from baseline {baseline_path}",
+                    p.name()
+                )),
+                Some(base) if base <= 0.0 => failures.push(format!(
+                    "baseline hot path for {:?} is not positive",
+                    p.name()
+                )),
+                Some(base) => {
+                    let cur = p.hot_path_cycles_per_fault();
+                    let delta_pct = (cur / base - 1.0) * 100.0;
+                    metrics.push(("baseline_hot_path_cycles_per_fault".to_owned(), base));
+                    metrics.push(("hot_path_delta_pct".to_owned(), delta_pct));
+                    hot_line =
+                        format!(", hot path {cur:.1} vs {base:.1} cycles/fault ({delta_pct:+.1}%)");
+                    if delta_pct > spec.params.max_growth_pct {
+                        failures.push(format!(
+                            "hot path {delta_pct:+.1}% > +{:.1}% allowed",
+                            spec.params.max_growth_pct
+                        ));
+                    }
+                }
+            },
+        }
+    }
+    if failures.is_empty() {
+        CellOutcome {
+            gate: GateOutcome::Pass,
+            metrics,
+            reason: format!(
+                "{:.2}% of {} cycles attributed across {} faults{hot_line}",
+                p.attributed_pct(),
+                p.total_cycles,
+                p.faults
+            ),
+        }
+    } else {
+        CellOutcome {
+            gate: GateOutcome::Fail,
+            metrics,
+            reason: failures.join("; "),
+        }
+    }
+}
+
+// --------------------------------------------------------------- figure
+
+/// Fig5 iterations per scale unit (the figure's batch loop is 16 pages
+/// per iteration, so scale 1 measures 160 fault/evict round trips).
+const FIGURE_ITERS_PER_SCALE: u64 = 10;
+
+fn run_figure(spec: &CellSpec) -> CellOutcome {
+    if spec.workload != "fig5" {
+        return CellOutcome::fail(format!("unknown figure {:?}", spec.workload));
+    }
+    let mechanism = match spec.policy.as_deref() {
+        Some("sgx1") | None => PagingMechanism::Sgx1,
+        Some("sgx2") => PagingMechanism::Sgx2,
+        Some(other) => return CellOutcome::fail(format!("unknown figure mechanism {other:?}")),
+    };
+    let iters = FIGURE_ITERS_PER_SCALE * spec.params.scale as u64;
+    let (fault, evict) = autarky_bench::fig5::measure(mechanism, iters);
+    let metrics = vec![
+        ("fault_preemption".to_owned(), fault.preemption as f64),
+        ("fault_invocation".to_owned(), fault.invocation as f64),
+        (
+            "fault_runtime_overhead".to_owned(),
+            fault.runtime_overhead as f64,
+        ),
+        ("fault_sgx_paging".to_owned(), fault.sgx_paging as f64),
+        ("fault_total".to_owned(), fault.total() as f64),
+        ("evict_preemption".to_owned(), evict.preemption as f64),
+        ("evict_invocation".to_owned(), evict.invocation as f64),
+        (
+            "evict_runtime_overhead".to_owned(),
+            evict.runtime_overhead as f64,
+        ),
+        ("evict_sgx_paging".to_owned(), evict.sgx_paging as f64),
+        ("evict_total".to_owned(), evict.total() as f64),
+    ];
+    // The breakdown partitions the measured total by construction; the
+    // gate is that the figure is non-degenerate — both operations
+    // actually cost cycles (a zero side means the loop measured nothing).
+    if fault.total() > 0 && evict.total() > 0 {
+        CellOutcome {
+            gate: GateOutcome::Pass,
+            metrics,
+            reason: format!(
+                "{}: fault {} / evict {} cycles per page",
+                fault.mech,
+                fault.total(),
+                evict.total()
+            ),
+        }
+    } else {
+        CellOutcome {
+            gate: GateOutcome::Fail,
+            metrics,
+            reason: format!(
+                "degenerate breakdown: fault {} / evict {} cycles per page",
+                fault.total(),
+                evict.total()
+            ),
+        }
+    }
+}
+
 fn arrivals_for(shape: &str) -> Arrivals {
     match shape {
         // A burst longer than any cell's request count degenerates to a
@@ -527,6 +689,91 @@ mod tests {
         // The unprotected baseline must leak, so this cell gates Pass.
         assert_eq!(out.gate, GateOutcome::Pass, "reason: {}", out.reason);
         assert!(out.metrics.iter().any(|(k, _)| k == "mi_bits"));
+    }
+
+    #[test]
+    fn profile_cell_gates_on_residual_and_reports_hot_path() {
+        let spec = CellSpec::new(
+            CellKind::Profile,
+            Some("clusters".into()),
+            "spell".into(),
+            None,
+            None,
+            None,
+            None,
+            SuiteParams::default(),
+        );
+        let out = execute_cell(&spec);
+        assert_eq!(out.gate, GateOutcome::Pass, "reason: {}", out.reason);
+        for key in [
+            "attributed_pct",
+            "residual_pct",
+            "hot_path_cycles_per_fault",
+        ] {
+            assert!(
+                out.metrics.iter().any(|(k, _)| k == key),
+                "missing metric {key}: {:?}",
+                out.metrics
+            );
+        }
+        // No host wall-clock metric may reach the journal.
+        assert!(
+            !out.metrics.iter().any(|(k, _)| k.contains("wall")),
+            "wall-clock leaked into metrics: {:?}",
+            out.metrics
+        );
+    }
+
+    #[test]
+    fn profile_cell_fails_on_impossible_residual_gate() {
+        let spec = CellSpec::new(
+            CellKind::Profile,
+            Some("clusters".into()),
+            "paging".into(),
+            None,
+            None,
+            None,
+            None,
+            SuiteParams {
+                residual_max_pct: -0.5,
+                ..SuiteParams::default()
+            },
+        );
+        let out = execute_cell(&spec);
+        assert_eq!(out.gate, GateOutcome::Fail);
+        assert!(out.reason.contains("residual"), "reason: {}", out.reason);
+    }
+
+    #[test]
+    fn figure_cell_reports_the_fig5_breakdown() {
+        let spec = CellSpec::new(
+            CellKind::Figure,
+            Some("sgx1".into()),
+            "fig5".into(),
+            None,
+            None,
+            None,
+            None,
+            SuiteParams::default(),
+        );
+        let out = execute_cell(&spec);
+        assert_eq!(out.gate, GateOutcome::Pass, "reason: {}", out.reason);
+        let get = |key: &str| {
+            out.metrics
+                .iter()
+                .find(|(k, _)| k == key)
+                .map(|(_, v)| *v)
+                .unwrap_or_else(|| panic!("missing metric {key}"))
+        };
+        // Components partition the totals exactly (fig5's invariant).
+        assert_eq!(
+            get("fault_total"),
+            get("fault_preemption")
+                + get("fault_invocation")
+                + get("fault_runtime_overhead")
+                + get("fault_sgx_paging")
+        );
+        assert!(get("evict_total") > 0.0);
     }
 
     #[test]

@@ -68,11 +68,21 @@ workload = ["kvstore", "mixed"]
 traffic_shape = ["steady", "bursty"]
 fault_plan = ["quiet"]
 enclave_size = [128, 192]
+
+[[suite]]
+kind = "profile"
+policy = ["clusters", "elided"]
+workload = ["paging", "spell"]
+
+[[suite]]
+kind = "figure"
+workload = ["fig5"]
+policy = ["sgx1", "sgx2"]
 "#;
 
 /// Consumed-axis products: bench 4 (seed unconsumed), leakage 3×2,
-/// replay 2×2×2×3, fleet 2×2×1×2×3.
-const SWEEP_CELLS: usize = 4 + 6 + 24 + 24;
+/// replay 2×2×2×3, fleet 2×2×1×2×3, profile 2×2, figure 1×2.
+const SWEEP_CELLS: usize = 4 + 6 + 24 + 24 + 4 + 2;
 
 #[test]
 fn expansion_matches_the_axis_product_with_stable_distinct_ids() {
@@ -207,23 +217,76 @@ fault_plan = "quiet"
 enclave_size = 192
 requests = 30
 seed = 1
+
+[[suite]]
+kind = "profile"
+policy = "clusters"
+workload = "spell"
+
+[[suite]]
+kind = "figure"
+workload = "fig5"
+policy = "sgx1"
 "#,
     )
     .expect("parses");
     let cells = config.expand();
-    assert_eq!(cells.len(), 4);
+    assert_eq!(cells.len(), 6);
     let mut journal = Journal::ephemeral();
     let runs = run_cells(&cells, 2, &mut journal, &execute_cell, true);
     let report = CampaignReport {
         name: config.name.clone(),
         runs,
     };
-    // Bench has no baseline configured → info; the other three gate pass.
+    // Bench has no baseline configured → info; the other five gate pass.
     assert!(report.pass(), "markdown:\n{}", report.to_markdown());
     assert_eq!(report.failed(), 0);
     assert_eq!(report.info(), 1);
-    assert_eq!(report.passed(), 3);
+    assert_eq!(report.passed(), 5);
     let json = report.to_json();
     assert!(json.contains("\"campaign\": \"it-real\""));
     assert!(json.contains("\"pass\": true"));
+}
+
+#[test]
+fn real_profile_and_figure_cells_are_parallelism_invariant() {
+    // Unlike the fake-executor sweep above, this runs the *real*
+    // profiler: the collected profile (and thus every journaled metric)
+    // must be bit-identical no matter how cells are scheduled.
+    let config = CampaignConfig::from_toml(
+        r#"
+[campaign]
+name = "it-profile-jobs"
+
+[[suite]]
+kind = "profile"
+policy = ["clusters", "single"]
+workload = "spell"
+
+[[suite]]
+kind = "figure"
+workload = "fig5"
+policy = "sgx1"
+"#,
+    )
+    .expect("parses");
+    let cells = config.expand();
+    assert_eq!(cells.len(), 3);
+    let reports: Vec<String> = [1usize, 2]
+        .into_iter()
+        .map(|jobs| {
+            let mut journal = Journal::ephemeral();
+            let runs = run_cells(&cells, jobs, &mut journal, &execute_cell, true);
+            CampaignReport {
+                name: config.name.clone(),
+                runs,
+            }
+            .to_json()
+        })
+        .collect();
+    assert_eq!(
+        reports[0], reports[1],
+        "profile metrics depend on jobs level"
+    );
+    assert!(reports[0].contains("hot_path_cycles_per_fault"));
 }

@@ -29,9 +29,10 @@ pub mod loadgen;
 pub mod report;
 pub mod supervisor;
 
+pub use autarky_telemetry::LatencySummary;
 pub use loadgen::{kv_stream, spell_stream, Arrivals, LoadConfig, TimedRequest};
 pub use report::{FleetReport, MemberReport};
 pub use supervisor::{
     Fleet, FleetConfig, FleetError, MemberConfig, MemberState, MemberStats, RejectReason,
-    StagedCrash, WorkloadKind,
+    SpanProfileLine, StagedCrash, WorkloadKind,
 };

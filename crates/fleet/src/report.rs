@@ -9,7 +9,7 @@
 
 use autarky_sgx_sim::CLOCK_HZ;
 
-use crate::supervisor::MemberStats;
+use crate::supervisor::{MemberStats, SpanProfileLine};
 
 /// One member's digested numbers.
 #[derive(Debug, Clone)]
@@ -51,6 +51,11 @@ pub struct FleetReport {
     pub members: Vec<MemberReport>,
     /// Wall-clock of the run in simulated cycles.
     pub run_cycles: u64,
+    /// Per-span-kind totals summed across all members, sorted by
+    /// cycles descending (ties by name) — a coarse fleet-wide view of
+    /// where enclave time went, complementing the causal per-workload
+    /// profile in `autarky-profile`.
+    pub merged_span_profile: Vec<SpanProfileLine>,
 }
 
 impl FleetReport {
@@ -62,15 +67,18 @@ impl FleetReport {
             .iter()
             .map(|s| {
                 let rejected = s.rejected_queue_full + s.rejected_evicted;
+                // One quantile implementation for the whole workspace:
+                // the histogram's own digest, not a local bucket walk.
+                let latency = s.latency.summary();
                 MemberReport {
                     name: s.name.clone(),
                     offered: s.offered,
                     served: s.served,
                     rejected,
-                    p50_cycles: s.latency.quantile(0.50),
-                    p99_cycles: s.latency.quantile(0.99),
-                    p999_cycles: s.latency.quantile(0.999),
-                    mean_cycles: s.latency.mean(),
+                    p50_cycles: latency.p50,
+                    p99_cycles: latency.p99,
+                    p999_cycles: latency.p999,
+                    mean_cycles: latency.mean,
                     throughput_rps: s.served as f64 / secs,
                     restarts: s.restarts,
                     evicted: s.evicted,
@@ -80,9 +88,23 @@ impl FleetReport {
                 }
             })
             .collect();
+        let mut merged_span_profile: Vec<SpanProfileLine> = Vec::new();
+        for s in stats {
+            for line in &s.span_profile {
+                match merged_span_profile.iter_mut().find(|l| l.kind == line.kind) {
+                    Some(l) => {
+                        l.count += line.count;
+                        l.cycles += line.cycles;
+                    }
+                    None => merged_span_profile.push(line.clone()),
+                }
+            }
+        }
+        merged_span_profile.sort_by(|a, b| b.cycles.cmp(&a.cycles).then(a.kind.cmp(b.kind)));
         Self {
             members,
             run_cycles,
+            merged_span_profile,
         }
     }
 
@@ -135,6 +157,20 @@ impl FleetReport {
                 },
             ));
         }
+        if !self.merged_span_profile.is_empty() {
+            out.push_str("\n## Fleet span profile (all members merged)\n\n");
+            out.push_str("| span | count | cycles | mean (cyc) |\n");
+            out.push_str("|------|------:|-------:|-----------:|\n");
+            for l in &self.merged_span_profile {
+                out.push_str(&format!(
+                    "| {} | {} | {} | {:.0} |\n",
+                    l.kind,
+                    l.count,
+                    l.cycles,
+                    l.cycles as f64 / l.count as f64,
+                ));
+            }
+        }
         out
     }
 }
@@ -166,6 +202,18 @@ mod tests {
             max_recovery_cycles: 5000,
             latency,
             fault_count: 0,
+            span_profile: vec![
+                SpanProfileLine {
+                    kind: "fault_handler",
+                    count: served.max(1),
+                    cycles: served.max(1) * 500,
+                },
+                SpanProfileLine {
+                    kind: "ay_fetch_pages",
+                    count: served.max(1),
+                    cycles: served.max(1) * 120,
+                },
+            ],
         }
     }
 
@@ -185,5 +233,22 @@ mod tests {
         assert!(report.members[0].p50_cycles >= 1000);
         assert!(report.members[0].p99_cycles >= report.members[0].p50_cycles);
         assert!((report.members[0].throughput_rps - 100.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn span_profiles_merge_across_members_and_render() {
+        let report = FleetReport::from_stats(&[stats(100, 100, 0), stats(50, 50, 0)], 1_000_000);
+        let fault = report
+            .merged_span_profile
+            .iter()
+            .find(|l| l.kind == "fault_handler")
+            .expect("fault_handler line");
+        assert_eq!(fault.count, 150, "counts sum across members");
+        assert_eq!(fault.cycles, 150 * 500, "cycles sum across members");
+        // Sorted by cycles descending: fault_handler (500/op) first.
+        assert_eq!(report.merged_span_profile[0].kind, "fault_handler");
+        let text = report.render();
+        assert!(text.contains("## Fleet span profile"));
+        assert!(text.contains("| fault_handler | 150 | 75000 |"));
     }
 }

@@ -40,7 +40,7 @@ use autarky_runtime::{RtError, RuntimeConfig};
 use autarky_sgx_sim::machine::MachineConfig;
 use autarky_sgx_sim::{EnclaveId, MonotonicCounter};
 use autarky_snapshot::{self as snapshot, SnapError};
-use autarky_telemetry::Histogram;
+use autarky_telemetry::{Histogram, SpanKind};
 use autarky_workloads::kvstore::{ItemClustering, KvStore};
 use autarky_workloads::request::{Request, Response, Service};
 use autarky_workloads::spell::SpellServer;
@@ -289,6 +289,22 @@ pub struct MemberStats {
     pub latency: Histogram,
     /// Runtime fault count at end of run (fairness probe).
     pub fault_count: u64,
+    /// Per-span-kind cycle totals from the member's in-enclave
+    /// telemetry aggregates (kinds with zero spans omitted). The fleet
+    /// report merges these across members into one coarse profile; the
+    /// fine-grained causal profile lives in `autarky-profile`.
+    pub span_profile: Vec<SpanProfileLine>,
+}
+
+/// One span kind's aggregate contribution to a member's cycle profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanProfileLine {
+    /// Stable span-kind name (e.g. `fault_handler`).
+    pub kind: &'static str,
+    /// Completed spans of this kind.
+    pub count: u64,
+    /// Total simulated cycles spent inside this kind.
+    pub cycles: u64,
 }
 
 struct Member {
@@ -388,6 +404,7 @@ impl Fleet {
                     max_recovery_cycles: 0,
                     latency: Histogram::new(),
                     fault_count: 0,
+                    span_profile: Vec::new(),
                 },
             });
             os_slot = Some(os);
@@ -805,11 +822,20 @@ impl Fleet {
         }
         // Record final runtime health into the stats.
         for member in &mut self.members {
-            member.stats.fault_count = member
-                .handle
-                .as_ref()
-                .map(|h| h.rt.fault_count())
-                .unwrap_or(member.stats.fault_count);
+            if let Some(h) = member.handle.as_ref() {
+                member.stats.fault_count = h.rt.fault_count();
+                member.stats.span_profile = SpanKind::ALL
+                    .iter()
+                    .filter_map(|&kind| {
+                        let agg = h.rt.telemetry.span_agg(kind);
+                        (agg.count > 0).then(|| SpanProfileLine {
+                            kind: kind.name(),
+                            count: agg.count,
+                            cycles: agg.total_cycles,
+                        })
+                    })
+                    .collect();
+            }
             if !member.queue.is_empty() {
                 return Err(FleetError::Internal("run ended with queued requests"));
             }

@@ -48,7 +48,7 @@ pub use attack::{AdMonitor, Attacker, FaultTracer, TraceMode};
 pub use backing::BackingStore;
 pub use eviction::{EvictionPolicy, EvictionState};
 pub use fault::{FaultInjector, FaultKind, FaultPlan, InjectedFault, SyscallKind};
-pub use flight::{FlightEvent, FlightRecord, FlightRecorder};
+pub use flight::{FlightEvent, FlightRecord, FlightRecorder, CORR_NONE};
 pub use hypervisor::{BalloonOutcome, Hypervisor, VmId};
 pub use image::EnclaveImage;
 pub use kernel::{FaultDisposition, Observation, Os, OsError, UntrustedEnclaveState};

@@ -1,0 +1,519 @@
+//! The assembled profile: attribution tree + residual accounting +
+//! per-fault latency + per-cluster breakdown, with deterministic folded
+//! and JSON renderings.
+//!
+//! The JSON is hand-rolled and line-oriented (the offline build has no
+//! serde): [`CycleProfile::to_json`] writes one key per line and
+//! [`CycleProfile::from_json`] reads exactly that format back — the
+//! same convention the bench baseline parser uses, so committed
+//! profile baselines are greppable and diff-friendly.
+
+use autarky_telemetry::LatencySummary;
+
+use crate::tree::ProfileNode;
+
+/// One page cluster's share of the fault traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterRow {
+    /// Cluster key: the smallest virtual page number the round trip
+    /// fetched (the fault page itself when no cluster decision fired).
+    pub page: u64,
+    /// Fault round trips attributed to this cluster.
+    pub faults: u64,
+    /// Round-trip cycles spent on this cluster.
+    pub cycles: u64,
+}
+
+/// A complete cycle-attribution profile of one measured phase.
+///
+/// Everything here is a pure function of the simulated execution —
+/// host wall-clock numbers deliberately live *outside* this type (see
+/// `collect::Collected`), so folded/JSON/SVG artifacts are byte-stable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleProfile {
+    /// Workload name (also the root frame of every stack).
+    pub workload: String,
+    /// Policy variant the workload ran under.
+    pub policy: String,
+    /// Scale factor of the run.
+    pub scale: u32,
+    /// Operations retired in the measured phase.
+    pub ops: u64,
+    /// Simulated cycles the measured phase took (clock delta).
+    pub total_cycles: u64,
+    /// Cycles the profiler could not attribute: unjournaled clock
+    /// movement plus orphaned in-chain enclave work.
+    pub residual_cycles: u64,
+    /// The orphan component of the residual (in-chain `runtime` /
+    /// `crypto` / `oram` charges with no covering span).
+    pub orphan_cycles: u64,
+    /// Charge-journal records lost to overflow.
+    pub journal_dropped: u64,
+    /// Span-ring records lost to overflow during the phase.
+    pub span_dropped: u64,
+    /// Flight-recorder records lost to overflow during the phase.
+    pub flight_dropped: u64,
+    /// Fault round trips observed.
+    pub faults: u64,
+    /// Per-fault round-trip latency digest.
+    pub fault_latency: LatencySummary,
+    /// Ledger tag totals over the phase (nonzero tags, tag order).
+    pub tags: Vec<(String, u64)>,
+    /// Hottest page clusters (by round-trip cycles, capped).
+    pub clusters: Vec<ClusterRow>,
+    /// The attribution tree below the workload root frame.
+    pub root: ProfileNode,
+}
+
+/// Cap on the per-cluster breakdown (the tail adds noise, not insight).
+pub const CLUSTER_ROWS: usize = 16;
+
+impl CycleProfile {
+    /// Cycles successfully attributed to a call path.
+    pub fn attributed_cycles(&self) -> u64 {
+        self.total_cycles.saturating_sub(self.residual_cycles)
+    }
+
+    /// Attributed share of the phase, percent.
+    pub fn attributed_pct(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 100.0;
+        }
+        self.attributed_cycles() as f64 * 100.0 / self.total_cycles as f64
+    }
+
+    /// Unattributed share of the phase, percent.
+    pub fn residual_pct(&self) -> f64 {
+        if self.total_cycles == 0 {
+            return 0.0;
+        }
+        self.residual_cycles as f64 * 100.0 / self.total_cycles as f64
+    }
+
+    /// Whether the residual stays under `max_pct` percent.
+    pub fn passes_residual_gate(&self, max_pct: f64) -> bool {
+        self.residual_pct() <= max_pct
+    }
+
+    /// One ledger tag's cycles over the phase (0 when absent).
+    pub fn tag(&self, name: &str) -> u64 {
+        self.tags
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| *v)
+            .unwrap_or(0)
+    }
+
+    /// Cycles under the `fault_round_trip` chain frame — the hot path
+    /// the baseline gate watches.
+    pub fn hot_path_cycles(&self) -> u64 {
+        self.root
+            .child("fault_round_trip")
+            .map(ProfileNode::total)
+            .unwrap_or(0)
+    }
+
+    /// Hot-path cycles per fault round trip (0.0 for fault-free runs).
+    pub fn hot_path_cycles_per_fault(&self) -> f64 {
+        if self.faults == 0 {
+            return 0.0;
+        }
+        self.hot_path_cycles() as f64 / self.faults as f64
+    }
+
+    /// `policy/workload` — the name baselines key on.
+    pub fn name(&self) -> String {
+        format!("{}/{}", self.policy, self.workload)
+    }
+
+    /// Collapsed-stack rendering: `stack cycles` lines sorted by stack,
+    /// every frame rooted at the workload name.
+    pub fn folded(&self) -> String {
+        let mut out = String::new();
+        for (stack, cycles) in self.root.frames(&self.workload) {
+            out.push_str(&stack);
+            out.push(' ');
+            out.push_str(&cycles.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Serialize as JSON (stable key order, one key per line — the
+    /// format [`CycleProfile::from_json`] and the baseline parser read).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str("  \"version\": 1,\n");
+        out.push_str(&format!("  \"name\": \"{}\",\n", self.name()));
+        out.push_str(&format!("  \"workload\": \"{}\",\n", self.workload));
+        out.push_str(&format!("  \"policy\": \"{}\",\n", self.policy));
+        out.push_str(&format!("  \"scale\": {},\n", self.scale));
+        out.push_str(&format!("  \"ops\": {},\n", self.ops));
+        out.push_str(&format!("  \"total_cycles\": {},\n", self.total_cycles));
+        out.push_str(&format!(
+            "  \"attributed_cycles\": {},\n",
+            self.attributed_cycles()
+        ));
+        out.push_str(&format!(
+            "  \"residual_cycles\": {},\n",
+            self.residual_cycles
+        ));
+        out.push_str(&format!("  \"orphan_cycles\": {},\n", self.orphan_cycles));
+        out.push_str(&format!(
+            "  \"residual_pct\": {:.4},\n",
+            self.residual_pct()
+        ));
+        out.push_str(&format!(
+            "  \"journal_dropped\": {},\n",
+            self.journal_dropped
+        ));
+        out.push_str(&format!("  \"span_dropped\": {},\n", self.span_dropped));
+        out.push_str(&format!("  \"flight_dropped\": {},\n", self.flight_dropped));
+        out.push_str(&format!("  \"faults\": {},\n", self.faults));
+        out.push_str(&format!(
+            "  \"fault_p50_cycles\": {},\n",
+            self.fault_latency.p50
+        ));
+        out.push_str(&format!(
+            "  \"fault_p99_cycles\": {},\n",
+            self.fault_latency.p99
+        ));
+        out.push_str(&format!(
+            "  \"fault_p999_cycles\": {},\n",
+            self.fault_latency.p999
+        ));
+        out.push_str(&format!(
+            "  \"fault_mean_cycles\": {:.3},\n",
+            self.fault_latency.mean
+        ));
+        out.push_str(&format!(
+            "  \"hot_path_cycles_per_fault\": {:.3},\n",
+            self.hot_path_cycles_per_fault()
+        ));
+        out.push_str("  \"tags\": [\n");
+        for (i, (name, cycles)) in self.tags.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"tag\": \"{name}\", \"cycles\": {cycles}}}{}\n",
+                if i + 1 < self.tags.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"clusters\": [\n");
+        for (i, row) in self.clusters.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"page\": {}, \"cluster_faults\": {}, \"cluster_cycles\": {}}}{}\n",
+                row.page,
+                row.faults,
+                row.cycles,
+                if i + 1 < self.clusters.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str("  \"frames\": [\n");
+        let frames = self.root.frames(&self.workload);
+        for (i, (stack, cycles)) in frames.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"stack\": \"{stack}\", \"cycles\": {cycles}}}{}\n",
+                if i + 1 < frames.len() { "," } else { "" }
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Parse a profile back from [`CycleProfile::to_json`] output.
+    /// Line-oriented — exactly the writer's format, not general JSON.
+    pub fn from_json(json: &str) -> Option<CycleProfile> {
+        enum Section {
+            Scalars,
+            Tags,
+            Clusters,
+            Frames,
+        }
+        let mut section = Section::Scalars;
+        let mut workload = None;
+        let mut policy = None;
+        let mut scale = None;
+        let mut ops = None;
+        let mut total_cycles = None;
+        let mut residual_cycles = None;
+        let mut orphan_cycles = 0u64;
+        let mut journal_dropped = 0u64;
+        let mut span_dropped = 0u64;
+        let mut flight_dropped = 0u64;
+        let mut faults = None;
+        let mut p50 = 0u64;
+        let mut p99 = 0u64;
+        let mut p999 = 0u64;
+        let mut mean = 0f64;
+        let mut tags: Vec<(String, u64)> = Vec::new();
+        let mut clusters: Vec<ClusterRow> = Vec::new();
+        let mut frames: Vec<(String, u64)> = Vec::new();
+
+        let str_field = |t: &str, key: &str| -> Option<String> {
+            t.strip_prefix(&format!("\"{key}\": \""))
+                .and_then(|r| r.strip_suffix('"'))
+                .map(str::to_owned)
+        };
+        let u64_field = |t: &str, key: &str| -> Option<u64> {
+            t.strip_prefix(&format!("\"{key}\": "))
+                .and_then(|r| r.parse().ok())
+        };
+        let f64_field = |t: &str, key: &str| -> Option<f64> {
+            t.strip_prefix(&format!("\"{key}\": "))
+                .and_then(|r| r.parse().ok())
+        };
+
+        for line in json.lines() {
+            let t = line.trim().trim_end_matches(',');
+            match t {
+                "\"tags\": [" => {
+                    section = Section::Tags;
+                    continue;
+                }
+                "\"clusters\": [" => {
+                    section = Section::Clusters;
+                    continue;
+                }
+                "\"frames\": [" => {
+                    section = Section::Frames;
+                    continue;
+                }
+                _ => {}
+            }
+            match section {
+                Section::Scalars => {
+                    if let Some(v) = str_field(t, "workload") {
+                        workload = Some(v);
+                    } else if let Some(v) = str_field(t, "policy") {
+                        policy = Some(v);
+                    } else if let Some(v) = u64_field(t, "scale") {
+                        scale = Some(v as u32);
+                    } else if let Some(v) = u64_field(t, "ops") {
+                        ops = Some(v);
+                    } else if let Some(v) = u64_field(t, "total_cycles") {
+                        total_cycles = Some(v);
+                    } else if let Some(v) = u64_field(t, "residual_cycles") {
+                        residual_cycles = Some(v);
+                    } else if let Some(v) = u64_field(t, "orphan_cycles") {
+                        orphan_cycles = v;
+                    } else if let Some(v) = u64_field(t, "journal_dropped") {
+                        journal_dropped = v;
+                    } else if let Some(v) = u64_field(t, "span_dropped") {
+                        span_dropped = v;
+                    } else if let Some(v) = u64_field(t, "flight_dropped") {
+                        flight_dropped = v;
+                    } else if let Some(v) = u64_field(t, "faults") {
+                        faults = Some(v);
+                    } else if let Some(v) = u64_field(t, "fault_p50_cycles") {
+                        p50 = v;
+                    } else if let Some(v) = u64_field(t, "fault_p99_cycles") {
+                        p99 = v;
+                    } else if let Some(v) = u64_field(t, "fault_p999_cycles") {
+                        p999 = v;
+                    } else if let Some(v) = f64_field(t, "fault_mean_cycles") {
+                        mean = v;
+                    }
+                }
+                Section::Tags => {
+                    let item = t.strip_prefix('{').and_then(|s| s.strip_suffix('}'));
+                    if let Some(item) = item {
+                        let mut name = None;
+                        let mut cycles = None;
+                        for part in item.split(", ") {
+                            if let Some(v) = str_field(part, "tag") {
+                                name = Some(v);
+                            } else if let Some(v) = u64_field(part, "cycles") {
+                                cycles = Some(v);
+                            }
+                        }
+                        if let (Some(n), Some(c)) = (name, cycles) {
+                            tags.push((n, c));
+                        }
+                    }
+                }
+                Section::Clusters => {
+                    let item = t.strip_prefix('{').and_then(|s| s.strip_suffix('}'));
+                    if let Some(item) = item {
+                        let mut page = None;
+                        let mut cf = None;
+                        let mut cc = None;
+                        for part in item.split(", ") {
+                            if let Some(v) = u64_field(part, "page") {
+                                page = Some(v);
+                            } else if let Some(v) = u64_field(part, "cluster_faults") {
+                                cf = Some(v);
+                            } else if let Some(v) = u64_field(part, "cluster_cycles") {
+                                cc = Some(v);
+                            }
+                        }
+                        if let (Some(page), Some(faults), Some(cycles)) = (page, cf, cc) {
+                            clusters.push(ClusterRow {
+                                page,
+                                faults,
+                                cycles,
+                            });
+                        }
+                    }
+                }
+                Section::Frames => {
+                    let item = t.strip_prefix('{').and_then(|s| s.strip_suffix('}'));
+                    if let Some(item) = item {
+                        let mut stack = None;
+                        let mut cycles = None;
+                        for part in item.split(", ") {
+                            if let Some(v) = str_field(part, "stack") {
+                                stack = Some(v);
+                            } else if let Some(v) = u64_field(part, "cycles") {
+                                cycles = Some(v);
+                            }
+                        }
+                        if let (Some(s), Some(c)) = (stack, cycles) {
+                            frames.push((s, c));
+                        }
+                    }
+                }
+            }
+        }
+
+        let workload = workload?;
+        let faults = faults?;
+        let root = if frames.is_empty() {
+            ProfileNode::new()
+        } else {
+            let (root_name, root) = ProfileNode::from_frames(&frames)?;
+            if root_name != workload {
+                return None;
+            }
+            root
+        };
+        Some(CycleProfile {
+            workload,
+            policy: policy?,
+            scale: scale?,
+            ops: ops?,
+            total_cycles: total_cycles?,
+            residual_cycles: residual_cycles?,
+            orphan_cycles,
+            journal_dropped,
+            span_dropped,
+            flight_dropped,
+            faults,
+            fault_latency: LatencySummary {
+                count: faults,
+                p50,
+                p99,
+                p999,
+                mean,
+            },
+            tags,
+            clusters,
+            root,
+        })
+    }
+}
+
+/// Look up one profile's committed hot-path cycles/fault in a baseline
+/// file: `(name, hot_path_cycles_per_fault)` pairs in the same
+/// line-oriented format [`CycleProfile::to_json`] writes, so a baseline
+/// can be a concatenation of profile JSONs or a hand-trimmed digest.
+pub fn baseline_hot_path(baseline_json: &str, name: &str) -> Option<f64> {
+    let mut current: Option<String> = None;
+    for line in baseline_json.lines() {
+        let t = line.trim().trim_end_matches(',');
+        if let Some(rest) = t.strip_prefix("\"name\": \"") {
+            current = rest.strip_suffix('"').map(str::to_owned);
+        } else if let Some(rest) = t.strip_prefix("\"hot_path_cycles_per_fault\": ") {
+            if current.as_deref() == Some(name) {
+                return rest.parse().ok();
+            }
+            current = None;
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> CycleProfile {
+        let mut root = ProfileNode::new();
+        root.add(&["fault_round_trip", "fault_handler", "runtime"], 700);
+        root.add(&["fault_round_trip", "preemption"], 4200);
+        root.add(&["oram_access", "oram"], 90);
+        CycleProfile {
+            workload: "spell".into(),
+            policy: "clusters".into(),
+            scale: 1,
+            ops: 120,
+            total_cycles: 5000,
+            residual_cycles: 10,
+            orphan_cycles: 4,
+            journal_dropped: 0,
+            span_dropped: 0,
+            flight_dropped: 0,
+            faults: 2,
+            fault_latency: LatencySummary {
+                count: 2,
+                p50: 2400,
+                p99: 2600,
+                p999: 2600,
+                mean: 2450.5,
+            },
+            tags: vec![("preemption".into(), 4200), ("runtime".into(), 700)],
+            clusters: vec![ClusterRow {
+                page: 16,
+                faults: 2,
+                cycles: 4900,
+            }],
+            root,
+        }
+    }
+
+    #[test]
+    fn accounting_identities_hold() {
+        let p = sample();
+        assert_eq!(p.attributed_cycles(), 4990);
+        assert!((p.attributed_pct() - 99.8).abs() < 1e-9);
+        assert!((p.residual_pct() - 0.2).abs() < 1e-9);
+        assert!(p.passes_residual_gate(5.0));
+        assert!(!p.passes_residual_gate(0.1));
+        assert_eq!(p.hot_path_cycles(), 4900);
+        assert!((p.hot_path_cycles_per_fault() - 2450.0).abs() < 1e-9);
+        assert_eq!(p.tag("preemption"), 4200);
+        assert_eq!(p.tag("missing"), 0);
+        assert_eq!(p.name(), "clusters/spell");
+    }
+
+    #[test]
+    fn folded_output_is_sorted_and_rooted() {
+        let folded = sample().folded();
+        let lines: Vec<&str> = folded.lines().collect();
+        assert_eq!(
+            lines,
+            vec![
+                "spell;fault_round_trip;fault_handler;runtime 700",
+                "spell;fault_round_trip;preemption 4200",
+                "spell;oram_access;oram 90",
+            ]
+        );
+    }
+
+    #[test]
+    fn json_roundtrips_exactly() {
+        let p = sample();
+        let json = p.to_json();
+        let back = CycleProfile::from_json(&json).expect("parses");
+        assert_eq!(back, p);
+        assert_eq!(back.to_json(), json, "re-encoding is byte-stable");
+    }
+
+    #[test]
+    fn baseline_lookup_matches_by_name() {
+        let json = sample().to_json();
+        let hot = baseline_hot_path(&json, "clusters/spell").expect("found");
+        assert!((hot - 2450.0).abs() < 1e-6);
+        assert!(baseline_hot_path(&json, "elided/spell").is_none());
+    }
+}

@@ -1235,7 +1235,11 @@ impl Runtime {
         // Allocation happens outside any fault chain; correlate the
         // make-room evictions and retries it triggers under one chain.
         let began = os.flight_begin_chain_if_idle();
+        let guard = self
+            .telemetry
+            .enter(SpanKind::HeapAlloc, os.machine.clock.now());
         let result = self.ensure_heap_page_inner(os, vpn);
+        self.span_close(os, guard);
         if began {
             os.flight_end_chain();
         }

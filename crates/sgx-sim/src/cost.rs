@@ -208,12 +208,52 @@ impl CostTag {
     }
 }
 
+/// One journaled cycle charge: the clock value *after* the charge
+/// landed, the tag it was attributed to, and the amount.
+///
+/// The half-open interval `(at - amount, at]` is exactly the stretch of
+/// simulated time this charge advanced the clock through, which is what
+/// lets a profiler place a charge inside (or outside) a span or
+/// correlation-chain window without ambiguity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ChargeRecord {
+    /// Clock value immediately after the charge.
+    pub at: u64,
+    /// Attribution tag.
+    pub tag: CostTag,
+    /// Cycles charged.
+    pub amount: u64,
+}
+
+/// Bounded per-charge journal (armed only while a host-side profiler is
+/// collecting). New records are dropped once `capacity` is reached —
+/// the same drop-new policy as the telemetry span ring — and counted,
+/// so a profiler can refuse to attribute from a truncated journal
+/// instead of silently under-reporting.
+#[derive(Debug, Clone, Default)]
+struct ChargeJournal {
+    entries: Vec<ChargeRecord>,
+    capacity: usize,
+    dropped: u64,
+}
+
+impl ChargeJournal {
+    fn push(&mut self, record: ChargeRecord) {
+        if self.entries.len() < self.capacity {
+            self.entries.push(record);
+        } else {
+            self.dropped += 1;
+        }
+    }
+}
+
 /// A monotonically increasing cycle counter shared by the whole machine,
 /// with per-[`CostTag`] attribution.
 #[derive(Debug, Default, Clone)]
 pub struct Clock {
     cycles: u64,
     tagged: [u64; COST_TAGS],
+    journal: Option<ChargeJournal>,
 }
 
 impl Clock {
@@ -226,7 +266,11 @@ impl Clock {
     /// restore). The per-tag totals must partition `cycles` exactly, as
     /// produced by [`Clock::now`] + [`Clock::tag_totals`].
     pub fn from_parts(cycles: u64, tagged: [u64; COST_TAGS]) -> Self {
-        Self { cycles, tagged }
+        Self {
+            cycles,
+            tagged,
+            journal: None,
+        }
     }
 
     /// Charge `cycles` cycles, attributed to [`CostTag::Other`].
@@ -238,6 +282,44 @@ impl Clock {
     pub fn charge_tagged(&mut self, tag: CostTag, cycles: u64) {
         self.cycles = self.cycles.wrapping_add(cycles);
         self.tagged[tag as usize] = self.tagged[tag as usize].wrapping_add(cycles);
+        if cycles > 0 {
+            if let Some(journal) = self.journal.as_mut() {
+                journal.push(ChargeRecord {
+                    at: self.cycles,
+                    tag,
+                    amount: cycles,
+                });
+            }
+        }
+    }
+
+    /// Arm the per-charge journal with room for `capacity` records.
+    ///
+    /// This is the profiler's cost-ledger export hook: while armed,
+    /// every non-zero [`Clock::charge_tagged`] appends one
+    /// [`ChargeRecord`], so a host-side observer can reconstruct *when*
+    /// each tagged cycle landed, not just the per-tag totals. Zero-cycle
+    /// charges are skipped — they advance nothing and would only consume
+    /// journal slots. Re-arming discards any previously journaled
+    /// records.
+    pub fn arm_charge_journal(&mut self, capacity: usize) {
+        self.journal = Some(ChargeJournal {
+            entries: Vec::new(),
+            capacity,
+            dropped: 0,
+        });
+    }
+
+    /// Whether the charge journal is armed.
+    pub fn charge_journal_armed(&self) -> bool {
+        self.journal.is_some()
+    }
+
+    /// Disarm the journal and return `(records, dropped)`: everything
+    /// journaled since arming plus the count of records lost to the
+    /// capacity bound. Returns `None` if the journal was never armed.
+    pub fn disarm_charge_journal(&mut self) -> Option<(Vec<ChargeRecord>, u64)> {
+        self.journal.take().map(|j| (j.entries, j.dropped))
     }
 
     /// Total cycles attributed to `tag` so far.
@@ -323,5 +405,50 @@ mod tests {
     #[test]
     fn cycles_to_secs() {
         assert!((Clock::cycles_to_secs(CLOCK_HZ) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn charge_journal_records_every_nonzero_charge() {
+        let mut clock = Clock::new();
+        clock.charge_tagged(CostTag::Paging, 7); // before arming: not journaled
+        clock.arm_charge_journal(16);
+        assert!(clock.charge_journal_armed());
+        clock.charge_tagged(CostTag::Preemption, 100);
+        clock.charge_tagged(CostTag::Translation, 0); // zero: skipped
+        clock.charge(3);
+        let (records, dropped) = clock.disarm_charge_journal().expect("armed");
+        assert_eq!(dropped, 0);
+        assert_eq!(
+            records,
+            vec![
+                ChargeRecord {
+                    at: 107,
+                    tag: CostTag::Preemption,
+                    amount: 100
+                },
+                ChargeRecord {
+                    at: 110,
+                    tag: CostTag::Other,
+                    amount: 3
+                },
+            ]
+        );
+        assert!(!clock.charge_journal_armed());
+        assert!(clock.disarm_charge_journal().is_none());
+    }
+
+    #[test]
+    fn charge_journal_drops_new_records_when_full() {
+        let mut clock = Clock::new();
+        clock.arm_charge_journal(2);
+        for _ in 0..5 {
+            clock.charge_tagged(CostTag::Oram, 10);
+        }
+        let (records, dropped) = clock.disarm_charge_journal().expect("armed");
+        assert_eq!(records.len(), 2, "retained prefix is deterministic");
+        assert_eq!(dropped, 3);
+        // The ledger totals are unaffected by journaling.
+        assert_eq!(clock.tag_total(CostTag::Oram), 50);
+        assert_eq!(clock.now(), 50);
     }
 }

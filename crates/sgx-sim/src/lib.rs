@@ -48,7 +48,7 @@ pub mod seal;
 pub mod tlb;
 
 pub use addr::{EnclaveId, Frame, Va, Vpn, PAGE_SIZE};
-pub use cost::{Clock, CostModel, CostTag, CLOCK_HZ, COST_TAGS};
+pub use cost::{ChargeRecord, Clock, CostModel, CostTag, CLOCK_HZ, COST_TAGS};
 pub use counter::{snapshot_seal_key, MonotonicCounter};
 pub use enclave::{Attributes, Secs, SsaExInfo};
 pub use epc::{PageType, Perms};

@@ -26,7 +26,7 @@
 pub mod metrics;
 pub mod span;
 
-pub use metrics::{CounterSet, GaugeSet, HistSet, Histogram, HIST_BUCKETS};
+pub use metrics::{CounterSet, GaugeSet, HistSet, Histogram, LatencySummary, HIST_BUCKETS};
 pub use span::{SpanGuard, SpanKind, SpanRecord, SpanRing, SPAN_KINDS};
 
 /// Per-span-kind running aggregate (what the export path sees; the raw
@@ -109,6 +109,15 @@ impl Telemetry {
         &self.ring
     }
 
+    /// Empty the span ring, keeping its drop counter (the counter is a
+    /// lifetime total, mirrored in every snapshot). Host-side profilers
+    /// call this between a warm-up phase and the measured phase so the
+    /// fixed-capacity ring holds only the spans of the window under
+    /// attribution; aggregates and metrics are left untouched.
+    pub fn clear_ring(&mut self) {
+        self.ring.clear();
+    }
+
     /// Increment a registered counter.
     pub fn incr(&mut self, name: &'static str) {
         self.counters.add(name, 1);
@@ -168,7 +177,7 @@ impl Telemetry {
     ///
     /// The layout (and therefore the byte length) depends only on the
     /// registered schema: magic, version, epoch, span-drop counter, the
-    /// eight span aggregates (count, total, full latency histogram), then
+    /// per-kind span aggregates (count, total, full latency histogram), then
     /// counters, gauges, and named histograms in registration order.
     /// Identical runs produce byte-identical snapshots; runs on different
     /// secrets produce same-sized snapshots.

@@ -122,6 +122,21 @@ impl Histogram {
         Self::bucket_floor(HIST_BUCKETS - 1)
     }
 
+    /// Digest the distribution into the standard latency summary
+    /// (p50/p99/p999 + mean). This is the single quantile surface the
+    /// whole workspace reports through — fleet and profiler percentiles
+    /// are this method, not parallel re-implementations of the bucket
+    /// walk.
+    pub fn summary(&self) -> LatencySummary {
+        LatencySummary {
+            count: self.count,
+            p50: self.quantile(0.50),
+            p99: self.quantile(0.99),
+            p999: self.quantile(0.999),
+            mean: self.mean(),
+        }
+    }
+
     /// Merge another histogram into this one.
     pub fn absorb(&mut self, other: &Histogram) {
         for (a, b) in self.buckets.iter_mut().zip(other.buckets.iter()) {
@@ -168,6 +183,24 @@ impl Histogram {
             max,
         })
     }
+}
+
+/// The standard latency digest derived from a [`Histogram`]: the
+/// percentile set every report in the workspace prints. Values are
+/// bucket floors (the same ~25% relative resolution as the histogram
+/// itself), so two digests of byte-identical histograms are equal.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of recorded values.
+    pub count: u64,
+    /// Median, cycles (bucket floor).
+    pub p50: u64,
+    /// 99th percentile, cycles (bucket floor).
+    pub p99: u64,
+    /// 99.9th percentile, cycles (bucket floor).
+    pub p999: u64,
+    /// Mean, cycles.
+    pub mean: f64,
 }
 
 /// Consume a little-endian `u64` from the front of `input`.
@@ -452,6 +485,22 @@ mod tests {
         assert!((h.mean() - 26.5).abs() < 1e-9);
         assert_eq!(h.quantile(0.5), 2);
         assert!(h.quantile(1.0) >= 96, "p100 bucket floor near max");
+    }
+
+    #[test]
+    fn summary_matches_direct_quantiles() {
+        let mut h = Histogram::new();
+        for i in 0..1000u64 {
+            h.record(1000 + i * 10);
+        }
+        let s = h.summary();
+        assert_eq!(s.count, 1000);
+        assert_eq!(s.p50, h.quantile(0.50));
+        assert_eq!(s.p99, h.quantile(0.99));
+        assert_eq!(s.p999, h.quantile(0.999));
+        assert!((s.mean - h.mean()).abs() < 1e-9);
+        assert!(s.p50 <= s.p99 && s.p99 <= s.p999);
+        assert_eq!(Histogram::new().summary().count, 0);
     }
 
     #[test]

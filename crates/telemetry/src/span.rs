@@ -28,10 +28,13 @@ pub enum SpanKind {
     RatelimitDecision = 6,
     /// Exponential backoff inside the transient-failure retry loop.
     RetryBackoff = 7,
+    /// Demand allocation of a fresh heap page (`ay_alloc_pages` +
+    /// `EACCEPT`), the non-swap branch of the fault path.
+    HeapAlloc = 8,
 }
 
 /// Number of span kinds in the registry.
-pub const SPAN_KINDS: usize = 8;
+pub const SPAN_KINDS: usize = 9;
 
 impl SpanKind {
     /// All kinds, in discriminant order.
@@ -44,6 +47,7 @@ impl SpanKind {
         SpanKind::Open,
         SpanKind::RatelimitDecision,
         SpanKind::RetryBackoff,
+        SpanKind::HeapAlloc,
     ];
 
     /// Kind for a stable discriminant (wire/state decode); `None` if out
@@ -63,6 +67,7 @@ impl SpanKind {
             SpanKind::Open => "open",
             SpanKind::RatelimitDecision => "ratelimit_decision",
             SpanKind::RetryBackoff => "retry_backoff",
+            SpanKind::HeapAlloc => "heap_alloc",
         }
     }
 }
