@@ -1,13 +1,21 @@
 //! Run a declarative experiment campaign.
 //!
 //! ```text
-//! campaign --config PATH [--out DIR] [--jobs N] [--dry-run] [--fresh] [--quiet]
+//! campaign --config PATH [--out DIR] [--jobs N] [--bench-history PATH]
+//!          [--dry-run] [--fresh] [--quiet]
 //! ```
 //!
 //! Expands the config's matrix into content-addressed cells, executes
 //! them in parallel, journals every completion into `DIR/journal.log`
 //! (so a killed campaign resumes where it stopped), and writes
 //! `DIR/report.json` + `DIR/report.md`.
+//!
+//! `--bench-history PATH` appends one JSONL line per invocation —
+//! this campaign's bench cycles/op keyed by workload — to `PATH`, and
+//! renders the accumulated trajectory as a "Cycles/op trend" section
+//! in `report.md`. Without the flag nothing is appended and the report
+//! bytes are a pure function of the cell outcomes (the resume
+//! byte-identity checks rely on that).
 //!
 //! Exit code: `0` when every gated cell passed, `1` when any gate
 //! failed, `2` on usage/config errors. `--dry-run` prints the expanded
@@ -17,7 +25,9 @@
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use autarky_campaign::{execute_cell, run_cells, CampaignConfig, CampaignReport, Journal};
+use autarky_campaign::{
+    execute_cell, render_bench_trend, run_cells, CampaignConfig, CampaignReport, Journal,
+};
 
 fn die(msg: &str) -> ! {
     eprintln!("campaign: {msg}");
@@ -29,6 +39,7 @@ fn main() -> ExitCode {
     let mut config_path: Option<String> = None;
     let mut out_dir: Option<String> = None;
     let mut jobs: usize = std::thread::available_parallelism().map_or(2, |n| n.get());
+    let mut bench_history: Option<String> = None;
     let mut dry_run = false;
     let mut fresh = false;
     let mut quiet = false;
@@ -59,13 +70,21 @@ fn main() -> ExitCode {
                     .filter(|&n| n >= 1)
                     .unwrap_or_else(|| die("--jobs needs a positive integer"));
             }
+            "--bench-history" => {
+                i += 1;
+                bench_history = Some(
+                    args.get(i)
+                        .cloned()
+                        .unwrap_or_else(|| die("--bench-history needs a path")),
+                );
+            }
             "--dry-run" => dry_run = true,
             "--fresh" => fresh = true,
             "--quiet" => quiet = true,
             "--help" | "-h" => {
                 println!(
                     "usage: campaign --config PATH [--out DIR] [--jobs N] \
-                     [--dry-run] [--fresh] [--quiet]"
+                     [--bench-history PATH] [--dry-run] [--fresh] [--quiet]"
                 );
                 return ExitCode::SUCCESS;
             }
@@ -134,7 +153,27 @@ fn main() -> ExitCode {
     let md_path = out_dir.join("report.md");
     std::fs::write(&json_path, report.to_json())
         .unwrap_or_else(|e| die(&format!("write {}: {e}", json_path.display())));
-    std::fs::write(&md_path, report.to_markdown())
+    let mut markdown = report.to_markdown();
+    if let Some(history_path) = &bench_history {
+        // Append this run's bench line first, then render the whole
+        // accumulated trajectory (including the new point).
+        if let Some(line) = report.bench_history_line() {
+            let mut contents = match std::fs::read_to_string(history_path) {
+                Ok(contents) => contents,
+                Err(e) if e.kind() == std::io::ErrorKind::NotFound => String::new(),
+                Err(e) => die(&format!("read {history_path}: {e}")),
+            };
+            if !contents.is_empty() && !contents.ends_with('\n') {
+                contents.push('\n');
+            }
+            contents.push_str(&line);
+            contents.push('\n');
+            std::fs::write(history_path, &contents)
+                .unwrap_or_else(|e| die(&format!("write {history_path}: {e}")));
+            markdown.push_str(&render_bench_trend(&contents));
+        }
+    }
+    std::fs::write(&md_path, markdown)
         .unwrap_or_else(|e| die(&format!("write {}: {e}", md_path.display())));
 
     println!(

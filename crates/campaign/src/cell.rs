@@ -28,17 +28,21 @@ pub enum CellKind {
     Profile,
     /// Paper-figure reproduction (currently fig5's latency breakdown).
     Figure,
+    /// Watchtower fleet run (watched twice for artifact byte-identity)
+    /// with alert-count and false-positive gates.
+    Watch,
 }
 
 impl CellKind {
     /// Every kind, in report order.
-    pub const ALL: [CellKind; 6] = [
+    pub const ALL: [CellKind; 7] = [
         CellKind::Bench,
         CellKind::Leakage,
         CellKind::Replay,
         CellKind::Fleet,
         CellKind::Profile,
         CellKind::Figure,
+        CellKind::Watch,
     ];
 
     /// Stable config/report tag.
@@ -50,6 +54,7 @@ impl CellKind {
             CellKind::Fleet => "fleet",
             CellKind::Profile => "profile",
             CellKind::Figure => "figure",
+            CellKind::Watch => "watch",
         }
     }
 
@@ -84,6 +89,11 @@ pub struct SuiteParams {
     pub epc_frames: usize,
     /// Profile: max unattributed-cycle share, percent.
     pub residual_max_pct: f64,
+    /// Watch: minimum alerts a staged storm cell must fire.
+    pub min_alerts: u64,
+    /// Watch: maximum alerts a quiet (no-injection) cell may fire —
+    /// the false-positive gate.
+    pub max_false_alerts: u64,
 }
 
 impl Default for SuiteParams {
@@ -99,6 +109,8 @@ impl Default for SuiteParams {
             requests: 60,
             epc_frames: 2048,
             residual_max_pct: 5.0,
+            min_alerts: 1,
+            max_false_alerts: 0,
         }
     }
 }
@@ -231,6 +243,18 @@ impl CellSpec {
                     self.workload,
                     self.policy.as_deref().unwrap_or("sgx1"),
                     self.params.scale,
+                ));
+            }
+            CellKind::Watch => {
+                out.push_str(&format!(
+                    " workload={} fault_plan={} seed={} requests={} min_alerts={} \
+                     max_false_alerts={}",
+                    self.workload,
+                    self.fault_plan.as_deref().unwrap_or("quiet"),
+                    self.seed.unwrap_or(1),
+                    self.params.requests,
+                    self.params.min_alerts,
+                    self.params.max_false_alerts,
                 ));
             }
         }

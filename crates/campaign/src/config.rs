@@ -33,6 +33,14 @@ pub const FLEET_FAULT_PLANS: [&str; 3] = ["quiet", "transient", "staged-evict"];
 pub const TRAFFIC_SHAPES: [&str; 3] = ["steady", "poisson", "bursty"];
 /// Valid fleet member mixes.
 pub const FLEET_WORKLOADS: [&str; 3] = ["kvstore", "spell", "mixed"];
+/// Valid fault-plan names for watch cells: `quiet` is the
+/// false-positive baseline (zero alerts allowed by default), `storm`
+/// the staged delay-plus-spurious-evict campaign the watchtower must
+/// catch before the watchdog does.
+pub const WATCH_FAULT_PLANS: [&str; 2] = ["quiet", "storm"];
+/// Valid member mixes for watch cells (the victim is always the first
+/// member, a kvstore).
+pub const WATCH_WORKLOADS: [&str; 2] = ["kvstore", "mixed"];
 /// Valid figure names for figure cells (the workload axis carries the
 /// figure, the policy axis the paging mechanism).
 pub const FIGURE_NAMES: [&str; 1] = ["fig5"];
@@ -152,6 +160,7 @@ impl Suite {
                     * a.seed.len()
             }
             CellKind::Profile | CellKind::Figure => a.policy.len() * a.workload.len(),
+            CellKind::Watch => a.workload.len() * a.fault_plan.len() * a.seed.len(),
         }
     }
 
@@ -246,6 +255,24 @@ impl Suite {
                             None,
                             self.params.clone(),
                         ));
+                    }
+                }
+            }
+            CellKind::Watch => {
+                for workload in &a.workload {
+                    for fault_plan in &a.fault_plan {
+                        for &seed in &a.seed {
+                            cells.push(CellSpec::new(
+                                self.kind,
+                                None,
+                                workload.clone(),
+                                None,
+                                Some(fault_plan.clone()),
+                                None,
+                                Some(seed),
+                                self.params.clone(),
+                            ));
+                        }
                     }
                 }
             }
@@ -355,6 +382,18 @@ impl Suite {
                     return Err(ConfigError("figure suite: scale must be ≥ 1".into()));
                 }
             }
+            CellKind::Watch => {
+                check("workload", &self.axes.workload, &WATCH_WORKLOADS)?;
+                check("fault_plan", &self.axes.fault_plan, &WATCH_FAULT_PLANS)?;
+                // The storm is staged on the tail of the first traffic
+                // burst; a stream shorter than two bursts never reaches
+                // it (burst length is fixed by the scenario).
+                if self.params.requests < 50 {
+                    return Err(ConfigError(
+                        "watch suite: requests must be ≥ 50 (two traffic bursts)".into(),
+                    ));
+                }
+            }
         }
         Ok(())
     }
@@ -407,7 +446,7 @@ impl CampaignConfig {
             let kind = CellKind::from_name(kind_tag).ok_or_else(|| {
                 ConfigError(format!(
                     "suite #{}: unknown kind {kind_tag:?} (valid: bench, leakage, replay, \
-                     fleet, profile, figure)",
+                     fleet, profile, figure, watch)",
                     i + 1
                 ))
             })?;
@@ -503,6 +542,20 @@ fn parse_params(table: &Table, mut params: SuiteParams) -> Result<SuiteParams, C
             .get_f64("residual_max_pct")
             .filter(|v| v.is_finite() && *v >= 0.0)
             .ok_or_else(|| bad("residual_max_pct", "a non-negative number"))?;
+    }
+    if table.has("min_alerts") {
+        params.min_alerts = table
+            .get_i64("min_alerts")
+            .filter(|v| *v >= 0)
+            .ok_or_else(|| bad("min_alerts", "a non-negative integer"))?
+            as u64;
+    }
+    if table.has("max_false_alerts") {
+        params.max_false_alerts = table
+            .get_i64("max_false_alerts")
+            .filter(|v| *v >= 0)
+            .ok_or_else(|| bad("max_false_alerts", "a non-negative integer"))?
+            as u64;
     }
     Ok(params)
 }

@@ -26,13 +26,14 @@
 //! host wall-clock account stays out of the journal so resumed and
 //! fresh campaigns stay byte-identical.
 
+use autarky_fleet::Request;
 use autarky_fleet::{
-    kv_stream, spell_stream, Arrivals, Fleet, FleetConfig, FleetReport, LoadConfig, MemberConfig,
-    StagedCrash, TimedRequest, WorkloadKind,
+    export_trace, kv_stream, render_alert_log, spell_stream, Arrivals, Fleet, FleetConfig,
+    FleetReport, LoadConfig, MemberConfig, StagedCrash, TimedRequest, WatchConfig, WorkloadKind,
 };
 use autarky_flightrec::{verify_replay, Schedule, SchedulePolicy, ScheduleWorkload};
 use autarky_leakage::{run_audit_filtered, AuditConfig, Gate};
-use autarky_os_sim::FaultPlan;
+use autarky_os_sim::{FaultPlan, FlightEvent};
 use autarky_runtime::{PagingMechanism, RuntimeConfig};
 
 use crate::cell::{CellKind, CellOutcome, CellSpec, GateOutcome};
@@ -46,6 +47,7 @@ pub fn execute_cell(spec: &CellSpec) -> CellOutcome {
         CellKind::Fleet => run_fleet(spec),
         CellKind::Profile => run_profile(spec),
         CellKind::Figure => run_figure(spec),
+        CellKind::Watch => run_watch(spec),
     }
 }
 
@@ -283,6 +285,7 @@ fn run_fleet(spec: &CellSpec) -> CellOutcome {
             budget,
             ..Default::default()
         },
+        pin_kv_metadata: false,
     };
     let kv = || WorkloadKind::Kv {
         items: FLEET_KV_ITEMS,
@@ -349,6 +352,7 @@ fn run_fleet(spec: &CellSpec) -> CellOutcome {
         shrink_floor_pages: 16,
         flight_capacity: 1 << 18,
         staged_crash,
+        watch: None,
     };
     let traffic: Vec<Vec<TimedRequest>> = (0..member_count)
         .map(|i| {
@@ -430,6 +434,315 @@ fn run_fleet(spec: &CellSpec) -> CellOutcome {
             metrics,
             reason: format!(
                 "accounted: {served} served + {rejected} rejected of {offered}, {restarts} restarts"
+            ),
+        }
+    } else {
+        CellOutcome {
+            gate: GateOutcome::Fail,
+            metrics,
+            reason: failures.join("; "),
+        }
+    }
+}
+
+// ---------------------------------------------------------------- watch
+
+/// Keys the victim's stream cycles through, ascending. At two 2 KiB
+/// items a page this spans 24 item pages against a 16-page budget, so
+/// the FIFO always misses and the oldest pages — the injector's
+/// victims — go untouched for a full key cycle.
+const WATCH_COLD_KEYS: u64 = 48;
+/// Arrival grid shared by every member's stream.
+const WATCH_BURST_GAP_CYCLES: u64 = 20_000;
+const WATCH_BURST_LEN: usize = 25;
+const WATCH_IDLE_GAP_CYCLES: u64 = 30_000_000;
+const WATCH_START_CYCLES: u64 = 1_000;
+/// Storm shape: delays are the limp (each stormed request overruns the
+/// 2M-cycle watchdog budget), spurious evicts are the probe.
+const WATCH_STORM_DELAY_CYCLES: u64 = 1_500_000;
+
+fn watch_bursty(seed: u64, requests: usize) -> LoadConfig {
+    LoadConfig {
+        seed,
+        requests,
+        arrivals: Arrivals::Bursty {
+            burst_gap_cycles: WATCH_BURST_GAP_CYCLES,
+            burst_len: WATCH_BURST_LEN as u32,
+            idle_gap_cycles: WATCH_IDLE_GAP_CYCLES,
+        },
+        start_cycles: WATCH_START_CYCLES,
+    }
+}
+
+/// The victim's stream: GETs cycling `0..WATCH_COLD_KEYS` ascending on
+/// the shared bursty grid. Deterministic by construction (no RNG).
+fn watch_victim_stream(requests: usize) -> Vec<TimedRequest> {
+    let mut at = WATCH_START_CYCLES;
+    let mut out = Vec::with_capacity(requests);
+    for i in 0..requests {
+        out.push(TimedRequest {
+            arrival_cycles: at,
+            request: Request::Get {
+                key: (i as u64) % WATCH_COLD_KEYS,
+            },
+        });
+        at += if (i + 1) % WATCH_BURST_LEN == 0 {
+            WATCH_IDLE_GAP_CYCLES
+        } else {
+            WATCH_BURST_GAP_CYCLES
+        };
+    }
+    out
+}
+
+/// Watchtower tuned to the staged storm: the SLO-burn detector judges
+/// dispatch service time — the watchdog's own measure — so the race
+/// against the three-strike watchdog runs on equal terms.
+fn watch_tower_config() -> WatchConfig {
+    WatchConfig {
+        epoch_cycles: 1_000_000,
+        warmup_windows: 8,
+        fault_h_milli: 0,
+        entropy_h_milli: 0,
+        p99_budget_cycles: 1_600_000,
+        min_window_requests: 1,
+        ..Default::default()
+    }
+}
+
+struct WatchRun {
+    stats: Vec<autarky_fleet::MemberStats>,
+    report: FleetReport,
+    alert_log: String,
+    trace: String,
+    attacks: usize,
+}
+
+fn watch_scenario(spec: &CellSpec) -> Result<(FleetConfig, Vec<Vec<TimedRequest>>), String> {
+    let requests = spec.params.requests;
+    let plan_seed = spec.derived_seed();
+    let victim = MemberConfig {
+        name: "kv-a".into(),
+        workload: WorkloadKind::Kv {
+            items: FLEET_KV_ITEMS,
+            value_size: FLEET_KV_VALUE_SIZE,
+        },
+        heap_pages: 192,
+        epc_quota: 0,
+        runtime: RuntimeConfig {
+            budget: 16,
+            ..Default::default()
+        },
+        // Keep the hot bucket array out of the self-paging set so a
+        // spurious evict always lands on a cold item page.
+        pin_kv_metadata: true,
+    };
+    let peer_kv = MemberConfig {
+        name: "kv-b".into(),
+        pin_kv_metadata: false,
+        ..victim.clone()
+    };
+    let spell = MemberConfig {
+        name: "spell-a".into(),
+        workload: WorkloadKind::Spell {
+            dict_words: FLEET_SPELL_DICT_WORDS,
+        },
+        heap_pages: 256,
+        epc_quota: 0,
+        runtime: RuntimeConfig {
+            budget: 24,
+            ..Default::default()
+        },
+        pin_kv_metadata: false,
+    };
+    let (members, traffic) = match spec.workload.as_str() {
+        "kvstore" => (
+            vec![victim, peer_kv],
+            vec![
+                watch_victim_stream(requests),
+                kv_stream(
+                    watch_bursty(plan_seed.wrapping_add(0x9e37_79b9), requests),
+                    FLEET_KV_ITEMS,
+                    0.99,
+                ),
+            ],
+        ),
+        "mixed" => (
+            vec![victim, peer_kv, spell],
+            vec![
+                watch_victim_stream(requests),
+                kv_stream(
+                    watch_bursty(plan_seed.wrapping_add(0x9e37_79b9), requests),
+                    FLEET_KV_ITEMS,
+                    0.99,
+                ),
+                spell_stream(
+                    watch_bursty(plan_seed.wrapping_add(2 * 0x9e37_79b9), requests),
+                    "en",
+                    FLEET_SPELL_DICT_WORDS,
+                    FLEET_SPELL_WORDS_PER_REQ,
+                ),
+            ],
+        ),
+        other => return Err(format!("unknown watch workload {other:?}")),
+    };
+    let member_count = members.len();
+    let staged_crash = match spec.fault_plan.as_deref() {
+        Some("quiet") => None,
+        // Arm as the first fleet-wide burst finishes draining: the
+        // detectors complete warmup on healthy traffic and the storm
+        // lands on the burst's tail.
+        Some("storm") => Some(StagedCrash {
+            after_total_served: (member_count * WATCH_BURST_LEN - member_count - 2) as u64,
+            member: 0,
+            plan: FaultPlan {
+                spurious_evict: 0.2,
+                delay: 0.75,
+                delay_cycles: WATCH_STORM_DELAY_CYCLES,
+                max_injections: None,
+                ..FaultPlan::quiescent(plan_seed)
+            },
+        }),
+        other => return Err(format!("unknown watch fault plan {other:?}")),
+    };
+    let cfg = FleetConfig {
+        epc_frames: spec.params.epc_frames,
+        members,
+        queue_cap: 64,
+        watchdog_cycles: 2_000_000,
+        restart_budget_cycles: 500_000_000,
+        restart_cost_cycles: 5_000_000,
+        max_retries: 3,
+        retry_backoff_cycles: 100_000,
+        max_watchdog_strikes: 3,
+        max_restarts: 3,
+        snapshot_every: 32,
+        epc_reserve_frames: 32,
+        shrink_floor_pages: 16,
+        flight_capacity: 1 << 18,
+        staged_crash,
+        watch: Some(watch_tower_config()),
+    };
+    Ok((cfg, traffic))
+}
+
+fn watch_run_once(spec: &CellSpec) -> Result<WatchRun, String> {
+    let (cfg, traffic) = watch_scenario(spec)?;
+    let mut fleet = Fleet::new(cfg).map_err(|e| format!("watch fleet boot failed: {e}"))?;
+    let stats = fleet
+        .run(traffic)
+        .map_err(|e| format!("watch fleet run failed: {e}"))?;
+    let report = FleetReport::from_stats(&stats, fleet.now());
+    let member_names = fleet.member_names();
+    let members: Vec<_> = stats.iter().map(|s| (s.eid, s.name.clone())).collect();
+    let alert_log = render_alert_log(fleet.watch_alerts(), &member_names);
+    let records = fleet.flight_log();
+    let attacks = records
+        .iter()
+        .filter(|r| matches!(r.event, FlightEvent::AttackDetected { .. }))
+        .count();
+    let trace = export_trace(&records, &members);
+    Ok(WatchRun {
+        stats,
+        report,
+        alert_log,
+        trace,
+        attacks,
+    })
+}
+
+fn run_watch(spec: &CellSpec) -> CellOutcome {
+    if spec.fault_plan.is_none() || spec.seed.is_none() {
+        return CellOutcome::fail("watch cell missing fault_plan/seed");
+    }
+    // Watched twice: the alert log and merged Perfetto trace must come
+    // back byte-identical, or the observability layer itself perturbs
+    // the run.
+    let run = match watch_run_once(spec) {
+        Ok(run) => run,
+        Err(e) => return CellOutcome::fail(e),
+    };
+    let rerun = match watch_run_once(spec) {
+        Ok(run) => run,
+        Err(e) => return CellOutcome::fail(e),
+    };
+
+    let alerts: u64 = run.stats.iter().map(|s| s.watch_alerts).sum();
+    let first_alert = run.stats[0].first_alert_cycles;
+    let first_failover = run.stats[0].first_failover_cycles;
+    let offered: u64 = run.report.members.iter().map(|m| m.offered).sum();
+    let served: u64 = run.report.members.iter().map(|m| m.served).sum();
+    let restarts: u32 = run.report.members.iter().map(|m| m.restarts).sum();
+    let metrics = vec![
+        ("alerts".to_owned(), alerts as f64),
+        ("first_alert_cycles".to_owned(), first_alert as f64),
+        ("first_failover_cycles".to_owned(), first_failover as f64),
+        ("restarts".to_owned(), f64::from(restarts)),
+        ("offered".to_owned(), offered as f64),
+        ("served".to_owned(), served as f64),
+        ("run_cycles".to_owned(), run.report.run_cycles as f64),
+    ];
+
+    let mut failures = Vec::new();
+    if !run.report.all_accounted() {
+        failures.push("silent request drop (offered != served + rejected)".to_owned());
+    }
+    if run.alert_log != rerun.alert_log {
+        failures.push("alert log differs across reruns".to_owned());
+    }
+    if run.trace != rerun.trace {
+        failures.push("merged trace differs across reruns".to_owned());
+    }
+    match spec.fault_plan.as_deref() {
+        Some("quiet") => {
+            if alerts > spec.params.max_false_alerts {
+                failures.push(format!(
+                    "false positives: {alerts} alerts on quiescent traffic \
+                     (budget {})",
+                    spec.params.max_false_alerts
+                ));
+            }
+            if restarts > 0 {
+                failures.push(format!("{restarts} restarts on quiescent traffic"));
+            }
+        }
+        Some("storm") => {
+            if run.stats[0].watch_alerts < spec.params.min_alerts {
+                failures.push(format!(
+                    "victim raised {} alerts, expected at least {}",
+                    run.stats[0].watch_alerts, spec.params.min_alerts
+                ));
+            }
+            if first_alert == 0 || (first_failover > 0 && first_alert > first_failover) {
+                failures.push(format!(
+                    "alert (cycle {first_alert}) did not lead failover \
+                     (cycle {first_failover})"
+                ));
+            }
+            if run.report.members.first().map_or(0, |m| m.restarts) == 0 {
+                failures.push("victim was never failed over".to_owned());
+            }
+            if run.attacks > 0 {
+                failures.push(format!(
+                    "{} AttackDetected verdicts: the probe tripped the \
+                     resident-fault tripwire instead of the watchtower",
+                    run.attacks
+                ));
+            }
+            if !run.report.all_byte_identical() {
+                failures.push("a restore was not byte-identical".to_owned());
+            }
+        }
+        _ => failures.push("watch cell missing fault_plan".to_owned()),
+    }
+
+    if failures.is_empty() {
+        CellOutcome {
+            gate: GateOutcome::Pass,
+            metrics,
+            reason: format!(
+                "{alerts} alerts, first at cycle {first_alert} vs failover at \
+                 {first_failover}; artifacts byte-identical"
             ),
         }
     } else {

@@ -38,5 +38,5 @@ pub use cell::{CellKind, CellOutcome, CellSpec, GateOutcome, SuiteParams};
 pub use config::{CampaignConfig, ConfigError};
 pub use journal::Journal;
 pub use kinds::execute_cell;
-pub use report::CampaignReport;
+pub use report::{render_bench_trend, CampaignReport};
 pub use runner::{run_cells, CellRun};

@@ -169,6 +169,135 @@ impl CampaignReport {
         }
         out
     }
+
+    /// One bench-trajectory line for `baselines/BENCH_HISTORY.jsonl`:
+    /// the cycles/op of every bench cell in this campaign, keyed by
+    /// workload. `None` when the campaign ran no bench cells, so
+    /// non-perf campaigns never pollute the trajectory. Deliberately
+    /// timestamp-free — the file's line order *is* the trajectory, and
+    /// a wall-clock stamp would break the report's determinism
+    /// contract.
+    pub fn bench_history_line(&self) -> Option<String> {
+        let mut entries: Vec<(String, f64)> = Vec::new();
+        for run in &self.runs {
+            if run.spec.kind != crate::cell::CellKind::Bench {
+                continue;
+            }
+            if entries.iter().any(|(w, _)| *w == run.spec.workload) {
+                continue;
+            }
+            if let Some((_, v)) = run
+                .outcome
+                .metrics
+                .iter()
+                .find(|(k, _)| k == "cycles_per_op")
+            {
+                entries.push((run.spec.workload.clone(), *v));
+            }
+        }
+        if entries.is_empty() {
+            return None;
+        }
+        let mut out = format!("{{\"campaign\": \"{}\", \"bench\": {{", esc(&self.name));
+        for (i, (workload, cycles)) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!("\"{}\": {}", esc(workload), json_f64(*cycles)));
+        }
+        out.push_str("}}");
+        Some(out)
+    }
+}
+
+/// Render the bench trajectory (the accumulated
+/// `BENCH_HISTORY.jsonl` contents) as a markdown section: one row per
+/// recorded run, one column per workload, cycles/op in the cells, and
+/// a closing first→latest delta line per workload. Unparseable lines
+/// are skipped rather than failing the report — the history file is
+/// append-only across many CI runs and must never brick a campaign.
+pub fn render_bench_trend(history: &str) -> String {
+    let runs: Vec<Vec<(String, f64)>> = history
+        .lines()
+        .filter_map(parse_history_line)
+        .filter(|entries| !entries.is_empty())
+        .collect();
+    if runs.is_empty() {
+        return String::new();
+    }
+    // Column order: first appearance across the whole history.
+    let mut workloads: Vec<String> = Vec::new();
+    for entries in &runs {
+        for (w, _) in entries {
+            if !workloads.contains(w) {
+                workloads.push(w.clone());
+            }
+        }
+    }
+    let mut out = String::from("\n## Cycles/op trend\n\n");
+    out.push_str(&format!("{} recorded runs (oldest first):\n\n", runs.len()));
+    out.push_str("| run |");
+    for w in &workloads {
+        out.push_str(&format!(" {w} |"));
+    }
+    out.push_str("\n|-----|");
+    for _ in &workloads {
+        out.push_str("------|");
+    }
+    out.push('\n');
+    for (i, entries) in runs.iter().enumerate() {
+        out.push_str(&format!("| {} |", i + 1));
+        for w in &workloads {
+            match entries.iter().find(|(k, _)| k == w) {
+                Some((_, v)) => out.push_str(&format!(" {:.1} |", v)),
+                None => out.push_str(" — |"),
+            }
+        }
+        out.push('\n');
+    }
+    out.push('\n');
+    for w in &workloads {
+        let series: Vec<f64> = runs
+            .iter()
+            .filter_map(|entries| entries.iter().find(|(k, _)| k == w).map(|(_, v)| *v))
+            .collect();
+        if let (Some(first), Some(last)) = (series.first(), series.last()) {
+            if *first > 0.0 && series.len() > 1 {
+                out.push_str(&format!(
+                    "- {w}: {:.1} → {:.1} cycles/op ({:+.1}% over {} runs)\n",
+                    first,
+                    last,
+                    (last / first - 1.0) * 100.0,
+                    series.len()
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Extract the `"bench": {"workload": cycles, ...}` map from one
+/// history line. Hand-rolled like every codec in this workspace; the
+/// emitter is [`CampaignReport::bench_history_line`], so the grammar
+/// is narrow: flat string→number pairs, no nesting, no escapes inside
+/// workload names.
+fn parse_history_line(line: &str) -> Option<Vec<(String, f64)>> {
+    let start = line.find("\"bench\"")?;
+    let rest = &line[start..];
+    let open = rest.find('{')?;
+    let close = rest[open..].find('}')? + open;
+    let body = &rest[open + 1..close];
+    let mut out = Vec::new();
+    for pair in body.split(',') {
+        let (key, value) = pair.split_once(':')?;
+        let key = key.trim().trim_matches('"');
+        let value: f64 = value.trim().parse().ok()?;
+        if key.is_empty() {
+            return None;
+        }
+        out.push((key.to_owned(), value));
+    }
+    Some(out)
 }
 
 /// Minimal JSON string escape (quotes, backslashes, control chars).
@@ -268,6 +397,73 @@ mod tests {
         let json = report.to_json();
         assert!(json.contains("said \\\"no\\\"\\nline two"));
         assert!(json.contains("\"pass\": false"));
+    }
+
+    fn bench_run(workload: &str, cycles_per_op: f64) -> CellRun {
+        CellRun {
+            spec: CellSpec::new(
+                CellKind::Bench,
+                None,
+                workload.into(),
+                None,
+                None,
+                None,
+                None,
+                SuiteParams::default(),
+            ),
+            outcome: CellOutcome {
+                gate: GateOutcome::Pass,
+                metrics: vec![("cycles_per_op".into(), cycles_per_op)],
+                reason: "ok".into(),
+            },
+            resumed: false,
+        }
+    }
+
+    #[test]
+    fn history_line_covers_bench_cells_only() {
+        let report = CampaignReport {
+            name: "bench-smoke".into(),
+            runs: vec![
+                bench_run("spell", 1234.5),
+                bench_run("font", 42.0),
+                run(GateOutcome::Pass, "not a bench cell"),
+            ],
+        };
+        let line = report.bench_history_line().expect("has bench cells");
+        assert_eq!(
+            line,
+            "{\"campaign\": \"bench-smoke\", \"bench\": \
+             {\"spell\": 1234.5, \"font\": 42}}"
+        );
+        // And the emitted line round-trips through the trend parser.
+        let parsed = parse_history_line(&line).expect("parses");
+        assert_eq!(
+            parsed,
+            vec![("spell".into(), 1234.5), ("font".into(), 42.0)]
+        );
+
+        let no_bench = CampaignReport {
+            name: "fleet-only".into(),
+            runs: vec![run(GateOutcome::Pass, "ok")],
+        };
+        assert!(no_bench.bench_history_line().is_none());
+    }
+
+    #[test]
+    fn trend_renders_rows_per_run_and_deltas() {
+        let history = "\
+{\"campaign\": \"bench-smoke\", \"bench\": {\"spell\": 1000, \"font\": 50}}\n\
+not json at all\n\
+{\"campaign\": \"bench-smoke\", \"bench\": {\"spell\": 1100, \"font\": 45}}\n";
+        let md = render_bench_trend(history);
+        assert!(md.contains("## Cycles/op trend"));
+        assert!(md.contains("2 recorded runs"), "bad line skipped:\n{md}");
+        assert!(md.contains("| 1 | 1000.0 | 50.0 |"));
+        assert!(md.contains("| 2 | 1100.0 | 45.0 |"));
+        assert!(md.contains("- spell: 1000.0 → 1100.0 cycles/op (+10.0% over 2 runs)"));
+        assert!(md.contains("- font: 50.0 → 45.0 cycles/op (-10.0% over 2 runs)"));
+        assert_eq!(render_bench_trend(""), "");
     }
 
     #[test]

@@ -227,22 +227,29 @@ workload = "spell"
 kind = "figure"
 workload = "fig5"
 policy = "sgx1"
+
+[[suite]]
+kind = "watch"
+workload = "kvstore"
+fault_plan = "quiet"
+requests = 50
+seed = 1
 "#,
     )
     .expect("parses");
     let cells = config.expand();
-    assert_eq!(cells.len(), 6);
+    assert_eq!(cells.len(), 7);
     let mut journal = Journal::ephemeral();
     let runs = run_cells(&cells, 2, &mut journal, &execute_cell, true);
     let report = CampaignReport {
         name: config.name.clone(),
         runs,
     };
-    // Bench has no baseline configured → info; the other five gate pass.
+    // Bench has no baseline configured → info; the other six gate pass.
     assert!(report.pass(), "markdown:\n{}", report.to_markdown());
     assert_eq!(report.failed(), 0);
     assert_eq!(report.info(), 1);
-    assert_eq!(report.passed(), 5);
+    assert_eq!(report.passed(), 6);
     let json = report.to_json();
     assert!(json.contains("\"campaign\": \"it-real\""));
     assert!(json.contains("\"pass\": true"));

@@ -44,6 +44,7 @@ fn kv_member(name: &str) -> MemberConfig {
             budget: 16,
             ..Default::default()
         },
+        pin_kv_metadata: false,
     }
 }
 
@@ -97,6 +98,7 @@ fn main() -> ExitCode {
                     budget: 24,
                     ..Default::default()
                 },
+                pin_kv_metadata: false,
             },
         ],
         queue_cap: 64,
@@ -126,6 +128,7 @@ fn main() -> ExitCode {
                 ..FaultPlan::quiescent(424242)
             },
         }),
+        watch: None,
     };
 
     let mut fleet = match Fleet::new(cfg) {

@@ -1,0 +1,399 @@
+//! CI watchtower scenario: a staged `SpuriousEvict`-plus-delay storm
+//! against one kvstore member, built so the runtime's own tripwires
+//! never fire — the storm's only in-band endings are the watchdog
+//! (slow, three strikes of budget overrun) or the watchtower (fast,
+//! one SLO-burn window). The watchtower must beat the watchdog: its
+//! alert has to land (and the supervisor escalate) strictly before the
+//! unwatched run's watchdog-driven failover, and forensics must trace
+//! the alert back to an injected fault of the staged campaign.
+//!
+//! Scenario physics, so the race is honest:
+//!
+//! * The victim's bucket array is pinned OS-managed (the paper's
+//!   Memcached patch: only item pages self-page), so the injector's
+//!   lowest-resident-page victim is always a *cold* item page.
+//! * The victim's stream cycles keys `0..COLD_KEYS` ascending over
+//!   more pages than its paging budget, so every request faults once
+//!   (steady detector baseline) and a spuriously evicted page is never
+//!   re-touched before the storm resolves — no `AttackDetected`.
+//! * The storm's delay component makes each stormed request blow the
+//!   watchdog budget, so the unwatched baseline fails over by strikes
+//!   while the watched run's SLO-burn detector fires a window earlier.
+//!
+//! Runs the scenario three times: watched twice (artifact
+//! byte-identity) and unwatched once (the timeout-driven baseline the
+//! alert must beat). Writes three artifacts for CI upload:
+//!
+//! * `watch-alerts.log` — the deterministic alert log;
+//! * `merged-trace.json` — the unified Chrome-trace-event timeline
+//!   (load it at `ui.perfetto.dev`);
+//! * `watch-report.md` — the fleet report plus the alert-vs-watchdog
+//!   timing comparison.
+//!
+//! ```text
+//! cargo run --release -p autarky-fleet --bin watch_smoke [artifact-dir]
+//! ```
+//!
+//! Exits nonzero on any violated invariant (artifacts are still
+//! written first, so a failing CI run uploads the evidence).
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use autarky_fleet::{
+    kv_stream, spell_stream, Arrivals, Fleet, FleetConfig, FleetReport, LoadConfig, MemberConfig,
+    MemberStats, StagedCrash, TimedRequest, WatchConfig, WorkloadKind,
+};
+use autarky_os_sim::flight::causal_root_of_attack;
+use autarky_os_sim::{FaultPlan, FlightEvent, FlightRecord, Observation};
+use autarky_runtime::RuntimeConfig;
+use autarky_watch::{export_trace, render_alert_log, Alert};
+use autarky_workloads::request::Request;
+
+const KV_ITEMS: u64 = 64;
+/// Keys the victim's stream cycles through, ascending. At two items a
+/// page this spans 24 item pages against a 16-page budget, so the FIFO
+/// always misses: one fault per request, and the oldest (lowest) pages
+/// — the injector's victims — go untouched for a full cycle.
+const COLD_KEYS: u64 = 48;
+const DICT_WORDS: usize = 600;
+const REQUESTS: usize = 150;
+
+// Arrival shape shared by all three streams.
+const BURST_GAP_CYCLES: u64 = 20_000;
+const BURST_LEN: usize = 25;
+const IDLE_GAP_CYCLES: u64 = 30_000_000;
+const START_CYCLES: u64 = 1_000;
+
+/// Storm shape: delays are the limp (each stormed request overruns the
+/// 2M-cycle watchdog budget), spurious evicts are the probe.
+const STORM_DELAY_CYCLES: u64 = 1_500_000;
+
+fn kv_member(name: &str) -> MemberConfig {
+    MemberConfig {
+        name: name.into(),
+        workload: WorkloadKind::Kv {
+            items: KV_ITEMS,
+            value_size: 2048,
+        },
+        heap_pages: 192,
+        epc_quota: 0,
+        runtime: RuntimeConfig {
+            budget: 16,
+            ..Default::default()
+        },
+        // Keep the hot bucket array out of the self-paging set so a
+        // spurious evict always lands on a cold item page.
+        pin_kv_metadata: true,
+    }
+}
+
+fn bursty(seed: u64) -> LoadConfig {
+    LoadConfig {
+        seed,
+        requests: REQUESTS,
+        arrivals: Arrivals::Bursty {
+            burst_gap_cycles: BURST_GAP_CYCLES,
+            burst_len: BURST_LEN as u32,
+            idle_gap_cycles: IDLE_GAP_CYCLES,
+        },
+        start_cycles: START_CYCLES,
+    }
+}
+
+/// The victim's stream: GETs cycling `0..COLD_KEYS` ascending, on the
+/// same bursty arrival grid as the other members. Deterministic by
+/// construction (no RNG draw at all).
+fn victim_stream() -> Vec<TimedRequest> {
+    let mut at = START_CYCLES;
+    let mut out = Vec::with_capacity(REQUESTS);
+    for i in 0..REQUESTS {
+        out.push(TimedRequest {
+            arrival_cycles: at,
+            request: Request::Get {
+                key: (i as u64) % COLD_KEYS,
+            },
+        });
+        at += if (i + 1) % BURST_LEN == 0 {
+            IDLE_GAP_CYCLES
+        } else {
+            BURST_GAP_CYCLES
+        };
+    }
+    out
+}
+
+fn traffic() -> Vec<Vec<TimedRequest>> {
+    vec![
+        victim_stream(),
+        kv_stream(bursty(102), KV_ITEMS, 0.99),
+        spell_stream(bursty(103), "en", DICT_WORDS, 12),
+    ]
+}
+
+fn watch_config() -> WatchConfig {
+    WatchConfig {
+        // Windows much shorter than the 30M-cycle burst cadence, so
+        // the storm is resolved within one burst.
+        epoch_cycles: 1_000_000,
+        warmup_windows: 8,
+        // This scenario belongs to the SLO-burn detector: it judges
+        // dispatch service time, the watchdog's own measure, so the
+        // race is on equal terms. The CUSUM detectors are exercised by
+        // the watch unit/property tests instead.
+        fault_h_milli: 0,
+        entropy_h_milli: 0,
+        // Healthy kv dispatches run well under the budget; a stormed
+        // request (≥ one injected 1.5M-cycle delay) blows it.
+        p99_budget_cycles: 1_600_000,
+        // One bad completion in a window is enough evidence: one
+        // window must beat three watchdog strikes.
+        min_window_requests: 1,
+        ..Default::default()
+    }
+}
+
+fn scenario(watch: Option<WatchConfig>) -> FleetConfig {
+    FleetConfig {
+        epc_frames: 2048,
+        members: vec![
+            kv_member("kv-a"),
+            kv_member("kv-b"),
+            MemberConfig {
+                name: "spell-a".into(),
+                workload: WorkloadKind::Spell {
+                    dict_words: DICT_WORDS,
+                },
+                heap_pages: 256,
+                epc_quota: 0,
+                runtime: RuntimeConfig {
+                    budget: 24,
+                    ..Default::default()
+                },
+                pin_kv_metadata: false,
+            },
+        ],
+        queue_cap: 64,
+        watchdog_cycles: 2_000_000,
+        restart_budget_cycles: 500_000_000,
+        restart_cost_cycles: 5_000_000,
+        max_retries: 3,
+        retry_backoff_cycles: 100_000,
+        max_watchdog_strikes: 3,
+        max_restarts: 3,
+        snapshot_every: 32,
+        epc_reserve_frames: 32,
+        shrink_floor_pages: 16,
+        flight_capacity: 1 << 18,
+        // The storm arms as the first burst (75 requests fleet-wide)
+        // finishes draining, so the detectors complete their warmup on
+        // healthy traffic and the storm lands on the burst's tail.
+        staged_crash: Some(StagedCrash {
+            after_total_served: 70,
+            member: 0,
+            plan: FaultPlan {
+                spurious_evict: 0.2,
+                delay: 0.75,
+                delay_cycles: STORM_DELAY_CYCLES,
+                max_injections: None,
+                ..FaultPlan::quiescent(424242)
+            },
+        }),
+        watch,
+    }
+}
+
+struct RunOutput {
+    stats: Vec<MemberStats>,
+    alerts: Vec<Alert>,
+    records: Vec<FlightRecord>,
+    report: FleetReport,
+    member_names: Vec<String>,
+}
+
+fn run_scenario(watch: Option<WatchConfig>) -> Result<RunOutput, String> {
+    let mut fleet = Fleet::new(scenario(watch)).map_err(|e| format!("boot failed: {e}"))?;
+    let stats = fleet
+        .run(traffic())
+        .map_err(|e| format!("run failed: {e}"))?;
+    let report = FleetReport::from_stats(&stats, fleet.now());
+    Ok(RunOutput {
+        alerts: fleet.watch_alerts().to_vec(),
+        records: fleet.flight_log(),
+        member_names: fleet.member_names(),
+        stats,
+        report,
+    })
+}
+
+fn count_attacks(records: &[FlightRecord]) -> usize {
+    records
+        .iter()
+        .filter(|r| matches!(r.event, FlightEvent::AttackDetected { .. }))
+        .count()
+}
+
+fn main() -> ExitCode {
+    let dir = std::env::args()
+        .nth(1)
+        .map(PathBuf::from)
+        .unwrap_or_else(|| PathBuf::from("target/watch-artifacts"));
+    if let Err(e) = std::fs::create_dir_all(&dir) {
+        eprintln!(
+            "watch_smoke: cannot create artifact dir {}: {e}",
+            dir.display()
+        );
+        return ExitCode::FAILURE;
+    }
+
+    // Watched twice (byte-identity), unwatched once (the baseline).
+    let watched = match run_scenario(Some(watch_config())) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("watch_smoke: watched {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let rerun = match run_scenario(Some(watch_config())) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("watch_smoke: watched rerun {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let unwatched = match run_scenario(None) {
+        Ok(out) => out,
+        Err(e) => {
+            eprintln!("watch_smoke: unwatched {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let members: Vec<_> = watched
+        .stats
+        .iter()
+        .map(|s| (s.eid, s.name.clone()))
+        .collect();
+    let alert_log = render_alert_log(&watched.alerts, &watched.member_names);
+    let alert_log_rerun = render_alert_log(&rerun.alerts, &rerun.member_names);
+    let trace = export_trace(&watched.records, &members);
+    let trace_rerun = export_trace(&rerun.records, &members);
+
+    let first_alert = watched.stats[0].first_alert_cycles;
+    let watched_failover = watched.stats[0].first_failover_cycles;
+    let unwatched_failover = unwatched.stats[0].first_failover_cycles;
+
+    let mut report_md = watched.report.render();
+    report_md.push_str("\n## Alert vs. watchdog timing\n\n");
+    report_md.push_str(&format!(
+        "- watched: first alert at cycle {first_alert}, failover at cycle {watched_failover}\n"
+    ));
+    report_md.push_str(&format!(
+        "- unwatched baseline: watchdog-driven failover at cycle {unwatched_failover} \
+         after {} strikes\n",
+        unwatched.stats[0].watchdog_strikes
+    ));
+    if first_alert > 0 && unwatched_failover > first_alert {
+        report_md.push_str(&format!(
+            "- the alert led the watchdog by {} cycles\n",
+            unwatched_failover - first_alert
+        ));
+    }
+
+    // Artifacts first: a failing gate must still upload its evidence.
+    for (name, contents) in [
+        ("watch-alerts.log", &alert_log),
+        ("merged-trace.json", &trace),
+        ("watch-report.md", &report_md),
+    ] {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, contents) {
+            eprintln!("watch_smoke: cannot write {}: {e}", path.display());
+            return ExitCode::FAILURE;
+        }
+    }
+
+    print!("{report_md}");
+    println!("\nartifacts: {}", dir.display());
+
+    // The gate.
+    let mut failures = Vec::new();
+    if !watched.report.all_accounted() || !unwatched.report.all_accounted() {
+        failures.push("a request was silently dropped".to_owned());
+    }
+    if !watched.report.all_byte_identical() {
+        failures.push("a restore diverged from its sealed checkpoint".to_owned());
+    }
+    if watched.stats[0].watch_alerts == 0 {
+        failures.push("the staged storm never tripped a watch alert".to_owned());
+    }
+    if watched.stats[0].evicted {
+        failures.push("victim was evicted instead of recovered".to_owned());
+    }
+    for s in &watched.stats[1..] {
+        if s.restarts != 0 {
+            failures.push(format!("{} restarted despite not being targeted", s.name));
+        }
+    }
+    // The storm must never trip the runtime's own tripwire: the race is
+    // watchdog vs. watchtower, and an AttackDetected would end it early.
+    for (label, out) in [("watched", &watched), ("unwatched", &unwatched)] {
+        let attacks = count_attacks(&out.records);
+        if attacks != 0 {
+            failures.push(format!(
+                "{label} run tripped AttackDetected {attacks} time(s); the storm must stay \
+                 below the runtime's own tripwire"
+            ));
+        }
+    }
+    if unwatched_failover == 0 {
+        failures.push("unwatched baseline never failed over (no watchdog comparison)".to_owned());
+    } else if unwatched.stats[0].watchdog_strikes < 3 {
+        failures.push(format!(
+            "unwatched failover was not watchdog-driven (only {} strikes)",
+            unwatched.stats[0].watchdog_strikes
+        ));
+    } else if first_alert == 0 || first_alert >= unwatched_failover {
+        failures.push(format!(
+            "alert did not beat the watchdog (alert at {first_alert}, watchdog failover at {unwatched_failover})"
+        ));
+    }
+    match causal_root_of_attack(&watched.records) {
+        Some((verdict, root)) => {
+            if !matches!(verdict.event, FlightEvent::WatchAlert { .. }) {
+                failures.push(format!(
+                    "forensics verdict is not the watch alert: {}",
+                    verdict.event.describe()
+                ));
+            }
+            if !matches!(
+                root.event,
+                FlightEvent::Kernel(Observation::FaultInjected { .. })
+            ) {
+                failures.push(format!(
+                    "causal root is not an injected fault: {}",
+                    root.event.describe()
+                ));
+            }
+        }
+        None => failures.push("forensics could not name the alert's causal root".to_owned()),
+    }
+    if alert_log != alert_log_rerun {
+        failures.push("alert log not byte-identical across reruns".to_owned());
+    }
+    if trace != trace_rerun {
+        failures.push("merged trace not byte-identical across reruns".to_owned());
+    }
+
+    if failures.is_empty() {
+        println!(
+            "watch_smoke: OK — alert beat the watchdog, causal root named, artifacts byte-identical"
+        );
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("watch_smoke: FAIL — {f}");
+        }
+        ExitCode::FAILURE
+    }
+}

@@ -42,6 +42,12 @@ pub struct MemberReport {
     pub max_recovery_cycles: u64,
     /// `offered == served + rejected` for this member.
     pub accounted: bool,
+    /// Watchtower alerts attributed to this member.
+    pub watch_alerts: u64,
+    /// First watch alert, simulated cycles (0 = never alerted).
+    pub first_alert_cycles: u64,
+    /// First failover escalation, simulated cycles (0 = none).
+    pub first_failover_cycles: u64,
 }
 
 /// The fleet-wide report.
@@ -85,6 +91,9 @@ impl FleetReport {
                     byte_identical: s.byte_identical,
                     max_recovery_cycles: s.max_recovery_cycles,
                     accounted: s.offered == s.served + rejected,
+                    watch_alerts: s.watch_alerts,
+                    first_alert_cycles: s.first_alert_cycles,
+                    first_failover_cycles: s.first_failover_cycles,
                 }
             })
             .collect();
@@ -157,6 +166,26 @@ impl FleetReport {
                 },
             ));
         }
+        if self.members.iter().any(|m| m.watch_alerts > 0) {
+            out.push_str("\n## Watchtower\n\n");
+            out.push_str("| member | alerts | first alert (cyc) | first failover (cyc) | alert led failover |\n");
+            out.push_str("|--------|-------:|------------------:|---------------------:|--------------------|\n");
+            for m in &self.members {
+                let led = if m.first_alert_cycles == 0 {
+                    "-"
+                } else if m.first_failover_cycles == 0
+                    || m.first_alert_cycles <= m.first_failover_cycles
+                {
+                    "yes"
+                } else {
+                    "no"
+                };
+                out.push_str(&format!(
+                    "| {} | {} | {} | {} | {} |\n",
+                    m.name, m.watch_alerts, m.first_alert_cycles, m.first_failover_cycles, led,
+                ));
+            }
+        }
         if !self.merged_span_profile.is_empty() {
             out.push_str("\n## Fleet span profile (all members merged)\n\n");
             out.push_str("| span | count | cycles | mean (cyc) |\n");
@@ -202,6 +231,9 @@ mod tests {
             max_recovery_cycles: 5000,
             latency,
             fault_count: 0,
+            watch_alerts: 1,
+            first_alert_cycles: 900,
+            first_failover_cycles: 1500,
             span_profile: vec![
                 SpanProfileLine {
                     kind: "fault_handler",

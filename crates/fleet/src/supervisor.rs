@@ -34,13 +34,15 @@
 use std::collections::VecDeque;
 
 use autarky_os_sim::{
-    EnclaveImage, FaultPlan, FlightEvent, FlightRecord, Os, OsError, UntrustedEnclaveState,
+    EnclaveImage, FaultPlan, FlightEvent, FlightRecord, Observation, Os, OsError,
+    UntrustedEnclaveState,
 };
 use autarky_runtime::{RtError, RuntimeConfig};
 use autarky_sgx_sim::machine::MachineConfig;
-use autarky_sgx_sim::{EnclaveId, MonotonicCounter};
+use autarky_sgx_sim::{EnclaveId, MonotonicCounter, Vpn};
 use autarky_snapshot::{self as snapshot, SnapError};
 use autarky_telemetry::{Histogram, SpanKind};
+use autarky_watch::{Alert, WatchConfig, Watchtower};
 use autarky_workloads::kvstore::{ItemClustering, KvStore};
 use autarky_workloads::request::{Request, Response, Service};
 use autarky_workloads::spell::SpellServer;
@@ -124,6 +126,12 @@ pub struct MemberConfig {
     pub epc_quota: usize,
     /// Runtime policy for this member.
     pub runtime: RuntimeConfig,
+    /// For [`WorkloadKind::Kv`] members: hand the store's allocator
+    /// metadata (the bucket array, allocated before any item) back to OS
+    /// management after boot — the paper's Memcached-patch shape, where
+    /// only *item* pages are registered for self-paging. Ignored for
+    /// other workloads.
+    pub pin_kv_metadata: bool,
 }
 
 /// A fault campaign staged to start mid-run (the CI crash scenario).
@@ -183,6 +191,12 @@ pub struct FleetConfig {
     pub flight_capacity: usize,
     /// Optional staged mid-run fault campaign.
     pub staged_crash: Option<StagedCrash>,
+    /// Optional streaming watchtower. When set, the supervisor feeds
+    /// every flight-ring fault, request completion, and EPC sample into
+    /// the detectors each scheduling step, records firings as
+    /// [`FlightEvent::WatchAlert`] causal events, and escalates the
+    /// alerted member *immediately* — ahead of the watchdog budget.
+    pub watch: Option<WatchConfig>,
 }
 
 impl Default for FleetConfig {
@@ -203,6 +217,7 @@ impl Default for FleetConfig {
             shrink_floor_pages: 16,
             flight_capacity: 4096,
             staged_crash: None,
+            watch: None,
         }
     }
 }
@@ -289,6 +304,14 @@ pub struct MemberStats {
     pub latency: Histogram,
     /// Runtime fault count at end of run (fairness probe).
     pub fault_count: u64,
+    /// Watchtower alerts attributed to this member.
+    pub watch_alerts: u64,
+    /// Simulated-cycle timestamp of the member's first watch alert
+    /// (0 = never alerted).
+    pub first_alert_cycles: u64,
+    /// Simulated-cycle timestamp of the member's first failover
+    /// (quarantine/restart/evict escalation; 0 = never failed over).
+    pub first_failover_cycles: u64,
     /// Per-span-kind cycle totals from the member's in-enclave
     /// telemetry aggregates (kinds with zero spans omitted). The fleet
     /// report merges these across members into one coarse profile; the
@@ -329,6 +352,9 @@ pub struct Fleet {
     rr_cursor: usize,
     total_served: u64,
     crash_armed: bool,
+    tower: Option<Watchtower>,
+    flight_cursor: u64,
+    alert_history: Vec<Alert>,
 }
 
 impl Fleet {
@@ -366,6 +392,20 @@ impl Fleet {
                         value_size,
                         ItemClustering::None,
                     )?;
+                    if mc.pin_kv_metadata {
+                        // The store's first allocation is its bucket
+                        // array; everything backed before the first item
+                        // insert is allocator metadata. Hand it back to
+                        // OS management (the paper's Memcached patch:
+                        // only item pages self-page) so the hot index is
+                        // never an eviction candidate.
+                        let meta: Vec<Vpn> = (world.image.heap_start().0
+                            ..world.rt.heap_frontier().0)
+                            .map(Vpn)
+                            .collect();
+                        let World { os, rt, .. } = &mut world;
+                        rt.pin_os_managed(os, &meta)?;
+                    }
                     store.load(&mut world, &mut heap, items)?;
                     ServiceKind::Kv(store)
                 }
@@ -404,11 +444,31 @@ impl Fleet {
                     max_recovery_cycles: 0,
                     latency: Histogram::new(),
                     fault_count: 0,
+                    watch_alerts: 0,
+                    first_alert_cycles: 0,
+                    first_failover_cycles: 0,
                     span_profile: Vec::new(),
                 },
             });
             os_slot = Some(os);
         }
+        let tower = cfg.watch.clone().map(|wc| {
+            let start = os_slot
+                .as_ref()
+                .map(|os| os.machine.clock.now())
+                .unwrap_or(0);
+            let mut tower = Watchtower::new(wc, start);
+            for member in &members {
+                tower.add_member(member.stats.eid, &member.stats.name);
+            }
+            tower
+        });
+        // Boot-time paging is not traffic: start the watch cursor past
+        // the load-phase records so baselines see only served load.
+        let flight_cursor = os_slot
+            .as_mut()
+            .map(|os| os.flight_snapshot().last().map(|r| r.seq).unwrap_or(0))
+            .unwrap_or(0);
         Ok(Self {
             os: os_slot,
             members,
@@ -416,6 +476,9 @@ impl Fleet {
             rr_cursor: 0,
             total_served: 0,
             crash_armed: false,
+            tower,
+            flight_cursor,
+            alert_history: Vec::new(),
         })
     }
 
@@ -621,6 +684,12 @@ impl Fleet {
                 "restored from sealed snapshot in {recovery} cycles (byte-identical: {byte_identical}); cause: {why}"
             ),
         );
+        // A fresh incarnation gets a fresh detector baseline: the old
+        // lens would re-fire on the very traffic mix the restart is
+        // expected to change.
+        if let Some(tower) = self.tower.as_mut() {
+            tower.reset_member(index);
+        }
         Ok(())
     }
 
@@ -659,6 +728,13 @@ impl Fleet {
                     member.stats.latency.record(now.saturating_sub(arrival));
                     member.served_since_snapshot += 1;
                     self.total_served += 1;
+                    if let Some(tower) = self.tower.as_mut() {
+                        // Feed the tower dispatch *service* time — the
+                        // same measure the watchdog judges — so the SLO
+                        // burn detector races the watchdog on equal
+                        // terms rather than on queue-inflated latency.
+                        tower.observe_request(index, elapsed, now);
+                    }
                     if elapsed > self.cfg.watchdog_cycles {
                         let eid = self.members[index].stats.eid;
                         self.members[index].watchdog_strikes += 1;
@@ -735,6 +811,9 @@ impl Fleet {
 
     /// Quarantine → restart → eviction, depending on restart budget.
     fn escalate(&mut self, index: usize, why: &str) -> Result<(), FleetError> {
+        if self.members[index].stats.first_failover_cycles == 0 {
+            self.members[index].stats.first_failover_cycles = self.now();
+        }
         if self.members[index].stats.restarts >= self.cfg.max_restarts {
             self.evict_member(index, why);
             return Ok(());
@@ -750,6 +829,135 @@ impl Fleet {
             }
             Err(other) => Err(other),
         }
+    }
+
+    /// Ask one member to shrink its resident set to the floor (the
+    /// cooperative response to an EPC-skew alert naming it the hog).
+    fn shrink_member(&mut self, index: usize, why: &str) -> Result<(), FleetError> {
+        let floor = self.cfg.shrink_floor_pages;
+        if self.members[index].state != MemberState::Healthy {
+            return Ok(());
+        }
+        let resident = self.members[index]
+            .handle
+            .as_ref()
+            .map(|h| h.rt.resident_pages())
+            .unwrap_or(0);
+        if resident <= floor {
+            return Ok(());
+        }
+        let os = self
+            .os
+            .take()
+            .ok_or(FleetError::Internal("os slot empty in shrink"))?;
+        let member = &mut self.members[index];
+        let handle = match member.handle.take() {
+            Some(h) => h,
+            None => {
+                self.os = Some(os);
+                return Ok(());
+            }
+        };
+        let mut world = World::join(os, handle);
+        let shrink = world.rt.shrink_budget(&mut world.os, floor);
+        let (os, handle) = world.split();
+        member.handle = Some(handle);
+        self.os = Some(os);
+        shrink?;
+        let eid = self.members[index].stats.eid;
+        self.members[index].stats.shrinks += 1;
+        self.flight_supervisor(eid, "shrink", why.to_owned());
+        Ok(())
+    }
+
+    /// One watchtower step: drain fresh flight-ring records into the
+    /// detectors, close any elapsed windows, and act on firings. Alerts
+    /// land in the flight ring as causal events *before* the resulting
+    /// escalation records, so forensics reads detector → supervisor in
+    /// order.
+    fn watch_tick(&mut self) -> Result<(), FleetError> {
+        if self.tower.is_none() {
+            return Ok(());
+        }
+        let now = self.now();
+        let cursor = self.flight_cursor;
+        let fresh = self.os_mut().flight_records_after(cursor);
+        if let Some(last) = fresh.last() {
+            self.flight_cursor = last.seq;
+        }
+        let dropped = self.os_mut().flight_dropped();
+        let frames: Vec<u64> = {
+            let os = self.os();
+            self.members
+                .iter()
+                .map(|m| os.machine.epc_frames_of(m.stats.eid) as u64)
+                .collect()
+        };
+        let alerts = match self.tower.as_mut() {
+            Some(tower) => {
+                for r in &fresh {
+                    if let FlightEvent::Kernel(Observation::Fault { eid, va, .. }) = &r.event {
+                        tower.observe_fault(*eid, va.vpn(), r.cycles);
+                    }
+                }
+                tower.note_ring_dropped(dropped);
+                tower.sample_epc(&frames);
+                tower.advance(now);
+                tower.take_alerts()
+            }
+            None => Vec::new(),
+        };
+        for alert in alerts {
+            let index = alert.member;
+            {
+                let os = self.os_mut();
+                if os.flight_armed() {
+                    let opened = os.flight_begin_chain_if_idle();
+                    os.flight_record(alert.to_flight_event());
+                    if opened {
+                        os.flight_end_chain();
+                    }
+                }
+            }
+            if let Some(member) = self.members.get_mut(index) {
+                member.stats.watch_alerts += 1;
+                if member.stats.first_alert_cycles == 0 {
+                    member.stats.first_alert_cycles = alert.cycles;
+                }
+            }
+            let actionable = self
+                .members
+                .get(index)
+                .map(|m| m.state == MemberState::Healthy)
+                .unwrap_or(false);
+            if actionable {
+                if alert.detector == "epc_skew" {
+                    let why = format!("watch alert: {} ({})", alert.detector, alert.why);
+                    self.shrink_member(index, &why)?;
+                } else {
+                    let why = format!("watch alert: {} ({})", alert.detector, alert.why);
+                    self.escalate(index, &why)?;
+                }
+            }
+            self.alert_history.push(alert);
+        }
+        Ok(())
+    }
+
+    /// Every watchtower alert of the run, in firing order.
+    pub fn watch_alerts(&self) -> &[Alert] {
+        &self.alert_history
+    }
+
+    /// The watchtower (for its telemetry and window accounting), when
+    /// one is configured.
+    pub fn watchtower(&self) -> Option<&Watchtower> {
+        self.tower.as_ref()
+    }
+
+    /// Member display names in boot order (trace/alert-log labels).
+    pub fn member_names(&self) -> Vec<String> {
+        self.members.iter().map(|m| m.stats.name.clone()).collect()
     }
 
     /// Drive `traffic` (one stream per member, arrival-sorted) to
@@ -799,6 +1007,7 @@ impl Fleet {
                 Some(i) => {
                     self.rr_cursor = (i + 1) % n;
                     self.serve_one(i)?;
+                    self.watch_tick()?;
                 }
                 None => {
                     // Idle: fast-forward to the next arrival, or finish.
@@ -814,12 +1023,17 @@ impl Fleet {
                             if at > now {
                                 self.os_mut().machine.clock.charge(at - now);
                             }
+                            // Idle gaps still close watch windows (a
+                            // member going quiet is itself a signal).
+                            self.watch_tick()?;
                         }
                         None => break,
                     }
                 }
             }
         }
+        // Flush the trailing partial window into the detectors.
+        self.watch_tick()?;
         // Record final runtime health into the stats.
         for member in &mut self.members {
             if let Some(h) = member.handle.as_ref() {

@@ -25,6 +25,7 @@ fn kv_member(name: &str, budget: usize) -> MemberConfig {
             budget,
             ..Default::default()
         },
+        pin_kv_metadata: false,
     }
 }
 
@@ -50,6 +51,7 @@ fn fleet_cfg(members: Vec<MemberConfig>) -> FleetConfig {
         // thousands of paging records a full run appends after them.
         flight_capacity: 1 << 18,
         staged_crash: None,
+        watch: None,
     }
 }
 

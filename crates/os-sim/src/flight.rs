@@ -163,17 +163,47 @@ pub enum FlightEvent {
         /// Simulated-cycle timestamp at span exit.
         end_cycles: u64,
     },
+    /// An online detector in the watchtower fired. Like [`Supervisor`],
+    /// this is an *untrusted host-side* event — the watchtower observes
+    /// only adversary-visible signals (fault counters, latencies, EPC
+    /// occupancy) — so `is_runtime_decision()` excludes it. It is a
+    /// first-class verdict for causal forensics, though:
+    /// [`causal_root_of_attack`] resolves the latest alert to the
+    /// injected fault that provoked it, exactly as it does for the
+    /// runtime's own `AttackDetected`.
+    ///
+    /// [`Supervisor`]: FlightEvent::Supervisor
+    WatchAlert {
+        /// Fleet member the detector fired for.
+        eid: EnclaveId,
+        /// Detector name, a single lowercase token (e.g. `fault_cusum`,
+        /// `entropy_cusum`, `slo_burn`, `epc_skew`).
+        detector: String,
+        /// Index of the epoch window that tripped the detector.
+        window: u64,
+        /// Detector score at firing, in milli-units (integer so alert
+        /// artifacts stay byte-stable across platforms).
+        score_milli: u64,
+        /// Most-recently faulted page in the tripping window, when the
+        /// detector tracks fault addresses (the alert's best guess at
+        /// the probe target).
+        vpn: Option<Vpn>,
+        /// Human-readable firing reason (thresholds and observed value).
+        why: String,
+    },
 }
 
 impl FlightEvent {
     /// Trust domain the event originates from: `"hw"` (architectural
     /// transitions), `"os"` (kernel observations), `"fleet"` (untrusted
-    /// supervisor decisions), or `"enclave"` (trusted-runtime decisions).
+    /// supervisor decisions), `"watch"` (untrusted streaming-detector
+    /// alerts), or `"enclave"` (trusted-runtime decisions).
     pub fn domain(&self) -> &'static str {
         match self {
             FlightEvent::Transition { .. } => "hw",
             FlightEvent::Kernel(_) => "os",
             FlightEvent::Supervisor { .. } => "fleet",
+            FlightEvent::WatchAlert { .. } => "watch",
             _ => "enclave",
         }
     }
@@ -249,6 +279,23 @@ impl FlightEvent {
                 "span {kind} closed ({} cycles)",
                 end_cycles.saturating_sub(*start_cycles)
             ),
+            FlightEvent::WatchAlert {
+                eid,
+                detector,
+                window,
+                score_milli,
+                vpn,
+                why,
+            } => {
+                let page = match vpn {
+                    Some(v) => format!(" vpn={}", v.0),
+                    None => String::new(),
+                };
+                format!(
+                    "WATCH ALERT {detector} eid={} window={window} score={score_milli}m{page} ({why})",
+                    eid.0
+                )
+            }
         }
     }
 }
@@ -382,6 +429,19 @@ impl FlightRecorder {
         self.records.iter().cloned().collect()
     }
 
+    /// Retained records with sequence numbers strictly greater than
+    /// `seq`, oldest first — the incremental-drain cursor for streaming
+    /// consumers (the watchtower) that must not re-clone the whole ring
+    /// every poll. A consumer that falls behind the ring sees the gap
+    /// via [`FlightRecorder::dropped`], not silently.
+    pub fn records_after(&self, seq: u64) -> Vec<FlightRecord> {
+        self.records
+            .iter()
+            .skip_while(|r| r.seq <= seq)
+            .cloned()
+            .collect()
+    }
+
     /// Number of retained records.
     pub fn len(&self) -> usize {
         self.records.len()
@@ -445,31 +505,36 @@ fn is_injection(record: &FlightRecord) -> bool {
     )
 }
 
-/// For the last `AttackDetected` verdict in the log, find the injected
+/// For the last attack verdict in the log — the runtime's own
+/// `AttackDetected` or a watchtower `WatchAlert` — find the injected
 /// fault that caused it: first an injection inside the verdict's own
 /// correlation chain, else the most recent prior injection — preferring
 /// one that names the same page (a spurious eviction surfaces as a fault
 /// only when the page is next touched, typically in a *later* chain).
 ///
-/// Returns `(attack_record, injection_record)`; `None` when the log
+/// Returns `(verdict_record, injection_record)`; `None` when the log
 /// holds no verdict or no injection preceding it.
 pub fn causal_root_of_attack(records: &[FlightRecord]) -> Option<(&FlightRecord, &FlightRecord)> {
-    let (attack_idx, attack) = records
-        .iter()
-        .enumerate()
-        .rev()
-        .find(|(_, r)| matches!(r.event, FlightEvent::AttackDetected { .. }))?;
+    let (attack_idx, attack) = records.iter().enumerate().rev().find(|(_, r)| {
+        matches!(
+            r.event,
+            FlightEvent::AttackDetected { .. } | FlightEvent::WatchAlert { .. }
+        )
+    })?;
     let attack_vpn = match &attack.event {
-        FlightEvent::AttackDetected { vpn, .. } => *vpn,
+        FlightEvent::AttackDetected { vpn, .. } => Some(*vpn),
+        FlightEvent::WatchAlert { vpn, .. } => *vpn,
         _ => return None,
     };
     // Inside the verdict's own chain first.
-    if let Some(inj) = records[..attack_idx]
-        .iter()
-        .rev()
-        .find(|r| r.corr == attack.corr && is_injection(r))
-    {
-        return Some((attack, inj));
+    if attack.corr != CORR_NONE {
+        if let Some(inj) = records[..attack_idx]
+            .iter()
+            .rev()
+            .find(|r| r.corr == attack.corr && is_injection(r))
+        {
+            return Some((attack, inj));
+        }
     }
     // Else the latest prior injection naming the same page, else the
     // latest prior injection of any kind.
@@ -479,7 +544,7 @@ pub fn causal_root_of_attack(records: &[FlightRecord]) -> Option<(&FlightRecord,
         .collect();
     let same_page = prior.iter().rev().find(|r| match &r.event {
         FlightEvent::Kernel(Observation::FaultInjected { fault, .. }) => {
-            injected_vpn(fault) == Some(attack_vpn)
+            attack_vpn.is_some() && injected_vpn(fault) == attack_vpn
         }
         _ => false,
     });
@@ -682,6 +747,85 @@ mod tests {
             }
             other => panic!("wrong root: {other:?}"),
         }
+    }
+
+    #[test]
+    fn watch_alert_resolves_to_same_page_injection() {
+        let mut rec = FlightRecorder::new(64);
+        // The staged probe: a spurious eviction of page 11.
+        rec.begin_chain();
+        rec.record(
+            10,
+            FlightEvent::Kernel(Observation::FaultInjected {
+                eid: EnclaveId(2),
+                fault: crate::fault::InjectedFault::SpuriousEvict { vpn: Vpn(11) },
+            }),
+        );
+        rec.end_chain();
+        // An unrelated later injection the resolver must not prefer.
+        rec.begin_chain();
+        rec.record(
+            20,
+            FlightEvent::Kernel(Observation::FaultInjected {
+                eid: EnclaveId(2),
+                fault: crate::fault::InjectedFault::TransientNoMemory,
+            }),
+        );
+        rec.end_chain();
+        // The watchtower fires outside any chain (it drains the ring
+        // between requests), naming the page its window saw fault.
+        rec.record(
+            30,
+            FlightEvent::WatchAlert {
+                eid: EnclaveId(2),
+                detector: "fault_cusum".to_owned(),
+                window: 4,
+                score_milli: 5120,
+                vpn: Some(Vpn(11)),
+                why: "fault rate above cusum threshold".to_owned(),
+            },
+        );
+        let snap = rec.snapshot();
+        let (verdict, inj) = causal_root_of_attack(&snap).expect("root");
+        assert!(matches!(verdict.event, FlightEvent::WatchAlert { .. }));
+        match &inj.event {
+            FlightEvent::Kernel(Observation::FaultInjected { fault, .. }) => {
+                assert_eq!(
+                    *fault,
+                    crate::fault::InjectedFault::SpuriousEvict { vpn: Vpn(11) }
+                );
+            }
+            other => panic!("wrong root: {other:?}"),
+        }
+        assert_eq!(verdict.event.domain(), "watch");
+        assert!(!verdict.event.is_runtime_decision());
+    }
+
+    #[test]
+    fn watch_alert_without_vpn_falls_back_to_latest_injection() {
+        let mut rec = FlightRecorder::new(64);
+        rec.record(
+            5,
+            FlightEvent::Kernel(Observation::FaultInjected {
+                eid: EnclaveId(1),
+                fault: crate::fault::InjectedFault::TransientNoMemory,
+            }),
+        );
+        rec.record(
+            9,
+            FlightEvent::WatchAlert {
+                eid: EnclaveId(1),
+                detector: "slo_burn".to_owned(),
+                window: 2,
+                score_milli: 1500,
+                vpn: None,
+                why: "p99 budget burn".to_owned(),
+            },
+        );
+        let snap = rec.snapshot();
+        let (verdict, inj) = causal_root_of_attack(&snap).expect("root");
+        assert!(matches!(verdict.event, FlightEvent::WatchAlert { .. }));
+        assert!(is_injection(inj));
     }
 
     #[test]

@@ -479,6 +479,18 @@ impl Os {
         self.flight.as_ref().map(|rec| rec.dropped()).unwrap_or(0)
     }
 
+    /// Retained flight records with sequence numbers strictly greater
+    /// than `seq`, oldest first (pending machine transitions folded in).
+    /// The incremental form of [`Os::flight_snapshot`] for streaming
+    /// consumers that poll with a cursor.
+    pub fn flight_records_after(&mut self, seq: u64) -> Vec<FlightRecord> {
+        self.flight_sync();
+        self.flight
+            .as_ref()
+            .map(|rec| rec.records_after(seq))
+            .unwrap_or_default()
+    }
+
     pub(crate) fn proc(&self, eid: EnclaveId) -> Result<&Proc, OsError> {
         self.procs.get(&eid).ok_or(OsError::NotLoaded(eid))
     }

@@ -477,6 +477,23 @@ pub fn encode_flight_event(event: &FlightEvent) -> String {
             start_cycles,
             end_cycles,
         } => format!("span {kind} {start_cycles} {end_cycles}"),
+        FlightEvent::WatchAlert {
+            eid,
+            detector,
+            window,
+            score_milli,
+            vpn,
+            why,
+        } => {
+            let page = match vpn {
+                Some(v) => v.0.to_string(),
+                None => "-".to_owned(),
+            };
+            format!(
+                "walert {} {detector} {window} {score_milli} {page} {why}",
+                eid.0
+            )
+        }
     }
 }
 
@@ -542,6 +559,18 @@ fn decode_flight_event_fields(fields: &[&str], line: &str) -> Result<FlightEvent
             kind: (*kind).to_owned(),
             start_cycles: parse_u64(start, line)?,
             end_cycles: parse_u64(end, line)?,
+        }),
+        ("walert", [eid, detector, window, score, page, why @ ..]) => Ok(FlightEvent::WatchAlert {
+            eid: parse_eid(eid, line)?,
+            detector: (*detector).to_owned(),
+            window: parse_u64(window, line)?,
+            score_milli: parse_u64(score, line)?,
+            vpn: if *page == "-" {
+                None
+            } else {
+                Some(Vpn(parse_u64(page, line)?))
+            },
+            why: rest_of_line(why, line)?,
         }),
         _ => err("flight event", line),
     }
@@ -800,7 +829,7 @@ mod tests {
     }
 
     fn random_flight_event(rng: &mut SimRng) -> FlightEvent {
-        match rng.gen_range(0..15) {
+        match rng.gen_range(0..16) {
             0 => FlightEvent::Transition {
                 kind: TransitionKind::ALL[rng.gen_range_usize(0..TransitionKind::ALL.len())],
                 eid: EnclaveId(rng.next_u32() >> 8),
@@ -853,12 +882,26 @@ mod tests {
                 .to_owned(),
                 why: random_why(rng),
             },
-            _ => FlightEvent::SpanClose {
+            14 => FlightEvent::SpanClose {
                 kind: ["fault_handler", "ay_fetch_pages", "seal", "retry_backoff"]
                     [rng.gen_range_usize(0..4)]
                 .to_owned(),
                 start_cycles: rng.next_u64() >> 16,
                 end_cycles: rng.next_u64() >> 16,
+            },
+            _ => FlightEvent::WatchAlert {
+                eid: EnclaveId(rng.next_u32() >> 8),
+                detector: ["fault_cusum", "entropy_cusum", "slo_burn", "epc_skew"]
+                    [rng.gen_range_usize(0..4)]
+                .to_owned(),
+                window: rng.gen_range(0..10_000),
+                score_milli: rng.next_u64() >> 24,
+                vpn: if rng.gen_bool(0.5) {
+                    Some(Vpn(rng.next_u64() >> 12))
+                } else {
+                    None
+                },
+                why: random_why(rng),
             },
         }
     }

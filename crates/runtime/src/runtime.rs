@@ -1222,6 +1222,37 @@ impl Runtime {
         self.ensure_heap_page(os, last)
     }
 
+    /// One past the highest heap page the bump allocator has backed
+    /// (useful for carving already-allocated structures out of the
+    /// self-paging set — see [`Runtime::pin_os_managed`]).
+    pub fn heap_frontier(&self) -> Vpn {
+        Vpn(self.heap.allocated_until)
+    }
+
+    /// Hand `pages` back to OS management and drop them from self-paging
+    /// tracking. This is the paper's Memcached-patch shape (§6): only
+    /// *item* pages are registered for self-paging, while hot allocator
+    /// metadata (the bucket array) stays OS-managed — it no longer
+    /// occupies self-paging budget, is never an eviction candidate for
+    /// [`Runtime::make_room`], and a fault on it takes the forwarding
+    /// path instead of being judged against the pin contract.
+    pub fn pin_os_managed(&mut self, os: &mut Os, pages: &[Vpn]) -> Result<(), RtError> {
+        if pages.is_empty() {
+            return Ok(());
+        }
+        self.with_retries(os, false, |os, eid| os.ay_set_os_managed(eid, pages))?;
+        for &vpn in pages {
+            // Stale FIFO entries are fine: make_room skips any popped
+            // page that is no longer tracked as Resident.
+            if self.tracked.remove(&vpn) == Some(PageState::Resident) {
+                self.resident_count -= 1;
+            }
+        }
+        self.telemetry
+            .gauge_set("resident_pages", self.resident_count as u64);
+        Ok(())
+    }
+
     /// Return an allocation of `size` bytes at `va` to the free list.
     pub fn free(&mut self, va: Va, size: usize) {
         let size = size.max(1).next_multiple_of(16);

@@ -1,0 +1,90 @@
+//! False-positive property gate: 100 seeds of synthetic benign
+//! traffic, zero alerts. The default `WatchConfig` must stay quiet on
+//! honest workloads — jittery arrival gaps, mixed per-member load,
+//! occasional bursts, drifting fault pages — or the supervisor would
+//! escalate healthy enclaves. Any seed that alerts fails the suite
+//! and prints the offending alert lines.
+
+use autarky_prng::SimRng;
+use autarky_sgx_sim::{EnclaveId, Vpn};
+use autarky_watch::{WatchConfig, Watchtower};
+
+const SEEDS: u64 = 100;
+const MEMBERS: usize = 3;
+const WINDOWS: u64 = 40;
+
+/// Drive one benign run: every member faults at a modest, jittery
+/// rate across a spread of pages, serves requests with latencies well
+/// inside budget, and EPC stays roughly balanced.
+fn benign_run(seed: u64) -> (u64, Vec<String>) {
+    let mut rng = SimRng::seed_from_u64(seed);
+    // Exercise every detector: benign latency sits far below budget,
+    // benign EPC skew far below threshold.
+    let cfg = WatchConfig {
+        p99_budget_cycles: 2_000_000,
+        epc_skew_threshold_milli: 2_500,
+        ..Default::default()
+    };
+    let epoch = cfg.epoch_cycles;
+    let mut tower = Watchtower::new(cfg, 0);
+    for m in 0..MEMBERS {
+        tower.add_member(EnclaveId(m as u32 + 1), &format!("member-{m}"));
+    }
+
+    let mut alerts: Vec<String> = Vec::new();
+    let mut now = 0u64;
+    for _window in 0..WINDOWS {
+        let window_end = now + epoch;
+        // Benign fault traffic: 2..=10 faults per member per window,
+        // pages drifting over a working set of 64 vpns.
+        for m in 0..MEMBERS {
+            let eid = EnclaveId(m as u32 + 1);
+            let faults = 2 + rng.gen_below(9);
+            for _ in 0..faults {
+                let at = now + rng.gen_below(epoch);
+                let vpn = Vpn(rng.gen_below(64));
+                tower.observe_fault(eid, vpn, at);
+            }
+            // Benign requests: latency 50k..250k cycles, well under
+            // the 2M budget.
+            let requests = 4 + rng.gen_below(8);
+            for _ in 0..requests {
+                let at = now + rng.gen_below(epoch);
+                let latency = 50_000 + rng.gen_below(200_000);
+                tower.observe_request(m, latency, at);
+            }
+        }
+        // Roughly balanced EPC occupancy with jitter.
+        let frames: Vec<u64> = (0..MEMBERS).map(|_| 300 + rng.gen_below(80)).collect();
+        tower.sample_epc(&frames);
+        now = window_end;
+        tower.advance(now);
+        for alert in tower.take_alerts() {
+            alerts.push(format!("seed={seed} {}", alert.log_line("?")));
+        }
+    }
+    (tower.alert_total(), alerts)
+}
+
+#[test]
+fn benign_traffic_never_alerts_across_100_seeds() {
+    let mut firings: Vec<String> = Vec::new();
+    for seed in 0..SEEDS {
+        let (total, lines) = benign_run(seed);
+        assert_eq!(total as usize, lines.len());
+        firings.extend(lines);
+    }
+    assert!(
+        firings.is_empty(),
+        "false positives on benign traffic:\n{}",
+        firings.join("\n")
+    );
+}
+
+#[test]
+fn benign_run_is_deterministic_per_seed() {
+    let (a_total, a_lines) = benign_run(7);
+    let (b_total, b_lines) = benign_run(7);
+    assert_eq!(a_total, b_total);
+    assert_eq!(a_lines, b_lines);
+}
